@@ -1,0 +1,140 @@
+// Package knemesis reproduces "Cache-Efficient, Intranode, Large-Message
+// MPI Communication with MPICH2-Nemesis" (Buntinas, Goglin, Goodell,
+// Mercier, Moreaud — ICPP 2009) as a Go library.
+//
+// Two engines are provided:
+//
+//   - A deterministic discrete-event simulator of the paper's testbed
+//     (multicore Xeon with shared-L2 pairs, FSB bandwidth, I/OAT DMA
+//     engine, Linux pipes and the KNEM kernel module) running a Nemesis
+//     channel with the paper's four Large Message Transfer backends, an MPI
+//     layer, the IMB benchmarks and NAS-proxy workloads. Every figure and
+//     table of the paper's evaluation regenerates from this engine (see
+//     Experiments, cmd/knemsim, and EXPERIMENTS.md).
+//
+//   - A real goroutine runtime (RT) with Nemesis-style lock-free queues
+//     where single-copy rendezvous is natively possible; its benchmarks
+//     measure the paper's eager-vs-single-copy trade-off for real.
+//
+// This facade re-exports the stable entry points; the implementation lives
+// under internal/ (see DESIGN.md for the package map).
+package knemesis
+
+import (
+	"knemesis/internal/core"
+	"knemesis/internal/experiments"
+	"knemesis/internal/imb"
+	"knemesis/internal/mpi"
+	"knemesis/internal/nas"
+	"knemesis/internal/nemesis"
+	"knemesis/internal/rt"
+	"knemesis/internal/topo"
+)
+
+// Re-exported machine topology types and presets.
+type (
+	// Machine describes a simulated host (cores, cache domains, costs).
+	Machine = topo.Machine
+	// CoreID identifies a core of a Machine.
+	CoreID = topo.CoreID
+)
+
+// Machine presets from the paper's evaluation.
+var (
+	// XeonE5345 is the paper's primary testbed: 2x4 cores, one 4 MiB L2
+	// per core pair.
+	XeonE5345 = topo.XeonE5345
+	// XeonX5460 is the secondary host with 6 MiB L2 caches.
+	XeonX5460 = topo.XeonX5460
+	// NehalemStyle is the forward-looking single-shared-LLC preset the
+	// paper's conclusion anticipates.
+	NehalemStyle = topo.NehalemStyle
+)
+
+// LMT configuration (the paper's contribution).
+type (
+	// LMTOptions selects and tunes a Large Message Transfer backend.
+	LMTOptions = core.Options
+	// LMTKind enumerates the backends.
+	LMTKind = core.Kind
+	// IOATPolicy controls DMA-engine offload for the KNEM backend.
+	IOATPolicy = core.IOATPolicy
+	// Stack is a fully wired simulated node (hardware, OS, KNEM, channel).
+	Stack = core.Stack
+	// ChannelConfig tunes the Nemesis channel (thresholds, cells).
+	ChannelConfig = nemesis.Config
+)
+
+// Backend and policy constants.
+const (
+	DefaultLMT        = core.DefaultLMT
+	VmspliceLMT       = core.VmspliceLMT
+	VmspliceWritevLMT = core.VmspliceWritevLMT
+	KnemLMT           = core.KnemLMT
+
+	IOATOff    = core.IOATOff
+	IOATAlways = core.IOATAlways
+	IOATAuto   = core.IOATAuto
+)
+
+// NewStack builds a simulated node on machine m with one MPI rank pinned to
+// each listed core.
+func NewStack(m *Machine, cores []CoreID, opt LMTOptions, cfg ChannelConfig) *Stack {
+	return core.NewStack(m, cores, opt, cfg)
+}
+
+// StandardLMTOptions returns the four configurations of the paper's tables
+// (default, vmsplice, KNEM kernel copy, KNEM + auto I/OAT).
+func StandardLMTOptions() []LMTOptions { return core.StandardOptions() }
+
+// MPI layer over a Stack.
+type (
+	// World is an MPI job on a simulated node.
+	World = mpi.World
+	// Comm is one rank's MPI handle.
+	Comm = mpi.Comm
+)
+
+// NewWorld wraps a stack as an MPI job (one rank per channel endpoint).
+func NewWorld(st *Stack) *World { return mpi.NewWorld(st) }
+
+// Benchmarks and experiments.
+var (
+	// PingPong runs the IMB PingPong sweep on a stack.
+	PingPong = imb.PingPong
+	// Alltoall runs the IMB Alltoall sweep on a stack.
+	Alltoall = imb.Alltoall
+
+	// Figure and table generators (paper §4). See cmd/knemsim for the CLI.
+	Fig3       = experiments.Fig3
+	Fig4       = experiments.Fig4
+	Fig5       = experiments.Fig5
+	Fig6       = experiments.Fig6
+	Fig7       = experiments.Fig7
+	Table1     = experiments.Table1
+	Table2     = experiments.Table2
+	Thresholds = experiments.Thresholds
+
+	// NASKernels lists the Table 1 proxy suite.
+	NASKernels = nas.Kernels
+)
+
+// RT is the real goroutine runtime (non-simulated).
+type (
+	// RTWorld is a job of concurrently running rank goroutines.
+	RTWorld = rt.World
+	// RTRank is one rank's handle.
+	RTRank = rt.Rank
+	// RTConfig tunes thresholds and the large-message strategy.
+	RTConfig = rt.Config
+)
+
+// RT large-message strategies.
+const (
+	RTEager      = rt.Eager
+	RTSingleCopy = rt.SingleCopy
+	RTOffload    = rt.Offload
+)
+
+// NewRTWorld creates a real runtime of n rank goroutines.
+func NewRTWorld(n int, cfg RTConfig) *RTWorld { return rt.NewWorld(n, cfg) }

@@ -1,0 +1,81 @@
+package knemesis
+
+import (
+	"testing"
+
+	"knemesis/internal/mem"
+	"knemesis/internal/units"
+)
+
+// The facade must expose a working end-to-end path: simulated transfer,
+// experiment entry points, and the real runtime.
+func TestFacadeSimulatedTransfer(t *testing.T) {
+	m := XeonE5345()
+	c0, c1 := m.PairSharedCache()
+	st := NewStack(m, []CoreID{c0, c1}, LMTOptions{Kind: KnemLMT, IOAT: IOATAuto}, ChannelConfig{})
+	w := NewWorld(st)
+	size := int64(256 * units.KiB)
+	_, err := w.Run(func(c *Comm) {
+		buf := c.Alloc(size)
+		if c.Rank() == 0 {
+			buf.FillPattern(1)
+			c.Send(1, 0, mem.VecOf(buf))
+		} else {
+			c.Recv(0, 0, mem.VecOf(buf))
+			want := c.Alloc(size)
+			want.FillPattern(1)
+			if !mem.EqualBytes(buf, want) {
+				t.Error("facade transfer corrupted payload")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeStandardOptions(t *testing.T) {
+	opts := StandardLMTOptions()
+	if len(opts) != 4 {
+		t.Fatalf("standard options = %d, want 4", len(opts))
+	}
+	if opts[0].Kind != DefaultLMT || opts[3].IOAT != IOATAuto {
+		t.Fatal("standard options order changed")
+	}
+}
+
+func TestFacadeExperimentEntryPoints(t *testing.T) {
+	fig, err := Fig4(XeonE5345(), []int64{128 * units.KiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("fig4 series = %d", len(fig.Series))
+	}
+	if ks := NASKernels(); len(ks) != 8 {
+		t.Fatalf("NAS kernels = %d", len(ks))
+	}
+	if _, err := Thresholds(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeRealRuntime(t *testing.T) {
+	w := NewRTWorld(2, RTConfig{Large: RTSingleCopy})
+	payload := make([]byte, 1<<20)
+	payload[12345] = 0xCC
+	err := w.Run(func(r *RTRank) {
+		if r.ID() == 0 {
+			r.Send(1, 0, payload)
+		} else {
+			buf := make([]byte, len(payload))
+			r.Recv(0, 0, buf)
+			if buf[12345] != 0xCC {
+				t.Error("real runtime corrupted payload")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+// Command imb runs a single IMB-style benchmark (PingPong or Alltoall) on
+// the simulator under one LMT configuration — the interactive counterpart
+// of the figure sweeps in cmd/knemsim.
+//
+// Usage:
+//
+//	imb -bench pingpong -lmt knem -placement cross -min 64KiB -max 4MiB
+//	imb -bench alltoall -lmt knem-ioat -ranks 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"knemesis/internal/core"
+	"knemesis/internal/imb"
+	"knemesis/internal/knem"
+	"knemesis/internal/nemesis"
+	"knemesis/internal/topo"
+	"knemesis/internal/units"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "pingpong", "pingpong|alltoall")
+		lmt       = flag.String("lmt", "default", "default|vmsplice|vmsplice-writev|knem|knem-ioat|knem-ioat-auto|knem-async")
+		placement = flag.String("placement", "cross", "shared|cross (pingpong only)")
+		machine   = flag.String("machine", "e5345", "e5345|x5460|nehalem")
+		ranks     = flag.Int("ranks", 8, "rank count (alltoall only)")
+		minSize   = flag.String("min", "64KiB", "smallest message size")
+		maxSize   = flag.String("max", "4MiB", "largest message size")
+		eagerMax  = flag.String("eager", "", "override the rendezvous threshold (e.g. 4KiB)")
+	)
+	flag.Parse()
+
+	m, err := machineByName(*machine)
+	check(err)
+	opt, err := lmtByName(*lmt)
+	check(err)
+	lo, err := units.ParseSize(*minSize)
+	check(err)
+	hi, err := units.ParseSize(*maxSize)
+	check(err)
+	sizes := units.Pow2Sizes(lo, hi)
+
+	var cfg nemesis.Config
+	if *eagerMax != "" {
+		v, err := units.ParseSize(*eagerMax)
+		check(err)
+		cfg.EagerMax = v
+	}
+
+	var res imb.Result
+	switch *bench {
+	case "pingpong":
+		var c0, c1 topo.CoreID
+		if *placement == "shared" {
+			c0, c1 = m.PairSharedCache()
+		} else {
+			c0, c1 = m.PairDifferentDies()
+		}
+		st := core.NewStack(m, []topo.CoreID{c0, c1}, opt, cfg)
+		res, err = imb.PingPong(st, sizes)
+	case "alltoall":
+		if *ranks > m.Cores {
+			check(fmt.Errorf("machine has %d cores, requested %d ranks", m.Cores, *ranks))
+		}
+		st := core.NewStack(m, m.AllCores()[:*ranks], opt, cfg)
+		res, err = imb.Alltoall(st, sizes)
+	default:
+		check(fmt.Errorf("unknown bench %q", *bench))
+	}
+	check(err)
+
+	fmt.Printf("# %s, %s LMT, machine %s\n", res.Bench, res.Label, m.Name)
+	fmt.Printf("%-10s %14s %14s %14s\n", "size", "time(us)", "MiB/s", "L2miss/op")
+	for _, pt := range res.Points {
+		fmt.Printf("%-10s %14.2f %14.0f %14d\n",
+			units.FormatSize(pt.Size), pt.Time.Microseconds(), pt.Throughput, pt.L2Misses)
+	}
+}
+
+func lmtByName(name string) (core.Options, error) {
+	switch name {
+	case "default":
+		return core.Options{Kind: core.DefaultLMT}, nil
+	case "vmsplice":
+		return core.Options{Kind: core.VmspliceLMT}, nil
+	case "vmsplice-writev":
+		return core.Options{Kind: core.VmspliceWritevLMT}, nil
+	case "knem":
+		return core.Options{Kind: core.KnemLMT, IOAT: core.IOATOff}, nil
+	case "knem-ioat":
+		return core.Options{Kind: core.KnemLMT, IOAT: core.IOATAlways}, nil
+	case "knem-ioat-auto":
+		return core.Options{Kind: core.KnemLMT, IOAT: core.IOATAuto}, nil
+	case "knem-async":
+		md := knem.AsyncKThread
+		return core.Options{Kind: core.KnemLMT, ForceKnemMode: &md}, nil
+	default:
+		return core.Options{}, fmt.Errorf("unknown LMT %q", name)
+	}
+}
+
+func machineByName(name string) (*topo.Machine, error) {
+	switch name {
+	case "e5345":
+		return topo.XeonE5345(), nil
+	case "x5460":
+		return topo.XeonX5460(), nil
+	case "nehalem":
+		return topo.NehalemStyle(), nil
+	default:
+		return nil, fmt.Errorf("unknown machine %q", name)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imb:", err)
+		os.Exit(1)
+	}
+}

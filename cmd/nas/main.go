@@ -1,0 +1,67 @@
+// Command nas runs one NAS proxy kernel (or the full Table 1 suite) under
+// the standard LMT configurations.
+//
+// Usage:
+//
+//	nas -kernel is.B.8          # one kernel, all four LMTs
+//	nas -kernel all             # the full Table 1
+//	nas -kernel ft.B.8 -scale 10  # reduced iteration count
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"knemesis/internal/experiments"
+	"knemesis/internal/nas"
+	"knemesis/internal/topo"
+)
+
+func main() {
+	var (
+		kernelName = flag.String("kernel", "all", "kernel name (e.g. is.B.8) or 'all'")
+		machine    = flag.String("machine", "e5345", "e5345|x5460|nehalem")
+		scale      = flag.Int("scale", 1, "divide iteration counts by this factor")
+	)
+	flag.Parse()
+
+	var m *topo.Machine
+	switch *machine {
+	case "e5345":
+		m = topo.XeonE5345()
+	case "x5460":
+		m = topo.XeonX5460()
+	case "nehalem":
+		m = topo.NehalemStyle()
+	default:
+		fail(fmt.Errorf("unknown machine %q", *machine))
+	}
+
+	var kernels []nas.Kernel
+	if *kernelName == "all" {
+		kernels = nas.Kernels()
+	} else {
+		k, ok := nas.KernelByName(*kernelName)
+		if !ok {
+			fail(fmt.Errorf("unknown kernel %q (try is.B.8, ft.B.8, ...)", *kernelName))
+		}
+		kernels = []nas.Kernel{k}
+	}
+	if *scale > 1 {
+		for i := range kernels {
+			kernels[i] = kernels[i].Scaled(*scale)
+		}
+	}
+
+	tab, _, err := experiments.Table1(m, kernels)
+	if err != nil {
+		fail(err)
+	}
+	experiments.RenderTable(os.Stdout, tab)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "nas:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Noncontiguous datatypes: KNEM supports "vectorial buffers" — strided,
+// scatter/gather transfers without an intermediate packing copy — which the
+// paper lists as an advantage over LIMIC2 (§5). This example sends the
+// interior column of a simulated 2-D grid (an MPI_Type_vector) between two
+// ranks, comparing the KNEM single-copy path against the default LMT, and
+// verifies the strided payload lands correctly.
+package main
+
+import (
+	"fmt"
+
+	"knemesis"
+	"knemesis/internal/mem"
+	"knemesis/internal/mpi"
+	"knemesis/internal/units"
+)
+
+const (
+	rows     = 256
+	rowBytes = 8 * units.KiB // 2 MiB grid; the column block is 2 KiB wide
+	colBytes = 2 * units.KiB
+)
+
+func main() {
+	machine := knemesis.XeonE5345()
+	c0, c1 := machine.PairDifferentDies()
+	fmt.Printf("sending a strided column (%d blocks x %s every %s = %s payload)\n\n",
+		rows, units.FormatSize(colBytes), units.FormatSize(rowBytes),
+		units.FormatSize(rows*colBytes))
+
+	for _, opt := range []knemesis.LMTOptions{
+		{Kind: knemesis.DefaultLMT},
+		{Kind: knemesis.KnemLMT, IOAT: knemesis.IOATOff},
+	} {
+		st := knemesis.NewStack(machine, []knemesis.CoreID{c0, c1}, opt, knemesis.ChannelConfig{})
+		w := knemesis.NewWorld(st)
+		var elapsed float64
+		_, err := w.Run(func(c *knemesis.Comm) {
+			grid := c.Alloc(rows * rowBytes)
+			if c.Rank() == 0 {
+				grid.FillPattern(5)
+				col := mpi.TypeVector(grid, rows, colBytes, rowBytes)
+				c.Send(1, 0, col) // warm-up
+				t0 := c.Now()
+				c.Send(1, 0, col)
+				elapsed = (c.Now() - t0).Seconds()
+			} else {
+				// Receive the column contiguously (gather semantics).
+				flat := c.Alloc(rows * colBytes)
+				c.Recv(0, 0, mem.VecOf(flat))
+				c.Recv(0, 0, mem.VecOf(flat))
+				// Verify a strided sample against the source pattern.
+				ref := c.Alloc(rows * rowBytes)
+				ref.FillPattern(5)
+				for r := 0; r < rows; r += 37 {
+					want := ref.Slice(int64(r)*rowBytes, colBytes)
+					got := flat.Slice(int64(r)*colBytes, colBytes)
+					if !mem.EqualBytes(want, got) {
+						panic(fmt.Sprintf("row %d corrupted", r))
+					}
+				}
+			}
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-10s %8.0f MiB/s\n", opt.Label(), units.MiBps(rows*colBytes, elapsed))
+	}
+	fmt.Println("\nKNEM moves the strided vector in one kernel pass (no pack/unpack);")
+	fmt.Println("the default LMT pumps it through 32 KiB shared-memory slots.")
+}

@@ -1,0 +1,60 @@
+// Quickstart: build a simulated node, run a 1 MiB message between two
+// ranks with each LMT backend, and print what the paper's Figure 5 shows —
+// kernel-assisted single-copy transfers beat the double-buffered default
+// when the cores do not share a cache.
+package main
+
+import (
+	"fmt"
+
+	"knemesis"
+	"knemesis/internal/mem"
+	"knemesis/internal/units"
+)
+
+func main() {
+	machine := knemesis.XeonE5345()
+	c0, c1 := machine.PairDifferentDies()
+	const size = 1 * units.MiB
+
+	fmt.Printf("machine: %s\n", machine.Name)
+	fmt.Printf("placement: cores %d and %d (no shared cache)\n", c0, c1)
+	fmt.Printf("message: %s\n\n", units.FormatSize(size))
+
+	for _, opt := range knemesis.StandardLMTOptions() {
+		// A fresh stack per backend: simulated hardware, OS, KNEM module
+		// and a two-rank Nemesis channel.
+		st := knemesis.NewStack(machine, []knemesis.CoreID{c0, c1}, opt, knemesis.ChannelConfig{})
+		w := knemesis.NewWorld(st)
+
+		var elapsed float64
+		_, err := w.Run(func(c *knemesis.Comm) {
+			buf := c.Alloc(size)
+			switch c.Rank() {
+			case 0:
+				buf.FillPattern(42)
+				c.Send(1, 0, mem.VecOf(buf)) // warm-up
+				t0 := c.Now()
+				c.Send(1, 0, mem.VecOf(buf))
+				elapsed = (c.Now() - t0).Seconds()
+			case 1:
+				c.Recv(0, 0, mem.VecOf(buf))
+				c.Recv(0, 0, mem.VecOf(buf))
+				// Verify the payload really moved.
+				want := c.Alloc(size)
+				want.FillPattern(42)
+				if !mem.EqualBytes(buf, want) {
+					panic("payload corrupted")
+				}
+			}
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-18s %8.0f MiB/s\n", opt.Label(), units.MiBps(size, elapsed))
+	}
+
+	fmt.Println("\nExpected shape (paper, Fig. 5): knem > vmsplice > default;")
+	fmt.Println("knem+ioat-auto matches knem here (1 MiB is below the cross-die")
+	fmt.Println("DMAmin threshold of 2 MiB, so the auto policy stays on the CPU copy).")
+}

@@ -1,0 +1,262 @@
+// Package cache implements a set-associative, write-back, write-allocate
+// LRU cache model with byte-accurate fill/writeback accounting.
+//
+// The model is deliberately free of simulated-time concerns: it classifies
+// accesses (hit, miss, eviction of a dirty block) and counts traffic;
+// internal/hw converts that traffic into CPU time and memory-bus bytes, and
+// applies MESI-lite coherence across the caches of a machine.
+//
+// Simulation granularity (block size) is configurable: coarse blocks speed
+// up large experiments while preserving streaming behaviour. Statistics
+// carry byte counts so that results can be reported in true 64-byte-line
+// equivalents.
+package cache
+
+import "fmt"
+
+// Stats counts cache events. Byte fields accumulate blockBytes per event, so
+// they remain meaningful across simulation granularities.
+type Stats struct {
+	Accesses       int64 // total block accesses
+	Hits           int64
+	Misses         int64
+	FillBytes      int64 // bytes fetched into the cache
+	WriteBackBytes int64 // dirty bytes evicted to memory (or transferred)
+	Invalidations  int64 // blocks removed by coherence actions
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Accesses += other.Accesses
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.FillBytes += other.FillBytes
+	s.WriteBackBytes += other.WriteBackBytes
+	s.Invalidations += other.Invalidations
+}
+
+// Sub returns s minus other (for snapshot deltas).
+func (s Stats) Sub(other Stats) Stats {
+	return Stats{
+		Accesses:       s.Accesses - other.Accesses,
+		Hits:           s.Hits - other.Hits,
+		Misses:         s.Misses - other.Misses,
+		FillBytes:      s.FillBytes - other.FillBytes,
+		WriteBackBytes: s.WriteBackBytes - other.WriteBackBytes,
+		Invalidations:  s.Invalidations - other.Invalidations,
+	}
+}
+
+// MissesInLines converts byte-accurate miss traffic into equivalent
+// hardware-line misses (e.g. 64-byte lines), independent of the simulation
+// block granularity.
+func (s Stats) MissesInLines(lineBytes int64) int64 {
+	if lineBytes <= 0 {
+		return 0
+	}
+	return s.FillBytes / lineBytes
+}
+
+// Cache is one physical cache (an L2 in this simulator).
+type Cache struct {
+	name       string
+	blockBytes int64
+	sets       int
+	assoc      int
+
+	// Way arrays indexed by set*assoc+way.
+	tags  []uint64 // block number (not tag-only: simpler, still unique)
+	valid []bool
+	dirty []bool
+	stamp []uint64 // LRU timestamps
+
+	clock uint64
+	stats Stats
+}
+
+// AccessResult describes the outcome of one block access.
+type AccessResult struct {
+	Hit          bool
+	WasDirtyHit  bool   // the block was already dirty before a write hit
+	Evicted      bool   // a valid block was evicted to make room
+	EvictedDirty bool   // ... and it was dirty (writeback needed)
+	EvictedBlock uint64 // block number of the eviction victim
+}
+
+// New creates a cache of sizeBytes split into blockBytes blocks with the
+// given associativity. sizeBytes must be divisible by assoc*blockBytes.
+func New(name string, sizeBytes, blockBytes int64, assoc int) *Cache {
+	if sizeBytes <= 0 || blockBytes <= 0 || assoc <= 0 {
+		panic("cache: non-positive geometry")
+	}
+	if sizeBytes%(blockBytes*int64(assoc)) != 0 {
+		panic(fmt.Sprintf("cache %s: size %d not divisible by assoc %d x block %d",
+			name, sizeBytes, assoc, blockBytes))
+	}
+	sets := int(sizeBytes / (blockBytes * int64(assoc)))
+	n := sets * assoc
+	return &Cache{
+		name:       name,
+		blockBytes: blockBytes,
+		sets:       sets,
+		assoc:      assoc,
+		tags:       make([]uint64, n),
+		valid:      make([]bool, n),
+		dirty:      make([]bool, n),
+		stamp:      make([]uint64, n),
+	}
+}
+
+// Name returns the cache's diagnostic name.
+func (c *Cache) Name() string { return c.name }
+
+// BlockBytes returns the simulation block size.
+func (c *Cache) BlockBytes() int64 { return c.blockBytes }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Assoc returns the associativity.
+func (c *Cache) Assoc() int { return c.assoc }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Block converts a byte address into this cache's block number.
+func (c *Cache) Block(addr uint64) uint64 { return addr / uint64(c.blockBytes) }
+
+func (c *Cache) setOf(block uint64) int { return int(block % uint64(c.sets)) }
+
+// probe returns the way index of block within its set, or -1.
+func (c *Cache) probe(block uint64) int {
+	base := c.setOf(block) * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if c.valid[base+w] && c.tags[base+w] == block {
+			return base + w
+		}
+	}
+	return -1
+}
+
+// Contains reports whether the block is resident.
+func (c *Cache) Contains(block uint64) bool { return c.probe(block) >= 0 }
+
+// ContainsDirty reports whether the block is resident and modified.
+func (c *Cache) ContainsDirty(block uint64) bool {
+	i := c.probe(block)
+	return i >= 0 && c.dirty[i]
+}
+
+// Access performs a read or write of one block, allocating on miss and
+// evicting LRU as needed. Coherence with other caches is the caller's job
+// (see internal/hw); Access only manages this cache's arrays and stats.
+func (c *Cache) Access(block uint64, write bool) AccessResult {
+	c.clock++
+	c.stats.Accesses++
+	if i := c.probe(block); i >= 0 {
+		c.stats.Hits++
+		res := AccessResult{Hit: true}
+		if write {
+			res.WasDirtyHit = c.dirty[i]
+			c.dirty[i] = true
+		}
+		c.stamp[i] = c.clock
+		return res
+	}
+
+	c.stats.Misses++
+	c.stats.FillBytes += c.blockBytes
+	base := c.setOf(block) * c.assoc
+	victim := base
+	for w := 0; w < c.assoc; w++ {
+		i := base + w
+		if !c.valid[i] {
+			victim = i
+			break
+		}
+		if c.stamp[i] < c.stamp[victim] {
+			victim = i
+		}
+	}
+	res := AccessResult{}
+	if c.valid[victim] {
+		res.Evicted = true
+		res.EvictedBlock = c.tags[victim]
+		if c.dirty[victim] {
+			res.EvictedDirty = true
+			c.stats.WriteBackBytes += c.blockBytes
+		}
+	}
+	c.tags[victim] = block
+	c.valid[victim] = true
+	c.dirty[victim] = write
+	c.stamp[victim] = c.clock
+	return res
+}
+
+// Invalidate removes the block if present, returning whether it was present
+// and whether it was dirty (the caller accounts for the writeback transfer).
+func (c *Cache) Invalidate(block uint64) (present, wasDirty bool) {
+	i := c.probe(block)
+	if i < 0 {
+		return false, false
+	}
+	c.stats.Invalidations++
+	if c.dirty[i] {
+		c.stats.WriteBackBytes += c.blockBytes
+		wasDirty = true
+	}
+	c.valid[i] = false
+	c.dirty[i] = false
+	return true, wasDirty
+}
+
+// Downgrade clears the dirty bit of a resident block (after it supplied data
+// to a remote reader), returning whether it was dirty.
+func (c *Cache) Downgrade(block uint64) bool {
+	i := c.probe(block)
+	if i < 0 || !c.dirty[i] {
+		return false
+	}
+	c.dirty[i] = false
+	return true
+}
+
+// ResidentBytes reports how many bytes of [addr, addr+n) are currently
+// resident. Used to quantify pollution of an application working set.
+func (c *Cache) ResidentBytes(addr uint64, n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	first := c.Block(addr)
+	last := c.Block(addr + uint64(n) - 1)
+	var resident int64
+	for b := first; b <= last; b++ {
+		if c.Contains(b) {
+			lo := b * uint64(c.blockBytes)
+			hi := lo + uint64(c.blockBytes)
+			if lo < addr {
+				lo = addr
+			}
+			if hi > addr+uint64(n) {
+				hi = addr + uint64(n)
+			}
+			resident += int64(hi - lo)
+		}
+	}
+	return resident
+}
+
+// Flush invalidates every block (bulk coherence reset between experiment
+// repetitions); dirty blocks count writebacks.
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		if c.valid[i] {
+			if c.dirty[i] {
+				c.stats.WriteBackBytes += c.blockBytes
+			}
+			c.valid[i] = false
+			c.dirty[i] = false
+		}
+	}
+}

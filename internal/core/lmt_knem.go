@@ -1,0 +1,88 @@
+package core
+
+import (
+	"knemesis/internal/knem"
+	"knemesis/internal/nemesis"
+	"knemesis/internal/sim"
+	"knemesis/internal/topo"
+)
+
+// knemLMT transfers large messages through the KNEM kernel module (§3.2):
+// the sender declares its buffer (send command) and passes the resulting
+// cookie through the usual Nemesis rendezvous handshake; the receiver's
+// receive command moves the data with a single copy — synchronously on its
+// own core, asynchronously in a kernel thread, or offloaded to I/OAT.
+type knemLMT struct {
+	ch  *nemesis.Channel
+	opt Options
+}
+
+func newKnemLMT(ch *nemesis.Channel, opt Options) *knemLMT {
+	return &knemLMT{ch: ch, opt: opt}
+}
+
+func (l *knemLMT) Name() string { return l.opt.Label() }
+
+// Flags: no CTS — the RTS already carries the cookie, and the receiver pulls
+// the data. The sender's buffer is pinned until the receiver is done, so a
+// FIN completes the send.
+func (l *knemLMT) Flags() (wantsCTS, finCompletes bool) { return false, true }
+
+// InitiateSend issues the KNEM send command; the cookie travels in the RTS.
+func (l *knemLMT) InitiateSend(p *sim.Proc, t *nemesis.Transfer) any {
+	return l.ch.KNEM.SendCmd(p, t.SenderCore(), t.SrcVec)
+}
+
+func (l *knemLMT) PrepareCTS(p *sim.Proc, t *nemesis.Transfer) any      { return nil }
+func (l *knemLMT) HandleCTS(p *sim.Proc, t *nemesis.Transfer, info any) {}
+
+// Recv issues the receive command in the mode chosen by the policy and, for
+// asynchronous modes, busy-polls the status variable — the spinning poll of
+// Nemesis' progress engine (which is exactly what competes with the kernel
+// thread in the non-I/OAT asynchronous mode, §4.3).
+func (l *knemLMT) Recv(p *sim.Proc, t *nemesis.Transfer, cookie any) {
+	mode := l.chooseMode(t)
+	st := l.ch.KNEM.RecvCmd(p, t.RecvCore(), cookie.(knem.Cookie), t.DstVec, mode)
+	for !st.Done() {
+		l.ch.M.LocalDelay(p, t.RecvCore(), l.opt.BusyPollQuantum)
+	}
+}
+
+// chooseMode applies Figure-6 overrides or the §3.5 dynamic policy. As the
+// paper prescribes, asynchronous mode is enabled by default only together
+// with I/OAT.
+func (l *knemLMT) chooseMode(t *nemesis.Transfer) knem.Mode {
+	if l.opt.ForceKnemMode != nil {
+		return *l.opt.ForceKnemMode
+	}
+	switch l.opt.IOAT {
+	case IOATAlways:
+		return knem.AsyncIOAT
+	case IOATAuto:
+		if t.Size >= l.dmaMin(t.RecvCore()) {
+			return knem.AsyncIOAT
+		}
+		return knem.SyncCopy
+	default:
+		return knem.SyncCopy
+	}
+}
+
+// dmaMin evaluates DMAmin = cache / (2 x processes using the cache) for the
+// receiving core, counting the channel ranks actually placed on its L2.
+// With CollectiveAware and an upper-layer hint of n concurrent large
+// transfers, the threshold shrinks by n: the transfers' aggregate footprint
+// is what pressures the cache.
+func (l *knemLMT) dmaMin(recvCore topo.CoreID) int64 {
+	cores := make([]topo.CoreID, 0, len(l.ch.Endpoints))
+	for _, ep := range l.ch.Endpoints {
+		cores = append(cores, ep.Core)
+	}
+	min := DMAMinFor(l.ch.M.Topo, cores, recvCore)
+	if l.opt.CollectiveAware {
+		if hint := l.ch.CollectiveHint(); hint > 1 {
+			min /= int64(hint)
+		}
+	}
+	return min
+}

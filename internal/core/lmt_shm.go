@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"knemesis/internal/hw"
+	"knemesis/internal/mem"
+	"knemesis/internal/nemesis"
+	"knemesis/internal/sim"
+)
+
+// Double-buffering geometry: two slots of 32 KiB, as in the MPICH2 shm LMT
+// the paper describes ("this method always results in two copies ... if two
+// processors are participating in the transfer, the copies might overlap to
+// some degree", §2).
+const (
+	shmSlotBytes = 32 * 1024
+	shmSlots     = 2
+)
+
+// copyRing is the per-connection shared-memory copy buffer.
+type copyRing struct {
+	slots  [shmSlots]*mem.Buffer
+	full   [shmSlots]bool
+	filled [shmSlots]int64 // valid bytes in a full slot
+	cond   *sim.Cond
+}
+
+// shmLMT is the default Nemesis LMT: a double-buffered two-copy pipeline.
+// Both the sender and the receiver actively copy for the whole transfer —
+// the CPU-utilization and cache-pollution cost the paper sets out to remove.
+type shmLMT struct {
+	ch    *nemesis.Channel
+	rings map[[2]int]*copyRing
+}
+
+func newShmLMT(ch *nemesis.Channel) *shmLMT {
+	return &shmLMT{ch: ch, rings: make(map[[2]int]*copyRing)}
+}
+
+func (l *shmLMT) Name() string { return "default" }
+
+// Flags: the receiver must allocate the ring, so a CTS carries it back; the
+// sender finishes as soon as its last chunk is in the ring (no FIN).
+func (l *shmLMT) Flags() (wantsCTS, finCompletes bool) { return true, false }
+
+func (l *shmLMT) InitiateSend(p *sim.Proc, t *nemesis.Transfer) any { return nil }
+
+// PrepareCTS returns the (lazily created, per-ordered-pair) copy ring.
+func (l *shmLMT) PrepareCTS(p *sim.Proc, t *nemesis.Transfer) any {
+	key := [2]int{t.SrcRank, t.DstRank}
+	r, ok := l.rings[key]
+	if !ok {
+		r = &copyRing{cond: sim.NewCond(l.ch.M.Eng, fmt.Sprintf("ring%d-%d", t.SrcRank, t.DstRank))}
+		for i := range r.slots {
+			r.slots[i] = l.ch.Shm.Alloc(shmSlotBytes)
+		}
+		l.rings[key] = r
+	}
+	for i := range r.full {
+		r.full[i] = false
+	}
+	return r
+}
+
+// HandleCTS is the sender's copy pump: fill free slots in order.
+func (l *shmLMT) HandleCTS(p *sim.Proc, t *nemesis.Transfer, info any) {
+	r := info.(*copyRing)
+	m := l.ch.M
+	senderCore := t.SenderCore()
+	recvCore := t.RecvCore()
+
+	var off int64
+	for slot := 0; off < t.Size; slot = (slot + 1) % shmSlots {
+		for r.full[slot] {
+			r.cond.Wait(p)
+		}
+		n := int64(shmSlotBytes)
+		if n > t.Size-off {
+			n = t.Size - off
+		}
+		slotVec := mem.IOVec{{Buf: r.slots[slot], Off: 0, Len: n}}
+		for _, pair := range mem.Overlay(slotVec, t.SrcVec.Slice(off, n), 0) {
+			m.CopyRange(p, senderCore, pair.Dst, pair.Src, hw.CopyOpts{})
+		}
+		off += n
+		r.full[slot] = true
+		r.filled[slot] = n
+		// Publish the "slot full" flag: one cache line to the receiver.
+		m.ControlTransfer(p, senderCore, recvCore, 1)
+		r.cond.Broadcast()
+	}
+}
+
+// Recv is the receiver's pump: drain full slots in order.
+func (l *shmLMT) Recv(p *sim.Proc, t *nemesis.Transfer, cookie any) {
+	// The ring was created in PrepareCTS on this same endpoint.
+	r := l.rings[[2]int{t.SrcRank, t.DstRank}]
+	m := l.ch.M
+	senderCore := t.SenderCore()
+	recvCore := t.RecvCore()
+
+	var off int64
+	for slot := 0; off < t.Size; slot = (slot + 1) % shmSlots {
+		for !r.full[slot] {
+			r.cond.Wait(p)
+		}
+		n := r.filled[slot]
+		slotVec := mem.IOVec{{Buf: r.slots[slot], Off: 0, Len: n}}
+		for _, pair := range mem.Overlay(t.DstVec.Slice(off, n), slotVec, 0) {
+			m.CopyRange(p, recvCore, pair.Dst, pair.Src, hw.CopyOpts{})
+		}
+		off += n
+		r.full[slot] = false
+		// Publish the "slot free" flag back to the sender.
+		m.ControlTransfer(p, recvCore, senderCore, 1)
+		r.cond.Broadcast()
+	}
+}

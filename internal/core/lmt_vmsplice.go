@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"knemesis/internal/kernel"
+	"knemesis/internal/mem"
+	"knemesis/internal/nemesis"
+	"knemesis/internal/sim"
+)
+
+// vmspliceLMT transfers large messages through a per-connection Unix pipe
+// (§3.1): the sender attaches its pages with vmsplice (no copy) and the
+// receiver's readv performs the single copy into the destination buffer.
+// The pipe's 16-page capacity bounds each window to 64 KiB, which the paper
+// notes conveniently preserves Nemesis responsiveness between chunks.
+//
+// With useWritev the sender copies into the pipe instead — the two-copy
+// control the paper measures in Figure 3 ("vmsplice LMT using writev").
+type vmspliceLMT struct {
+	ch        *nemesis.Channel
+	useWritev bool
+	pipes     map[[2]int]*kernel.Pipe
+}
+
+func newVmspliceLMT(ch *nemesis.Channel, useWritev bool) *vmspliceLMT {
+	if ch.OS == nil {
+		panic("core: vmsplice LMT requires the kernel substrate")
+	}
+	return &vmspliceLMT{ch: ch, useWritev: useWritev, pipes: make(map[[2]int]*kernel.Pipe)}
+}
+
+func (l *vmspliceLMT) Name() string {
+	if l.useWritev {
+		return "vmsplice-writev"
+	}
+	return "vmsplice"
+}
+
+// Flags: the receiver opens (or finds) the shared pipe and announces
+// readiness via CTS. With vmsplice the sender's pages are attached to the
+// pipe until read, so only the receiver's FIN makes the source reusable;
+// with writev the data was copied out, so the sender finishes on its own.
+func (l *vmspliceLMT) Flags() (wantsCTS, finCompletes bool) { return true, !l.useWritev }
+
+func (l *vmspliceLMT) InitiateSend(p *sim.Proc, t *nemesis.Transfer) any { return nil }
+
+// PrepareCTS returns the per-ordered-pair pipe ("the sending and receiving
+// processes open the same UNIX pipe").
+func (l *vmspliceLMT) PrepareCTS(p *sim.Proc, t *nemesis.Transfer) any {
+	key := [2]int{t.SrcRank, t.DstRank}
+	pp, ok := l.pipes[key]
+	if !ok {
+		pp = l.ch.OS.NewPipe(fmt.Sprintf("lmt%d-%d", t.SrcRank, t.DstRank))
+		l.pipes[key] = pp
+	}
+	return pp
+}
+
+// HandleCTS is the sender pump: splice (or write) the source vector into
+// the pipe, 64 KiB window by 64 KiB window.
+func (l *vmspliceLMT) HandleCTS(p *sim.Proc, t *nemesis.Transfer, info any) {
+	pp := info.(*kernel.Pipe)
+	core := t.SenderCore()
+	var off int64
+	for off < t.Size {
+		rest := t.SrcVec.Slice(off, t.Size-off)
+		if l.useWritev {
+			off += pp.Writev(p, core, rest)
+		} else {
+			off += pp.Vmsplice(p, core, rest)
+		}
+	}
+}
+
+// Recv is the receiver pump: readv into each destination region in turn.
+func (l *vmspliceLMT) Recv(p *sim.Proc, t *nemesis.Transfer, cookie any) {
+	pp := l.pipes[[2]int{t.SrcRank, t.DstRank}]
+	core := t.RecvCore()
+	for _, r := range t.DstVec {
+		var off int64
+		for off < r.Len {
+			off += pp.Readv(p, core, mem.Region{Buf: r.Buf, Off: r.Off + off, Len: r.Len - off})
+		}
+	}
+}

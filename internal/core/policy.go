@@ -1,0 +1,153 @@
+// Package core implements the paper's contribution: the Large Message
+// Transfer backends for Nemesis —
+//
+//   - the default shared-memory double-buffering transfer (two copies, both
+//     processes active, §2),
+//   - the vmsplice single-copy transfer through a kernel pipe (§3.1), with
+//     its two-copy writev variant used as a control in Figure 3,
+//   - the KNEM kernel-module transfer (§3.2) with synchronous, asynchronous
+//     (kernel thread) and I/OAT-offloaded modes (§3.3-3.4),
+//
+// together with the cache-aware policy of §3.5 that decides when to offload
+// copies to the DMA engine (the DMAmin threshold).
+package core
+
+import (
+	"fmt"
+
+	"knemesis/internal/knem"
+	"knemesis/internal/nemesis"
+	"knemesis/internal/sim"
+	"knemesis/internal/topo"
+)
+
+// Kind selects an LMT backend.
+type Kind int
+
+// Backends, in the order the paper's tables list them.
+const (
+	DefaultLMT Kind = iota // shared-memory double-buffering
+	VmspliceLMT
+	VmspliceWritevLMT // vmsplice backend forced to use writev (Fig. 3)
+	KnemLMT
+)
+
+// String names the backend as in the paper's tables.
+func (k Kind) String() string {
+	switch k {
+	case DefaultLMT:
+		return "default"
+	case VmspliceLMT:
+		return "vmsplice"
+	case VmspliceWritevLMT:
+		return "vmsplice-writev"
+	case KnemLMT:
+		return "knem"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// IOATPolicy controls DMA offload for the KNEM backend.
+type IOATPolicy int
+
+// Offload policies.
+const (
+	// IOATOff never offloads ("KNEM kernel copy" in Table 1).
+	IOATOff IOATPolicy = iota
+	// IOATAlways offloads every transfer (the "KNEM LMT with I/OAT"
+	// curves in Figs. 4, 5, 7).
+	IOATAlways
+	// IOATAuto applies the paper's §3.5 dynamic threshold: offload when
+	// the message size reaches DMAmin = cache/(2 x processes using it).
+	IOATAuto
+)
+
+// Options configures the LMT factory.
+type Options struct {
+	Kind Kind
+
+	// IOAT selects the offload policy for KnemLMT.
+	IOAT IOATPolicy
+
+	// ForceKnemMode pins a specific KNEM receive mode, overriding IOAT —
+	// how Figure 6 compares synchronous vs asynchronous modes.
+	ForceKnemMode *knem.Mode
+
+	// BusyPollQuantum is the CPU slice consumed per completion poll of an
+	// asynchronous KNEM receive. The polling models Nemesis' spinning
+	// progress engine and is what makes the kernel-thread asynchronous
+	// mode compete with the user process (§4.3). Default 2us.
+	BusyPollQuantum sim.Time
+
+	// CollectiveAware enables the paper's §6 future-work policy: when the
+	// upper layer announces that multiple large transfers run in parallel
+	// (a collective), the IOATAuto threshold divides by the number of
+	// concurrent transfers pressuring the cache — which is why the paper
+	// measured I/OAT paying off from ~200 KiB in the 8-process Alltoall
+	// instead of the predicted 1 MiB (§4.4).
+	CollectiveAware bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.BusyPollQuantum == 0 {
+		o.BusyPollQuantum = 2 * sim.Microsecond
+	}
+	return o
+}
+
+// Label renders the configuration for experiment tables.
+func (o Options) Label() string {
+	s := o.Kind.String()
+	if o.Kind == KnemLMT {
+		if o.ForceKnemMode != nil {
+			return s + "/" + o.ForceKnemMode.String()
+		}
+		switch o.IOAT {
+		case IOATAlways:
+			s += "+ioat"
+		case IOATAuto:
+			s += "+ioat-auto"
+		}
+	}
+	return s
+}
+
+// Factory returns a channel LMT constructor for the options; pass it in
+// nemesis.Config.LMT.
+func Factory(opt Options) func(*nemesis.Channel) nemesis.LMT {
+	opt = opt.withDefaults()
+	return func(ch *nemesis.Channel) nemesis.LMT {
+		switch opt.Kind {
+		case DefaultLMT:
+			return newShmLMT(ch)
+		case VmspliceLMT:
+			return newVmspliceLMT(ch, false)
+		case VmspliceWritevLMT:
+			return newVmspliceLMT(ch, true)
+		case KnemLMT:
+			if ch.KNEM == nil {
+				panic("core: KnemLMT requires a loaded KNEM module")
+			}
+			if opt.ForceKnemMode == nil && opt.IOAT != IOATOff && !ch.KNEM.HasIOAT() {
+				panic("core: I/OAT policy requires DMA hardware")
+			}
+			return newKnemLMT(ch, opt)
+		default:
+			panic("core: unknown LMT kind")
+		}
+	}
+}
+
+// DMAMinFor computes the §3.5 threshold for a transfer into recvCore, given
+// the actual placement of the channel's ranks: the processes competing for
+// the receiver's cache are the ranks whose cores share its L2.
+func DMAMinFor(m *topo.Machine, cores []topo.CoreID, recvCore topo.CoreID) int64 {
+	procs := 0
+	for _, c := range cores {
+		if m.SharedCache(c, recvCore) {
+			procs++
+		}
+	}
+	return m.DMAMin(procs)
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"knemesis/internal/hw"
+	"knemesis/internal/ioat"
+	"knemesis/internal/kernel"
+	"knemesis/internal/knem"
+	"knemesis/internal/nemesis"
+	"knemesis/internal/topo"
+)
+
+// Stack is a fully wired simulated node: hardware, OS, DMA engine, KNEM
+// module and a Nemesis channel with the configured LMT backend. It is the
+// entry point used by the MPI layer, benchmarks and tests.
+type Stack struct {
+	M    *hw.Machine
+	OS   *kernel.OS
+	DMA  *ioat.Engine
+	KNEM *knem.Module
+	Ch   *nemesis.Channel
+	Opt  Options
+}
+
+// NewStack builds a stack on machine t with one rank per entry of cores.
+func NewStack(t *topo.Machine, cores []topo.CoreID, opt Options, chCfg nemesis.Config) *Stack {
+	m := hw.New(t)
+	os := kernel.New(m)
+	dma := ioat.NewEngine(m)
+	km := knem.Load(os, dma)
+	chCfg.LMT = Factory(opt)
+	ch := nemesis.NewChannel(m, os, dma, km, cores, chCfg)
+	return &Stack{M: m, OS: os, DMA: dma, KNEM: km, Ch: ch, Opt: opt}
+}
+
+// StandardOptions returns the four LMT configurations of the paper's tables
+// (default, vmsplice, KNEM kernel copy, KNEM with auto I/OAT), in order.
+func StandardOptions() []Options {
+	return []Options{
+		{Kind: DefaultLMT},
+		{Kind: VmspliceLMT},
+		{Kind: KnemLMT, IOAT: IOATOff},
+		{Kind: KnemLMT, IOAT: IOATAuto},
+	}
+}

@@ -1,0 +1,75 @@
+// Package counters provides ordered named counters and snapshot deltas,
+// playing the role PAPI plays in the paper's evaluation (§4.5): experiment
+// harnesses snapshot counters around a measured region and report the
+// difference.
+package counters
+
+import "sort"
+
+// Registry holds named int64 counters.
+type Registry struct {
+	vals  map[string]int64
+	order []string
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{vals: make(map[string]int64)}
+}
+
+// Add increments name by delta, creating the counter on first use.
+func (r *Registry) Add(name string, delta int64) {
+	if _, ok := r.vals[name]; !ok {
+		r.order = append(r.order, name)
+	}
+	r.vals[name] += delta
+}
+
+// Set stores an absolute value.
+func (r *Registry) Set(name string, v int64) {
+	if _, ok := r.vals[name]; !ok {
+		r.order = append(r.order, name)
+	}
+	r.vals[name] = v
+}
+
+// Get returns the current value (0 if absent).
+func (r *Registry) Get(name string) int64 { return r.vals[name] }
+
+// Names returns counter names in first-use order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Snapshot copies all values.
+func (r *Registry) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(r.vals))
+	for k, v := range r.vals {
+		out[k] = v
+	}
+	return out
+}
+
+// Delta returns current values minus the snapshot, including counters
+// created after the snapshot. Keys are sorted for deterministic reports.
+func (r *Registry) Delta(snap map[string]int64) map[string]int64 {
+	out := make(map[string]int64)
+	for k, v := range r.vals {
+		if d := v - snap[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	return out
+}
+
+// SortedKeys returns the sorted keys of a delta map.
+func SortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,71 @@
+package counters
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddGetSet(t *testing.T) {
+	r := New()
+	r.Add("a", 5)
+	r.Add("a", 3)
+	r.Set("b", 10)
+	if r.Get("a") != 8 || r.Get("b") != 10 || r.Get("missing") != 0 {
+		t.Fatalf("values wrong: a=%d b=%d", r.Get("a"), r.Get("b"))
+	}
+}
+
+func TestNamesFirstUseOrder(t *testing.T) {
+	r := New()
+	r.Add("z", 1)
+	r.Add("a", 1)
+	r.Add("z", 1) // no duplicate entry
+	names := r.Names()
+	if len(names) != 2 || names[0] != "z" || names[1] != "a" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := New()
+	r.Add("x", 100)
+	snap := r.Snapshot()
+	r.Add("x", 7)
+	r.Add("y", 3) // created after the snapshot
+	d := r.Delta(snap)
+	if d["x"] != 7 || d["y"] != 3 || len(d) != 2 {
+		t.Fatalf("delta = %v", d)
+	}
+	keys := SortedKeys(d)
+	if keys[0] != "x" || keys[1] != "y" {
+		t.Fatalf("sorted keys = %v", keys)
+	}
+}
+
+// Property: for any sequence of adds, Delta(snapshot-before) equals the sum
+// of adds after the snapshot, and zero-delta counters are omitted.
+func TestDeltaProperty(t *testing.T) {
+	prop := func(before, after []int8) bool {
+		r := New()
+		var wantBefore int64
+		for _, v := range before {
+			r.Add("c", int64(v))
+			wantBefore += int64(v)
+		}
+		snap := r.Snapshot()
+		var wantAfter int64
+		for _, v := range after {
+			r.Add("c", int64(v))
+			wantAfter += int64(v)
+		}
+		d := r.Delta(snap)
+		if wantAfter == 0 {
+			_, present := d["c"]
+			return !present
+		}
+		return d["c"] == wantAfter
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

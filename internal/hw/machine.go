@@ -1,0 +1,255 @@
+// Package hw assembles a runnable simulated machine from a topology
+// description: per-core CPU time (processor-sharing, so kernel threads
+// compete with user processes), per-domain L2 caches with MESI-lite
+// coherence, a shared memory/FSB bus modelled as a fluid bandwidth
+// resource, and the address-space world.
+//
+// It is the single place where cache traffic is converted into simulated
+// time; every higher layer (kernel, KNEM, Nemesis, MPI) expresses its data
+// movement through the operations in this package.
+package hw
+
+import (
+	"fmt"
+
+	"knemesis/internal/cache"
+	"knemesis/internal/mem"
+	"knemesis/internal/sim"
+	"knemesis/internal/topo"
+)
+
+// Machine is the runtime hardware state for one simulation.
+type Machine struct {
+	Topo *topo.Machine
+	Eng  *sim.Engine
+	Mem  *mem.World
+
+	// Bus is the shared memory/front-side bus in bytes/second. Cache
+	// fills, writebacks, coherence transfers and DMA all flow through it.
+	Bus *sim.Fluid
+
+	// Cores index by topo.CoreID; each has a processor-sharing CPU fluid.
+	Cores []*Core
+
+	// L2s index by L2 domain.
+	L2s []*cache.Cache
+
+	coreL2 []int // core -> L2 domain index
+}
+
+// Core is one CPU core's runtime state.
+type Core struct {
+	ID  topo.CoreID
+	CPU *sim.Fluid // capacity 1.0 cpu-second per second
+	m   *Machine
+}
+
+// New builds a machine runtime on a fresh simulation engine.
+func New(t *topo.Machine) *Machine {
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	eng := sim.NewEngine()
+	m := &Machine{
+		Topo: t,
+		Eng:  eng,
+		Mem:  mem.NewWorld(t.Params.PageBytes),
+		Bus:  sim.NewFluid(eng, "bus", t.Params.BusBandwidth),
+	}
+	for i := 0; i < t.Cores; i++ {
+		m.Cores = append(m.Cores, &Core{
+			ID:  topo.CoreID(i),
+			CPU: sim.NewFluid(eng, fmt.Sprintf("core%d", i), 1.0),
+			m:   m,
+		})
+	}
+	for d := range t.L2Domains {
+		m.L2s = append(m.L2s, cache.New(
+			fmt.Sprintf("L2.%d", d), t.L2SizeBytes, t.Params.BlockBytes, t.L2Assoc))
+	}
+	m.coreL2 = make([]int, t.Cores)
+	for i := 0; i < t.Cores; i++ {
+		m.coreL2[i] = t.L2Of(topo.CoreID(i))
+	}
+	return m
+}
+
+// Core returns the runtime core for id.
+func (m *Machine) Core(id topo.CoreID) *Core { return m.Cores[id] }
+
+// L2OfCore returns the L2 cache used by core id.
+func (m *Machine) L2OfCore(id topo.CoreID) *cache.Cache { return m.L2s[m.coreL2[id]] }
+
+// Params is shorthand for the topology's cost parameters.
+func (m *Machine) Params() *topo.Params { return &m.Topo.Params }
+
+// TotalL2Stats sums the statistics of all L2 caches.
+func (m *Machine) TotalL2Stats() cache.Stats {
+	var s cache.Stats
+	for _, c := range m.L2s {
+		s.Add(c.Stats())
+	}
+	return s
+}
+
+// L2MissLines reports total machine L2 misses in hardware-line equivalents
+// (the unit of the paper's Table 2).
+func (m *Machine) L2MissLines() int64 {
+	return m.TotalL2Stats().MissesInLines(m.Topo.Params.LineBytes)
+}
+
+// FlushCaches invalidates every cache (used between experiment repetitions
+// that must not share warm state).
+func (m *Machine) FlushCaches() {
+	for _, c := range m.L2s {
+		c.Flush()
+	}
+}
+
+// Busy charges d of CPU time to the core under processor sharing: if other
+// contexts (e.g. a KNEM kernel thread) are runnable on the same core, wall
+// time stretches accordingly.
+func (c *Core) Busy(p *sim.Proc, d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	c.CPU.Consume(p, d.Seconds())
+}
+
+// Utilization summarises resource usage over the elapsed simulated time.
+type Utilization struct {
+	Elapsed        sim.Time
+	BusBytesServed float64
+	BusUtilization float64   // fraction of bus capacity used
+	CoreBusySec    []float64 // CPU-seconds consumed per core
+}
+
+// UtilizationReport snapshots bus and per-core usage (diagnostics for the
+// CLIs and tests; the paper's CPU-utilization argument in one struct).
+func (m *Machine) UtilizationReport() Utilization {
+	u := Utilization{
+		Elapsed:        m.Eng.Now(),
+		BusBytesServed: m.Bus.Served,
+	}
+	if secs := u.Elapsed.Seconds(); secs > 0 {
+		u.BusUtilization = m.Bus.Served / (m.Topo.Params.BusBandwidth * secs)
+	}
+	for _, c := range m.Cores {
+		u.CoreBusySec = append(u.CoreBusySec, c.CPU.Served)
+	}
+	return u
+}
+
+// Traffic summarises the memory-system activity of one bulk operation.
+type Traffic struct {
+	Bytes          int64 // payload bytes processed
+	SrcMissBytes   int64 // source bytes that missed the local L2
+	DstMissBytes   int64 // destination bytes that missed the local L2
+	DirtyMissBytes int64 // missed bytes serviced by a remote modified line
+	BusBytes       int64 // bytes pushed over the shared bus
+	CPUSeconds     float64
+}
+
+// Add accumulates other into t.
+func (t *Traffic) Add(other Traffic) {
+	t.Bytes += other.Bytes
+	t.SrcMissBytes += other.SrcMissBytes
+	t.DstMissBytes += other.DstMissBytes
+	t.DirtyMissBytes += other.DirtyMissBytes
+	t.BusBytes += other.BusBytes
+	t.CPUSeconds += other.CPUSeconds
+}
+
+// accessBlock performs one coherent block access by a core and returns the
+// bus bytes it generated, whether it hit in the local L2, and whether a
+// remote modified copy had to service it.
+func (m *Machine) accessBlock(coreID topo.CoreID, block uint64, write bool) (busBytes int64, hit, dirtyRemote bool) {
+	p := &m.Topo.Params
+	local := m.coreL2[coreID]
+	l2 := m.L2s[local]
+
+	if write {
+		// Invalidate all other copies; a dirty remote copy must be
+		// transferred first (snoop-forced writeback).
+		for d, c := range m.L2s {
+			if d == local {
+				continue
+			}
+			if present, wasDirty := c.Invalidate(block); present && wasDirty {
+				dirtyRemote = true
+			}
+		}
+	} else {
+		// A dirty remote copy services the read (after writeback);
+		// downgrade it to clean.
+		for d, c := range m.L2s {
+			if d == local {
+				continue
+			}
+			if c.ContainsDirty(block) {
+				c.Downgrade(block)
+				dirtyRemote = true
+			}
+		}
+	}
+
+	res := l2.Access(block, write)
+	if res.Hit {
+		if dirtyRemote {
+			// Rare: stale hit with remote dirty copy; count transfer.
+			busBytes += int64(float64(p.BlockBytes) * p.DirtyTransferFactor)
+		}
+		return busBytes, true, dirtyRemote
+	}
+
+	fill := p.BlockBytes
+	if dirtyRemote {
+		// Modified-line transfer over the FSB costs extra.
+		fill = int64(float64(p.BlockBytes) * p.DirtyTransferFactor)
+	}
+	busBytes += fill
+	if res.EvictedDirty {
+		busBytes += p.BlockBytes
+	}
+	return busBytes, false, dirtyRemote
+}
+
+// classifyRange runs the coherence/cache state machine over [addr, addr+n)
+// for a core, returning bus bytes, missed payload bytes, and the subset of
+// missed bytes serviced by remote modified lines. It does not advance
+// simulated time.
+func (m *Machine) classifyRange(coreID topo.CoreID, addr uint64, n int64, write bool) (busBytes, missBytes, dirtyMissBytes int64) {
+	if n <= 0 {
+		return 0, 0, 0
+	}
+	bs := uint64(m.Topo.Params.BlockBytes)
+	first := addr / bs
+	last := (addr + uint64(n) - 1) / bs
+	for b := first; b <= last; b++ {
+		bb, hit, dirtyRemote := m.accessBlock(coreID, b, write)
+		busBytes += bb
+		if !hit {
+			lo := b * bs
+			hi := lo + bs
+			if lo < addr {
+				lo = addr
+			}
+			if hi > addr+uint64(n) {
+				hi = addr + uint64(n)
+			}
+			missBytes += int64(hi - lo)
+			if dirtyRemote {
+				dirtyMissBytes += int64(hi - lo)
+			}
+		}
+	}
+	return busBytes, missBytes, dirtyMissBytes
+}
+
+// missStallPerByte converts missed bytes into extra CPU seconds such that a
+// copy missing everywhere runs at CPUCopyStreamBps. Store misses stall the
+// pipeline about half as much as load misses (store buffers), hence the
+// weighting used by CopyRange.
+func missStallPerByte(p *topo.Params) float64 {
+	return (1/p.CPUCopyStreamBps - 1/p.CPUCopyCachedBps) / 1.5
+}

@@ -1,0 +1,103 @@
+package imb
+
+import (
+	"fmt"
+
+	"knemesis/internal/core"
+	"knemesis/internal/mem"
+	"knemesis/internal/mpi"
+	"knemesis/internal/sim"
+	"knemesis/internal/units"
+)
+
+// Bcast measures a binomial broadcast from rank 0 across message sizes
+// (the paper notes "similar behavior for several operations" beyond the
+// Alltoall it shows; these sweeps cover two more).
+func Bcast(st *core.Stack, sizes []int64) (Result, error) {
+	res := Result{Bench: "Bcast", Label: st.Ch.LMTName()}
+	w := mpi.NewWorld(st)
+	if w.Size < 2 {
+		return Result{}, fmt.Errorf("imb: Bcast needs >= 2 ranks")
+	}
+	maxSize := sizes[len(sizes)-1]
+	var durs []sim.Time
+	var missStart, missEnd []int64
+
+	_, err := w.Run(func(c *mpi.Comm) {
+		buf := c.Alloc(maxSize)
+		if c.Rank() == 0 {
+			buf.FillPattern(7)
+		}
+		for _, size := range sizes {
+			iters := Iterations(size)
+			vec := mem.IOVec{{Buf: buf, Off: 0, Len: size}}
+			c.Barrier()
+			if c.Rank() == 0 {
+				missStart = append(missStart, st.M.L2MissLines())
+			}
+			t0 := c.Now()
+			for i := 0; i < iters; i++ {
+				c.Bcast(0, vec)
+			}
+			c.Barrier()
+			if c.Rank() == 0 {
+				durs = append(durs, (c.Now()-t0)/sim.Time(iters))
+				missEnd = append(missEnd, st.M.L2MissLines())
+			}
+		}
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, size := range sizes {
+		iters := Iterations(size)
+		// Aggregated: every non-root rank receives size bytes.
+		moved := size * int64(w.Size-1)
+		res.Points = append(res.Points, Point{
+			Size:       size,
+			Time:       durs[i],
+			Throughput: units.MiBps(moved, durs[i].Seconds()),
+			L2Misses:   (missEnd[i] - missStart[i]) / int64(iters),
+		})
+	}
+	return res, nil
+}
+
+// Allreduce measures a summing allreduce across vector sizes.
+func Allreduce(st *core.Stack, sizes []int64) (Result, error) {
+	res := Result{Bench: "Allreduce", Label: st.Ch.LMTName()}
+	w := mpi.NewWorld(st)
+	if w.Size < 2 {
+		return Result{}, fmt.Errorf("imb: Allreduce needs >= 2 ranks")
+	}
+	maxSize := sizes[len(sizes)-1]
+	var durs []sim.Time
+
+	_, err := w.Run(func(c *mpi.Comm) {
+		buf := c.Alloc(maxSize)
+		for _, size := range sizes {
+			iters := Iterations(size)
+			work := buf.Slice(0, size)
+			c.Barrier()
+			t0 := c.Now()
+			for i := 0; i < iters; i++ {
+				c.Allreduce(work, mpi.SumFloat64)
+			}
+			c.Barrier()
+			if c.Rank() == 0 {
+				durs = append(durs, (c.Now()-t0)/sim.Time(iters))
+			}
+		}
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, size := range sizes {
+		res.Points = append(res.Points, Point{
+			Size:       size,
+			Time:       durs[i],
+			Throughput: units.MiBps(size, durs[i].Seconds()),
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,57 @@
+package imb
+
+import (
+	"testing"
+
+	"knemesis/internal/core"
+	"knemesis/internal/nemesis"
+	"knemesis/internal/topo"
+	"knemesis/internal/units"
+)
+
+func TestBcastSweep(t *testing.T) {
+	m := topo.XeonE5345()
+	st := core.NewStack(m, m.AllCores(), core.Options{Kind: core.KnemLMT}, nemesis.Config{})
+	res, err := Bcast(st, []int64{32 * units.KiB, 256 * units.KiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range res.Points {
+		if pt.Time <= 0 || pt.Throughput <= 0 {
+			t.Fatalf("degenerate point %+v", pt)
+		}
+	}
+}
+
+func TestBcastKnemBeatsDefaultLargeMessages(t *testing.T) {
+	m := topo.XeonE5345()
+	sizes := []int64{512 * units.KiB}
+	run := func(opt core.Options) float64 {
+		st := core.NewStack(m, m.AllCores(), opt, nemesis.Config{})
+		res, err := Bcast(st, sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Points[0].Throughput
+	}
+	def := run(core.Options{Kind: core.DefaultLMT})
+	knm := run(core.Options{Kind: core.KnemLMT, IOAT: core.IOATOff})
+	if knm <= def {
+		t.Fatalf("bcast 512KiB: knem (%.0f) should beat default (%.0f)", knm, def)
+	}
+}
+
+func TestAllreduceSweep(t *testing.T) {
+	m := topo.XeonE5345()
+	st := core.NewStack(m, m.AllCores()[:4], core.Options{Kind: core.DefaultLMT}, nemesis.Config{})
+	res, err := Allreduce(st, []int64{4 * units.KiB, 64 * units.KiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	if res.Points[0].Time >= res.Points[1].Time {
+		t.Fatal("allreduce of 4KiB should be faster than 64KiB")
+	}
+}

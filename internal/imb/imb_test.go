@@ -1,0 +1,81 @@
+package imb
+
+import (
+	"testing"
+
+	"knemesis/internal/core"
+	"knemesis/internal/nemesis"
+	"knemesis/internal/topo"
+	"knemesis/internal/units"
+)
+
+func TestIterationsPolicy(t *testing.T) {
+	if Iterations(4*units.KiB) < Iterations(4*units.MiB) {
+		t.Fatal("small sizes should repeat at least as often as large ones")
+	}
+	for _, s := range []int64{1, 64 * units.KiB, 4 * units.MiB} {
+		if Iterations(s) < 1 {
+			t.Fatalf("Iterations(%d) < 1", s)
+		}
+	}
+}
+
+func TestPingPongMonotoneThroughput(t *testing.T) {
+	m := topo.XeonE5345()
+	c0, c1 := m.PairSharedCache()
+	st := core.NewStack(m, []topo.CoreID{c0, c1}, core.Options{Kind: core.KnemLMT}, nemesis.Config{})
+	res, err := PingPong(st, []int64{128 * units.KiB, 512 * units.KiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.Throughput <= 0 || pt.Time <= 0 {
+			t.Fatalf("degenerate point %+v", pt)
+		}
+	}
+	// Rendezvous overheads amortize with size: larger message => higher
+	// throughput in this warm regime.
+	if res.Points[1].Throughput < res.Points[0].Throughput {
+		t.Fatalf("throughput fell with size: %v", res.Points)
+	}
+}
+
+func TestPingPongNeedsTwoRanks(t *testing.T) {
+	m := topo.XeonE5345()
+	st := core.NewStack(m, []topo.CoreID{0}, core.Options{Kind: core.DefaultLMT}, nemesis.Config{})
+	if _, err := PingPong(st, []int64{64 * units.KiB}); err == nil {
+		t.Fatal("single-rank PingPong should fail")
+	}
+}
+
+func TestAlltoallAggregatedThroughput(t *testing.T) {
+	m := topo.XeonE5345()
+	st := core.NewStack(m, m.AllCores()[:4], core.Options{Kind: core.DefaultLMT}, nemesis.Config{})
+	res, err := Alltoall(st, []int64{32 * units.KiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := res.Points[0]
+	// Aggregated throughput counts P*(P-1)*size bytes per operation.
+	moved := int64(4*3) * 32 * units.KiB
+	want := units.MiBps(moved, pt.Time.Seconds())
+	if diff := pt.Throughput - want; diff > 1 || diff < -1 {
+		t.Fatalf("aggregated throughput %f, want %f", pt.Throughput, want)
+	}
+}
+
+func TestLabelsCarryBackend(t *testing.T) {
+	m := topo.XeonE5345()
+	c0, c1 := m.PairSharedCache()
+	st := core.NewStack(m, []topo.CoreID{c0, c1}, core.Options{Kind: core.VmspliceLMT}, nemesis.Config{})
+	res, err := PingPong(st, []int64{64 * units.KiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Label != "vmsplice" {
+		t.Fatalf("label = %q", res.Label)
+	}
+}

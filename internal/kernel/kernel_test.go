@@ -1,0 +1,228 @@
+package kernel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"knemesis/internal/hw"
+	"knemesis/internal/mem"
+	"knemesis/internal/sim"
+	"knemesis/internal/topo"
+	"knemesis/internal/units"
+)
+
+func newOS() *OS { return New(hw.New(topo.XeonE5345())) }
+
+func TestSyscallCost(t *testing.T) {
+	os := newOS()
+	os.M.Eng.Spawn("p", func(p *sim.Proc) {
+		t0 := p.Now()
+		os.SyscallEnter(p, 0)
+		if d := p.Now() - t0; d < os.M.Params().SyscallCost {
+			t.Errorf("syscall took %v, want >= %v", d, os.M.Params().SyscallCost)
+		}
+	})
+	if err := os.M.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if os.Syscalls != 1 {
+		t.Fatalf("syscall count = %d", os.Syscalls)
+	}
+}
+
+func TestPinCountsPages(t *testing.T) {
+	os := newOS()
+	buf := os.M.Mem.NewSpace("u").Alloc(64 * units.KiB)
+	os.M.Eng.Spawn("p", func(p *sim.Proc) {
+		pages := os.Pin(p, 0, mem.VecOf(buf))
+		if pages != 16 {
+			t.Errorf("pinned %d pages, want 16", pages)
+		}
+	})
+	if err := os.M.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipeVmspliceReadvSingleCopy(t *testing.T) {
+	os := newOS()
+	usender := os.M.Mem.NewSpace("sender")
+	urecv := os.M.Mem.NewSpace("recv")
+	src := usender.Alloc(256 * units.KiB)
+	dst := urecv.Alloc(256 * units.KiB)
+	src.FillPattern(9)
+	pipe := os.NewPipe("t")
+
+	os.M.Eng.Spawn("sender", func(p *sim.Proc) {
+		var off int64
+		for off < src.Len() {
+			off += pipe.Vmsplice(p, 0, mem.IOVec{{Buf: src, Off: off, Len: src.Len() - off}})
+		}
+	})
+	os.M.Eng.Spawn("receiver", func(p *sim.Proc) {
+		var off int64
+		for off < dst.Len() {
+			off += pipe.Readv(p, 2, mem.Region{Buf: dst, Off: off, Len: dst.Len() - off})
+		}
+	})
+	if err := os.M.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !mem.EqualBytes(src, dst) {
+		t.Fatal("vmsplice+readv corrupted payload")
+	}
+	if pipe.BytesSpliced != src.Len() || pipe.BytesRead != src.Len() {
+		t.Fatalf("splice/read accounting: %d/%d", pipe.BytesSpliced, pipe.BytesRead)
+	}
+}
+
+func TestPipeWindowIs64KiB(t *testing.T) {
+	os := newOS()
+	u := os.M.Mem.NewSpace("u")
+	src := u.Alloc(1 * units.MiB)
+	pipe := os.NewPipe("t")
+	os.M.Eng.Spawn("sender", func(p *sim.Proc) {
+		n := pipe.Vmsplice(p, 0, mem.VecOf(src))
+		// 16 pages x 4 KiB: one call can attach at most 64 KiB.
+		if n != 64*units.KiB {
+			t.Errorf("single vmsplice attached %d, want 64KiB", n)
+		}
+		// The pipe is now full; a second call must block until a reader
+		// drains it — verified by deadlock detection if we tried.
+		if pipe.Buffered() != 64*units.KiB {
+			t.Errorf("buffered = %d", pipe.Buffered())
+		}
+	})
+	if err := os.M.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipeWritevTwoCopies(t *testing.T) {
+	os := newOS()
+	src := os.M.Mem.NewSpace("s").Alloc(128 * units.KiB)
+	dst := os.M.Mem.NewSpace("r").Alloc(128 * units.KiB)
+	src.FillPattern(11)
+	pipe := os.NewPipe("t")
+	os.M.Eng.Spawn("sender", func(p *sim.Proc) {
+		var off int64
+		for off < src.Len() {
+			off += pipe.Writev(p, 0, mem.IOVec{{Buf: src, Off: off, Len: src.Len() - off}})
+		}
+	})
+	os.M.Eng.Spawn("receiver", func(p *sim.Proc) {
+		var off int64
+		for off < dst.Len() {
+			off += pipe.Readv(p, 2, mem.Region{Buf: dst, Off: off, Len: dst.Len() - off})
+		}
+	})
+	if err := os.M.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !mem.EqualBytes(src, dst) {
+		t.Fatal("writev+readv corrupted payload")
+	}
+}
+
+func TestVmspliceFasterThanWritevCrossDie(t *testing.T) {
+	// The single-copy path must beat the two-copy path when no cache is
+	// shared — the core claim of Figure 3.
+	run := func(useVmsplice bool) sim.Time {
+		os := newOS()
+		src := os.M.Mem.NewSpace("s").Alloc(1 * units.MiB)
+		dst := os.M.Mem.NewSpace("r").Alloc(1 * units.MiB)
+		pipe := os.NewPipe("t")
+		os.M.Eng.Spawn("sender", func(p *sim.Proc) {
+			var off int64
+			for off < src.Len() {
+				v := mem.IOVec{{Buf: src, Off: off, Len: src.Len() - off}}
+				if useVmsplice {
+					off += pipe.Vmsplice(p, 0, v)
+				} else {
+					off += pipe.Writev(p, 0, v)
+				}
+			}
+		})
+		os.M.Eng.Spawn("receiver", func(p *sim.Proc) {
+			var off int64
+			for off < dst.Len() {
+				off += pipe.Readv(p, 2, mem.Region{Buf: dst, Off: off, Len: dst.Len() - off})
+			}
+		})
+		if err := os.M.Eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return os.M.Eng.Now()
+	}
+	tSplice := run(true)
+	tWritev := run(false)
+	if float64(tWritev) < 1.2*float64(tSplice) {
+		t.Fatalf("writev (%v) should be well slower than vmsplice (%v)", tWritev, tSplice)
+	}
+}
+
+// Property: arbitrary interleavings of chunk sizes through the pipe always
+// deliver the exact byte stream, and page accounting returns to zero.
+func TestPipeStreamIntegrityProperty(t *testing.T) {
+	prop := func(sizeRaw uint32, readChunkRaw uint16, useWritev bool) bool {
+		size := int64(sizeRaw%(512*1024)) + 1
+		readChunk := int64(readChunkRaw%32768) + 1
+		os := newOS()
+		src := os.M.Mem.NewSpace("s").Alloc(size)
+		dst := os.M.Mem.NewSpace("r").Alloc(size)
+		src.FillPattern(uint64(sizeRaw) * 31)
+		pipe := os.NewPipe("t")
+		os.M.Eng.Spawn("sender", func(p *sim.Proc) {
+			var off int64
+			for off < size {
+				v := mem.IOVec{{Buf: src, Off: off, Len: size - off}}
+				if useWritev {
+					off += pipe.Writev(p, 0, v)
+				} else {
+					off += pipe.Vmsplice(p, 0, v)
+				}
+			}
+		})
+		os.M.Eng.Spawn("receiver", func(p *sim.Proc) {
+			var off int64
+			for off < size {
+				n := readChunk
+				if n > size-off {
+					n = size - off
+				}
+				off += pipe.Readv(p, 2, mem.Region{Buf: dst, Off: off, Len: n})
+			}
+		})
+		if err := os.M.Eng.Run(); err != nil {
+			return false
+		}
+		return mem.EqualBytes(src, dst) && pipe.Buffered() == 0 && pipe.usedPages == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKThreadRunsJobs(t *testing.T) {
+	os := newOS()
+	kt := os.SpawnKThread(1, "worker")
+	ran := false
+	os.M.Eng.Spawn("user", func(p *sim.Proc) {
+		done := sim.NewCond(os.M.Eng, "done")
+		kt.Submit(p, 0, os, func(kp *sim.Proc) {
+			os.M.LocalDelay(kp, 1, sim.Microsecond)
+			ran = true
+			done.Broadcast()
+		})
+		for !ran {
+			done.Wait(p)
+		}
+		kt.Stop()
+	})
+	if err := os.M.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("kthread job never ran")
+	}
+}

@@ -1,0 +1,216 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocDistinctAddresses(t *testing.T) {
+	w := NewWorld(4096)
+	s1 := w.NewSpace("p0")
+	s2 := w.NewSpace("p1")
+	a := s1.Alloc(100)
+	b := s1.Alloc(100)
+	c := s2.Alloc(100)
+	if a.Addr() == b.Addr() {
+		t.Fatal("two allocations share an address")
+	}
+	if b.Addr()-a.Addr() < 4096 {
+		t.Fatal("allocations not page-separated")
+	}
+	if a.Addr()/(1<<40) == c.Addr()/(1<<40) {
+		t.Fatal("different spaces share an address region")
+	}
+}
+
+func TestAllocPageAligned(t *testing.T) {
+	w := NewWorld(4096)
+	s := w.NewSpace("p")
+	for _, n := range []int64{1, 4095, 4096, 4097, 1 << 20} {
+		b := s.Alloc(n)
+		if b.Addr()%4096 != 0 {
+			t.Fatalf("Alloc(%d) addr %#x not page aligned", n, b.Addr())
+		}
+		if b.Len() != n || int64(len(b.Bytes())) != n {
+			t.Fatalf("Alloc(%d) wrong length", n)
+		}
+	}
+}
+
+func TestSliceSharesBacking(t *testing.T) {
+	w := NewWorld(4096)
+	b := w.NewSpace("p").Alloc(256)
+	sub := b.Slice(64, 32)
+	if sub.Addr() != b.Addr()+64 || sub.Len() != 32 {
+		t.Fatalf("slice addr/len wrong: %#x/%d", sub.Addr(), sub.Len())
+	}
+	sub.Bytes()[0] = 0xAB
+	if b.Bytes()[64] != 0xAB {
+		t.Fatal("slice does not share backing")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range slice should panic")
+		}
+	}()
+	b.Slice(250, 10)
+}
+
+func TestFillPatternDeterministicAndDistinct(t *testing.T) {
+	w := NewWorld(4096)
+	a := w.NewSpace("p").Alloc(1024)
+	b := w.NewSpace("q").Alloc(1024)
+	a.FillPattern(7)
+	b.FillPattern(7)
+	if !EqualBytes(a, b) {
+		t.Fatal("same seed should produce same pattern")
+	}
+	b.FillPattern(8)
+	if EqualBytes(a, b) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestPhysSegments(t *testing.T) {
+	w := NewWorld(4096)
+	s := w.NewSpace("p")
+	b := s.Alloc(64 * 1024)   // 16 pages
+	segs := b.PhysSegments(8) // 32 KiB runs
+	var total int64
+	for _, n := range segs {
+		if n <= 0 {
+			t.Fatalf("non-positive segment %d", n)
+		}
+		total += n
+	}
+	if total != b.Len() {
+		t.Fatalf("segments sum to %d, want %d", total, b.Len())
+	}
+	if len(segs) < 2 || len(segs) > 3 {
+		t.Fatalf("64KiB buffer over 32KiB runs should give 2-3 segments, got %d", len(segs))
+	}
+}
+
+// Property: physical segments always partition the buffer exactly, and each
+// segment except possibly the first and last is a full run.
+func TestPhysSegmentsPartitionProperty(t *testing.T) {
+	w := NewWorld(4096)
+	s := w.NewSpace("p")
+	prop := func(nRaw uint32, runRaw uint8) bool {
+		n := int64(nRaw%(1<<22)) + 1
+		run := int(runRaw%16) + 1
+		b := s.Alloc(n)
+		segs := b.PhysSegments(run)
+		var total int64
+		runBytes := int64(run) * 4096
+		for i, seg := range segs {
+			total += seg
+			if i > 0 && i < len(segs)-1 && seg != runBytes {
+				return false
+			}
+			if seg > runBytes {
+				return false
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyVecRoundTrip(t *testing.T) {
+	w := NewWorld(4096)
+	s := w.NewSpace("p")
+	src := s.Alloc(1000)
+	src.FillPattern(42)
+	dst := s.Alloc(1000)
+
+	// Mismatched region boundaries: src in 3 regions, dst in 4.
+	sv := IOVec{
+		{Buf: src, Off: 0, Len: 100},
+		{Buf: src, Off: 100, Len: 650},
+		{Buf: src, Off: 750, Len: 250},
+	}
+	dv := IOVec{
+		{Buf: dst, Off: 0, Len: 10},
+		{Buf: dst, Off: 10, Len: 500},
+		{Buf: dst, Off: 510, Len: 489},
+		{Buf: dst, Off: 999, Len: 1},
+	}
+	if err := sv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	CopyVec(dv, sv)
+	if !EqualBytes(src, dst) {
+		t.Fatal("CopyVec did not reproduce source bytes")
+	}
+}
+
+// Property: CopyVec over random splits of the same buffer pair always
+// reproduces the source exactly.
+func TestCopyVecSplitProperty(t *testing.T) {
+	w := NewWorld(4096)
+	s := w.NewSpace("p")
+	prop := func(sizeRaw uint16, cutsRaw [6]uint16, seed uint64) bool {
+		n := int64(sizeRaw%4096) + 1
+		src := s.Alloc(n)
+		src.FillPattern(seed)
+		dst := s.Alloc(n)
+		split := func(cuts []uint16) IOVec {
+			offs := []int64{0, n}
+			for _, c := range cuts {
+				offs = append(offs, int64(c)%n)
+			}
+			// insertion-sort the small slice
+			for i := 1; i < len(offs); i++ {
+				for j := i; j > 0 && offs[j] < offs[j-1]; j-- {
+					offs[j], offs[j-1] = offs[j-1], offs[j]
+				}
+			}
+			var v IOVec
+			for i := 0; i+1 < len(offs); i++ {
+				if l := offs[i+1] - offs[i]; l > 0 {
+					v = append(v, Region{Buf: src, Off: offs[i], Len: l})
+				}
+			}
+			return v
+		}
+		sv := split(cutsRaw[:3])
+		dv := IOVec{{Buf: dst, Off: 0, Len: n}}
+		CopyVec(dv, sv)
+		return EqualBytes(src, dst)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIOVecValidate(t *testing.T) {
+	w := NewWorld(4096)
+	b := w.NewSpace("p").Alloc(100)
+	bad := IOVec{{Buf: b, Off: 90, Len: 20}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("overflowing region validated")
+	}
+	if err := (IOVec{{Buf: nil, Off: 0, Len: 1}}).Validate(); err == nil {
+		t.Fatal("nil buffer validated")
+	}
+}
+
+func TestPages(t *testing.T) {
+	w := NewWorld(4096)
+	s := w.NewSpace("p")
+	if got := s.Alloc(1).Pages(); got != 1 {
+		t.Fatalf("1B buffer pages = %d, want 1", got)
+	}
+	if got := s.Alloc(4097).Pages(); got != 2 {
+		t.Fatalf("4097B buffer pages = %d, want 2", got)
+	}
+	if got := s.Alloc(0).Pages(); got != 0 {
+		t.Fatalf("0B buffer pages = %d, want 0", got)
+	}
+}

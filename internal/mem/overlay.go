@@ -1,0 +1,103 @@
+package mem
+
+// RegionPair is a matched (destination, source) pair of equal length,
+// produced by overlaying two scatter/gather lists.
+type RegionPair struct {
+	Dst, Src Region
+}
+
+// Overlay walks dst and src as one logical stream and emits matched
+// contiguous pairs no longer than maxChunk bytes (maxChunk <= 0 means
+// unlimited). Total lengths must match. This is how a kernel copy loop or a
+// DMA submission path linearizes vectorial (noncontiguous) buffers.
+func Overlay(dst, src IOVec, maxChunk int64) []RegionPair {
+	if dst.TotalLen() != src.TotalLen() {
+		panic("mem: Overlay length mismatch")
+	}
+	var out []RegionPair
+	di, si := 0, 0
+	var doff, soff int64
+	for di < len(dst) && si < len(src) {
+		d, s := dst[di], src[si]
+		n := d.Len - doff
+		if s.Len-soff < n {
+			n = s.Len - soff
+		}
+		if maxChunk > 0 && n > maxChunk {
+			n = maxChunk
+		}
+		if n > 0 {
+			out = append(out, RegionPair{
+				Dst: Region{Buf: d.Buf, Off: d.Off + doff, Len: n},
+				Src: Region{Buf: s.Buf, Off: s.Off + soff, Len: n},
+			})
+			doff += n
+			soff += n
+		}
+		if doff == d.Len {
+			di++
+			doff = 0
+		}
+		if soff == s.Len {
+			si++
+			soff = 0
+		}
+	}
+	return out
+}
+
+// Slice returns the sub-vector covering logical bytes [off, off+n) of v.
+func (v IOVec) Slice(off, n int64) IOVec {
+	if off < 0 || n < 0 || off+n > v.TotalLen() {
+		panic("mem: IOVec.Slice out of range")
+	}
+	var out IOVec
+	for _, r := range v {
+		if n <= 0 {
+			break
+		}
+		if off >= r.Len {
+			off -= r.Len
+			continue
+		}
+		take := r.Len - off
+		if take > n {
+			take = n
+		}
+		out = append(out, Region{Buf: r.Buf, Off: r.Off + off, Len: take})
+		off = 0
+		n -= take
+	}
+	return out
+}
+
+// PhysDescriptors returns the number of physically contiguous descriptor
+// pairs needed to express the pair for DMA hardware: the overlay of the
+// physical runs of both sides.
+func (rp RegionPair) PhysDescriptors(runPages int) int {
+	dstSegs := rp.Dst.Buf.Slice(rp.Dst.Off, rp.Dst.Len).PhysSegments(runPages)
+	srcSegs := rp.Src.Buf.Slice(rp.Src.Off, rp.Src.Len).PhysSegments(runPages)
+	// Two sorted partitions of the same length: the overlay has
+	// |dst|+|src|-1 pieces at most; count exactly by merging.
+	count := 0
+	i, j := 0, 0
+	var dRem, sRem int64
+	for i < len(dstSegs) || j < len(srcSegs) {
+		if dRem == 0 && i < len(dstSegs) {
+			dRem = dstSegs[i]
+			i++
+		}
+		if sRem == 0 && j < len(srcSegs) {
+			sRem = srcSegs[j]
+			j++
+		}
+		n := dRem
+		if sRem < n {
+			n = sRem
+		}
+		dRem -= n
+		sRem -= n
+		count++
+	}
+	return count
+}

@@ -1,0 +1,278 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"knemesis/internal/hw"
+	"math"
+
+	"knemesis/internal/mem"
+)
+
+// collTag returns a fresh tag for one collective operation. All ranks call
+// collectives in the same order (MPI requires this), so sequence numbers
+// agree across ranks.
+func (c *Comm) collTag(op int) int {
+	c.collSeq++
+	return collTagBase + op*(1<<16) + c.collSeq%(1<<16)
+}
+
+// Operation ids for collective tag spaces.
+const (
+	opBarrier = iota
+	opBcast
+	opReduce
+	opAllreduce
+	opAllgather
+	opAlltoall
+	opAlltoallv
+	opGather
+)
+
+// Barrier synchronizes all ranks (dissemination algorithm: log2(n) rounds).
+func (c *Comm) Barrier() {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	tag := c.collTag(opBarrier)
+	empty := c.emptyVec()
+	for k := 1; k < n; k <<= 1 {
+		to := (c.rank + k) % n
+		from := (c.rank - k + n) % n
+		c.Sendrecv(to, tag, empty, from, tag, empty)
+	}
+}
+
+// emptyVec is a zero-byte message body.
+func (c *Comm) emptyVec() mem.IOVec { return nil }
+
+// Bcast broadcasts root's buffer to all ranks (binomial tree).
+func (c *Comm) Bcast(root int, vec mem.IOVec) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	tag := c.collTag(opBcast)
+	rel := (c.rank - root + n) % n
+	// Receive from parent (unless root).
+	if rel != 0 {
+		mask := 1
+		for mask < n && rel&mask == 0 {
+			mask <<= 1
+		}
+		parent := (rel - mask + root + n) % n
+		c.Recv(parent, tag, vec)
+	}
+	// Forward to children.
+	mask := 1
+	for mask < n && rel&mask == 0 {
+		mask <<= 1
+	}
+	for child := mask >> 1; child >= 1; child >>= 1 {
+		if rel+child < n {
+			c.Send((rel+child+root)%n, tag, vec)
+		}
+	}
+}
+
+// ReduceOp combines src into dst elementwise (len(dst) == len(src)).
+type ReduceOp func(dst, src []byte)
+
+// SumFloat64 adds float64 elements.
+func SumFloat64(dst, src []byte) {
+	for i := 0; i+8 <= len(dst); i += 8 {
+		d := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:]))
+		s := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+		binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(d+s))
+	}
+}
+
+// SumInt64 adds int64 elements.
+func SumInt64(dst, src []byte) {
+	for i := 0; i+8 <= len(dst); i += 8 {
+		d := int64(binary.LittleEndian.Uint64(dst[i:]))
+		s := int64(binary.LittleEndian.Uint64(src[i:]))
+		binary.LittleEndian.PutUint64(dst[i:], uint64(d+s))
+	}
+}
+
+// MaxFloat64 keeps the elementwise maximum.
+func MaxFloat64(dst, src []byte) {
+	for i := 0; i+8 <= len(dst); i += 8 {
+		d := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:]))
+		s := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+		if s > d {
+			binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(s))
+		}
+	}
+}
+
+// Allreduce combines every rank's buf with op; all ranks end with the
+// result in buf. Recursive doubling for power-of-two sizes, otherwise
+// reduce-to-0 plus broadcast.
+func (c *Comm) Allreduce(buf *mem.Buffer, op ReduceOp) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	if n&(n-1) == 0 {
+		tag := c.collTag(opAllreduce)
+		tmp := c.Alloc(buf.Len())
+		for mask := 1; mask < n; mask <<= 1 {
+			partner := c.rank ^ mask
+			c.Sendrecv(partner, tag, mem.VecOf(buf), partner, tag, mem.VecOf(tmp))
+			op(buf.Bytes(), tmp.Bytes())
+		}
+		return
+	}
+	c.Reduce(0, buf, op)
+	c.Bcast(0, mem.VecOf(buf))
+}
+
+// Reduce combines every rank's buf into root's buf (binomial tree).
+func (c *Comm) Reduce(root int, buf *mem.Buffer, op ReduceOp) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	tag := c.collTag(opReduce)
+	rel := (c.rank - root + n) % n
+	tmp := c.Alloc(buf.Len())
+	mask := 1
+	for mask < n {
+		if rel&mask == 0 {
+			peer := rel | mask
+			if peer < n {
+				c.Recv((peer+root)%n, tag, mem.VecOf(tmp))
+				op(buf.Bytes(), tmp.Bytes())
+			}
+		} else {
+			c.Send((rel-mask+root+n)%n, tag, mem.VecOf(buf))
+			break
+		}
+		mask <<= 1
+	}
+}
+
+// Allgather gathers each rank's block (send) into recv, which must hold
+// Size() blocks of block bytes; rank i's contribution lands at offset i.
+// Ring algorithm: n-1 steps of neighbour exchange.
+func (c *Comm) Allgather(send *mem.Buffer, recv *mem.Buffer) {
+	n := c.Size()
+	block := send.Len()
+	if recv.Len() != block*int64(n) {
+		panic(fmt.Sprintf("mpi: Allgather recv %d bytes, want %d", recv.Len(), block*int64(n)))
+	}
+	tag := c.collTag(opAllgather)
+	// Place own block.
+	ownDst := mem.Region{Buf: recv, Off: int64(c.rank) * block, Len: block}
+	c.copyLocal(ownDst, mem.Region{Buf: send, Off: 0, Len: block})
+	if n == 1 {
+		return
+	}
+	right := (c.rank + 1) % n
+	left := (c.rank - 1 + n) % n
+	cur := c.rank
+	for step := 0; step < n-1; step++ {
+		sendBlk := mem.IOVec{{Buf: recv, Off: int64(cur) * block, Len: block}}
+		cur = (cur - 1 + n) % n
+		recvBlk := mem.IOVec{{Buf: recv, Off: int64(cur) * block, Len: block}}
+		c.Sendrecv(right, tag, sendBlk, left, tag, recvBlk)
+	}
+}
+
+// Gather collects each rank's send block into root's recv buffer
+// (linear algorithm; recv may be nil on non-root ranks).
+func (c *Comm) Gather(root int, send *mem.Buffer, recv *mem.Buffer) {
+	n := c.Size()
+	block := send.Len()
+	tag := c.collTag(opGather)
+	if c.rank == root {
+		if recv == nil || recv.Len() != block*int64(n) {
+			panic("mpi: Gather root needs recv of size*blocks")
+		}
+		c.copyLocal(mem.Region{Buf: recv, Off: int64(root) * block, Len: block},
+			mem.Region{Buf: send, Off: 0, Len: block})
+		for r := 0; r < n; r++ {
+			if r == root {
+				continue
+			}
+			c.Recv(r, tag, mem.IOVec{{Buf: recv, Off: int64(r) * block, Len: block}})
+		}
+		return
+	}
+	c.Send(root, tag, mem.VecOf(send))
+}
+
+// Alltoall exchanges equal blocks: send holds Size() blocks of block bytes,
+// block i going to rank i; recv receives likewise. Pairwise exchange
+// (power-of-two sizes XOR partners; otherwise rotation), the MPICH
+// large-message algorithm behind Figure 7.
+func (c *Comm) Alltoall(send, recv *mem.Buffer, block int64) {
+	n := c.Size()
+	if send.Len() < block*int64(n) || recv.Len() < block*int64(n) {
+		panic("mpi: Alltoall buffers too small")
+	}
+	tag := c.collTag(opAlltoall)
+	// Announce the concurrency to the channel (the §6 collective-aware
+	// threshold hint; a no-op unless the LMT policy opts in).
+	c.ep.Ch.EnterCollective(n - 1)
+	defer c.ep.Ch.LeaveCollective()
+	// Local block.
+	c.copyLocal(mem.Region{Buf: recv, Off: int64(c.rank) * block, Len: block},
+		mem.Region{Buf: send, Off: int64(c.rank) * block, Len: block})
+	pow2 := n&(n-1) == 0
+	for step := 1; step < n; step++ {
+		var to, from int
+		if pow2 {
+			to = c.rank ^ step
+			from = to
+		} else {
+			to = (c.rank + step) % n
+			from = (c.rank - step + n) % n
+		}
+		c.Sendrecv(to, tag,
+			mem.IOVec{{Buf: send, Off: int64(to) * block, Len: block}},
+			from, tag,
+			mem.IOVec{{Buf: recv, Off: int64(from) * block, Len: block}})
+	}
+}
+
+// Alltoallv is the irregular variant: sendCounts/sendDispls and
+// recvCounts/recvDispls give per-partner byte counts and offsets.
+func (c *Comm) Alltoallv(send *mem.Buffer, sendCounts, sendDispls []int64,
+	recv *mem.Buffer, recvCounts, recvDispls []int64) {
+	n := c.Size()
+	if len(sendCounts) != n || len(recvCounts) != n ||
+		len(sendDispls) != n || len(recvDispls) != n {
+		panic("mpi: Alltoallv count/displ arrays must have Size() entries")
+	}
+	tag := c.collTag(opAlltoallv)
+	c.ep.Ch.EnterCollective(n - 1)
+	defer c.ep.Ch.LeaveCollective()
+	if sendCounts[c.rank] != recvCounts[c.rank] {
+		panic("mpi: Alltoallv self counts disagree")
+	}
+	if cnt := sendCounts[c.rank]; cnt > 0 {
+		c.copyLocal(mem.Region{Buf: recv, Off: recvDispls[c.rank], Len: cnt},
+			mem.Region{Buf: send, Off: sendDispls[c.rank], Len: cnt})
+	}
+	for step := 1; step < n; step++ {
+		to := (c.rank + step) % n
+		from := (c.rank - step + n) % n
+		var sv, rv mem.IOVec
+		if sendCounts[to] > 0 {
+			sv = mem.IOVec{{Buf: send, Off: sendDispls[to], Len: sendCounts[to]}}
+		}
+		if recvCounts[from] > 0 {
+			rv = mem.IOVec{{Buf: recv, Off: recvDispls[from], Len: recvCounts[from]}}
+		}
+		c.Sendrecv(to, tag, sv, from, tag, rv)
+	}
+}
+
+// copyLocal moves a rank's own block with modelled cost (memcpy).
+func (c *Comm) copyLocal(dst, src mem.Region) {
+	c.w.Stack.M.CopyRange(c.p, c.ep.Core, dst, src, hw.CopyOpts{})
+}

@@ -1,0 +1,130 @@
+package nas
+
+import (
+	"fmt"
+
+	"knemesis/internal/core"
+	"knemesis/internal/mem"
+	"knemesis/internal/mpi"
+	"knemesis/internal/nemesis"
+	"knemesis/internal/sim"
+	"knemesis/internal/topo"
+)
+
+// RunResult is one kernel execution under one LMT configuration.
+type RunResult struct {
+	Seconds     float64
+	L2MissLines int64
+}
+
+// Scaled returns a cheaper variant of the kernel for tests and smoke runs:
+// iterations and the calibration target shrink by factor (>= 1).
+func (k Kernel) Scaled(factor int) Kernel {
+	if factor <= 1 {
+		return k
+	}
+	k.Iters = max(1, k.Iters/factor)
+	k.PaperDefaultSec /= float64(factor)
+	if k.Name == "is.B.8" {
+		// IS runs a fixed 10-iteration algorithm; scaling is not
+		// meaningful for it, only its calibration target stays.
+		k.PaperDefaultSec *= float64(factor)
+	}
+	return k
+}
+
+// RunKernel executes the kernel on machine t under the LMT options with the
+// given calibrated per-iteration compute time.
+func RunKernel(k Kernel, t *topo.Machine, opt core.Options, computePerIter sim.Time) (RunResult, error) {
+	if k.Procs > t.Cores {
+		return RunResult{}, fmt.Errorf("nas: %s needs %d cores, machine has %d", k.Name, k.Procs, t.Cores)
+	}
+	st := core.NewStack(t, t.AllCores()[:k.Procs], opt, nemesis.Config{})
+	w := mpi.NewWorld(st)
+	errs := make([]error, k.Procs)
+
+	dur, err := w.Run(func(c *mpi.Comm) {
+		if k.Custom != nil {
+			errs[c.Rank()] = k.Custom(c, computePerIter)
+			return
+		}
+		s := k.Prepare(c)
+		var ws []mem.Region
+		if s.WS != nil {
+			ws = append(ws, mem.Region{Buf: s.WS, Off: 0, Len: s.WS.Len()})
+		}
+		c.Barrier()
+		for iter := 0; iter < k.Iters; iter++ {
+			c.Compute(computePerIter, ws...)
+			k.Comm(c, s, iter)
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		return RunResult{}, fmt.Errorf("nas: %s (%s): %w", k.Name, opt.Label(), err)
+	}
+	for rank, e := range errs {
+		if e != nil {
+			return RunResult{}, fmt.Errorf("nas: %s rank %d: %w", k.Name, rank, e)
+		}
+	}
+	return RunResult{Seconds: dur.Seconds(), L2MissLines: st.M.L2MissLines()}, nil
+}
+
+// Calibrate determines the per-iteration compute constant such that the
+// kernel's default-LMT execution time matches its PaperDefaultSec target:
+// it measures the pure-communication time under the default LMT and assigns
+// the remainder to computation. A kernel whose communication alone exceeds
+// the target gets zero compute (reported honestly by the caller).
+func Calibrate(k Kernel, t *topo.Machine) (sim.Time, error) {
+	res, err := RunKernel(k, t, core.Options{Kind: core.DefaultLMT}, 0)
+	if err != nil {
+		return 0, err
+	}
+	remain := k.PaperDefaultSec - res.Seconds
+	if remain < 0 {
+		remain = 0
+	}
+	return sim.FromSeconds(remain / float64(k.Iters)), nil
+}
+
+// Row is one Table 1 line: execution times under the four standard LMT
+// configurations plus the paper's speedup column (default vs KNEM+I/OAT,
+// positive is an improvement).
+type Row struct {
+	Kernel     string
+	Labels     []string
+	Seconds    []float64
+	MissLines  []int64
+	SpeedupPct float64
+}
+
+// Table1Row runs the kernel under the four standard configurations.
+func Table1Row(k Kernel, t *topo.Machine) (Row, error) {
+	compute, err := Calibrate(k, t)
+	if err != nil {
+		return Row{}, err
+	}
+	row := Row{Kernel: k.Name}
+	for _, opt := range core.StandardOptions() {
+		res, err := RunKernel(k, t, opt, compute)
+		if err != nil {
+			return Row{}, err
+		}
+		row.Labels = append(row.Labels, opt.Label())
+		row.Seconds = append(row.Seconds, res.Seconds)
+		row.MissLines = append(row.MissLines, res.L2MissLines)
+	}
+	def, ioat := row.Seconds[0], row.Seconds[len(row.Seconds)-1]
+	if ioat > 0 {
+		row.SpeedupPct = (def - ioat) / ioat * 100
+	}
+	return row, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,302 @@
+package nemesis
+
+import (
+	"fmt"
+
+	"knemesis/internal/hw"
+	"knemesis/internal/mem"
+	"knemesis/internal/sim"
+	"knemesis/internal/topo"
+)
+
+// Wildcards for matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+type pktType int
+
+const (
+	pktEager pktType = iota
+	pktRTS
+	pktCTS
+	pktFIN
+)
+
+// cell is one shared-memory eager cell, owned by (and returned to) the
+// sending rank's free pool.
+type cell struct {
+	buf   *mem.Buffer
+	owner *Endpoint
+}
+
+// packet is a queue entry: a 64-byte envelope, optionally referencing an
+// eager payload cell.
+type packet struct {
+	typ    pktType
+	src    int
+	dst    int
+	tag    int
+	seq    uint64
+	size   int64
+	cell   *cell // eager payload
+	n      int64 // valid payload bytes in cell
+	cookie any   // RTS: LMT cookie
+	info   any   // CTS: receiver info
+}
+
+// unexpMsg is an arrival with no matching posted receive. Eager entries are
+// registered synchronously at dispatch time but become ready only once the
+// pump finished staging the payload — receivers matching a not-yet-ready
+// entry wait for the ready flag (otherwise a receive posted during the
+// staging copy would miss the message forever).
+type unexpMsg struct {
+	typ    pktType
+	src    int
+	tag    int
+	seq    uint64
+	size   int64
+	temp   *mem.Buffer // staged eager payload (valid once ready)
+	cookie any
+	ready  bool
+}
+
+// SendReq tracks one in-flight send operation.
+type SendReq struct {
+	ep   *Endpoint
+	t    *Transfer
+	done bool
+}
+
+// Done reports completion (the send buffer is reusable).
+func (r *SendReq) Done() bool { return r.done }
+
+// RecvReq tracks one in-flight receive operation.
+type RecvReq struct {
+	ep      *Endpoint
+	src     int
+	tag     int
+	vec     mem.IOVec
+	claimed bool // matched to an arrival; no other packet may claim it
+	done    bool
+
+	// Completion information (valid once Done).
+	ActualSrc  int
+	ActualTag  int
+	ActualSize int64
+}
+
+// Done reports completion (the data is in the receive buffer).
+func (r *RecvReq) Done() bool { return r.done }
+
+// Endpoint is one rank's channel state.
+type Endpoint struct {
+	Ch    *Channel
+	Rank  int
+	Core  topo.CoreID
+	Space *mem.Space
+
+	queue    []*packet
+	activity *sim.Cond
+
+	freeCells []*cell
+
+	posted     []*RecvReq
+	unexpected []*unexpMsg
+
+	sendReqs map[uint64]*SendReq
+
+	opSeq int // names spawned protocol processes
+}
+
+func newEndpoint(ch *Channel, rank int, core topo.CoreID) *Endpoint {
+	ep := &Endpoint{
+		Ch:       ch,
+		Rank:     rank,
+		Core:     core,
+		Space:    ch.M.Mem.NewSpace(fmt.Sprintf("rank%d", rank)),
+		activity: sim.NewCond(ch.M.Eng, fmt.Sprintf("ep%d", rank)),
+		sendReqs: make(map[uint64]*SendReq),
+	}
+	for i := 0; i < ch.Cfg.CellsPerRank; i++ {
+		ep.freeCells = append(ep.freeCells, &cell{buf: ch.Shm.Alloc(CellBytes), owner: ep})
+	}
+	return ep
+}
+
+// notify wakes everything blocked on this endpoint (state changed).
+func (ep *Endpoint) notify() { ep.activity.Broadcast() }
+
+// waitEvent makes progress: process one queued packet if any, otherwise
+// sleep until something happens. Callers loop on their own predicate —
+// exactly the shape of a polling MPI progress engine.
+func (ep *Endpoint) waitEvent(p *sim.Proc) {
+	if len(ep.queue) > 0 {
+		ep.pumpOne(p)
+		return
+	}
+	ep.activity.Wait(p)
+}
+
+// sendPacket models a lock-free enqueue onto dst's receive queue: CPU cost
+// for the atomic queue operation plus the cache-line handoff of the
+// envelope (cheap under a shared L2, a snoop round-trip otherwise).
+func (ep *Endpoint) sendPacket(p *sim.Proc, pkt *packet) {
+	ch := ep.Ch
+	ch.validRank(pkt.dst)
+	dst := ch.Endpoints[pkt.dst]
+	ch.M.LocalDelay(p, ep.Core, ch.M.Params().QueueOpCost)
+	ch.M.ControlTransfer(p, ep.Core, dst.Core, 1)
+	dst.queue = append(dst.queue, pkt)
+	dst.notify()
+}
+
+// pumpOne dequeues and dispatches the head packet. Dispatch that depends on
+// remote progress is spawned into its own process so the pump never stalls
+// on a peer (the single-threaded-progress analogue of MPICH's chunked LMT
+// state machines).
+func (ep *Endpoint) pumpOne(p *sim.Proc) {
+	ch := ep.Ch
+	pkt := ep.queue[0]
+	ep.queue = ep.queue[1:]
+	ch.M.LocalDelay(p, ep.Core, ch.M.Params().QueueOpCost)
+	ch.M.ControlTransfer(p, ch.Endpoints[pkt.src].Core, ep.Core, 1)
+
+	switch pkt.typ {
+	case pktEager:
+		ep.dispatchEager(p, pkt)
+	case pktRTS:
+		ep.dispatchRTS(p, pkt)
+	case pktCTS:
+		req, ok := ep.sendReqs[pkt.seq]
+		if !ok {
+			panic(fmt.Sprintf("nemesis: CTS for unknown send seq %d at rank %d", pkt.seq, ep.Rank))
+		}
+		req.t.ctsInfo = pkt.info
+		req.t.ctsSeen = true
+		ep.notify()
+	case pktFIN:
+		req, ok := ep.sendReqs[pkt.seq]
+		if !ok {
+			panic(fmt.Sprintf("nemesis: FIN for unknown send seq %d at rank %d", pkt.seq, ep.Rank))
+		}
+		req.t.senderDone = true
+		ep.notify()
+	}
+}
+
+// matchPosted returns the first posted receive matching (src, tag), or nil.
+func (ep *Endpoint) matchPosted(src, tag int) *RecvReq {
+	for _, r := range ep.posted {
+		if r.claimed {
+			continue
+		}
+		if (r.src == AnySource || r.src == src) && (r.tag == AnyTag || r.tag == tag) {
+			return r
+		}
+	}
+	return nil
+}
+
+func (ep *Endpoint) removePosted(req *RecvReq) {
+	for i, r := range ep.posted {
+		if r == req {
+			ep.posted = append(ep.posted[:i], ep.posted[i+1:]...)
+			return
+		}
+	}
+}
+
+// matchUnexpected returns and removes the first unexpected arrival matching
+// (src, tag), preserving arrival order.
+func (ep *Endpoint) matchUnexpected(src, tag int) *unexpMsg {
+	for i, u := range ep.unexpected {
+		if (src == AnySource || src == u.src) && (tag == AnyTag || tag == u.tag) {
+			ep.unexpected = append(ep.unexpected[:i], ep.unexpected[i+1:]...)
+			return u
+		}
+	}
+	return nil
+}
+
+// completeRecv finalizes a receive request.
+func (req *RecvReq) complete(ep *Endpoint, src, tag int, size int64) {
+	req.ActualSrc = src
+	req.ActualTag = tag
+	req.ActualSize = size
+	req.done = true
+	ep.notify()
+}
+
+// spawnName generates a unique protocol-process name.
+func (ep *Endpoint) spawnName(kind string) string {
+	ep.opSeq++
+	return fmt.Sprintf("r%d.%s#%d", ep.Rank, kind, ep.opSeq)
+}
+
+// returnCell hands an eager cell back to its owner's free pool; the
+// returning core pays the queue operation and line handoff.
+func (ep *Endpoint) returnCell(p *sim.Proc, c *cell) {
+	ch := ep.Ch
+	ch.M.LocalDelay(p, ep.Core, ch.M.Params().QueueOpCost)
+	ch.M.ControlTransfer(p, ep.Core, c.owner.Core, 1)
+	c.owner.freeCells = append(c.owner.freeCells, c)
+	c.owner.notify()
+}
+
+// dispatchEager handles an arriving eager packet: deliver into a matching
+// posted receive, or stage into a temp buffer (the unexpected-message copy
+// real MPI implementations pay).
+func (ep *Endpoint) dispatchEager(p *sim.Proc, pkt *packet) {
+	ch := ep.Ch
+	if req := ep.matchPosted(pkt.src, pkt.tag); req != nil {
+		req.claimed = true
+		ep.removePosted(req)
+		if pkt.n > req.vec.TotalLen() {
+			panic(fmt.Sprintf("nemesis: eager message of %d bytes overflows %d-byte receive",
+				pkt.n, req.vec.TotalLen()))
+		}
+		if pkt.n > 0 {
+			dstVec := vecPrefix(req.vec, pkt.n)
+			srcVec := mem.IOVec{{Buf: pkt.cell.buf, Off: 0, Len: pkt.n}}
+			for _, pair := range mem.Overlay(dstVec, srcVec, 0) {
+				ch.M.CopyRange(p, ep.Core, pair.Dst, pair.Src, hw.CopyOpts{})
+			}
+		}
+		ep.returnCell(p, pkt.cell)
+		req.complete(ep, pkt.src, pkt.tag, pkt.n)
+		return
+	}
+	// Unexpected: register the arrival synchronously (so receives posted
+	// while we stage cannot miss it), then stage the payload into a temp
+	// buffer so the (finite) cell pool is not held.
+	u := &unexpMsg{typ: pktEager, src: pkt.src, tag: pkt.tag, seq: pkt.seq, size: pkt.n}
+	ep.unexpected = append(ep.unexpected, u)
+	temp := ep.Space.Alloc(pkt.n)
+	if pkt.n > 0 {
+		ch.M.CopyRange(p, ep.Core, mem.Region{Buf: temp, Off: 0, Len: pkt.n},
+			mem.Region{Buf: pkt.cell.buf, Off: 0, Len: pkt.n}, hw.CopyOpts{})
+	}
+	ep.returnCell(p, pkt.cell)
+	u.temp = temp
+	u.ready = true
+	ep.notify()
+}
+
+// vecPrefix returns the first n bytes of a vector as a vector.
+func vecPrefix(v mem.IOVec, n int64) mem.IOVec {
+	var out mem.IOVec
+	for _, r := range v {
+		if n <= 0 {
+			break
+		}
+		take := r.Len
+		if take > n {
+			take = n
+		}
+		out = append(out, mem.Region{Buf: r.Buf, Off: r.Off, Len: take})
+		n -= take
+	}
+	return out
+}

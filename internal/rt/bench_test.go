@@ -1,0 +1,109 @@
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// BenchmarkQueue measures the lock-free MPSC queue under concurrent
+// producers (the Nemesis enqueue path).
+func BenchmarkQueue(b *testing.B) {
+	for _, producers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("producers-%d", producers), func(b *testing.B) {
+			q := NewQueue[int]()
+			var wg sync.WaitGroup
+			per := b.N / producers
+			if per == 0 {
+				per = 1
+			}
+			b.ResetTimer()
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						q.Push(i)
+					}
+				}()
+			}
+			popped := 0
+			for popped < per*producers {
+				if _, ok := q.Pop(); ok {
+					popped++
+				}
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkRTPingPong measures real goroutine ping-pong throughput per
+// strategy and size: the Go-native analogue of Figures 4/5. The crossover
+// between eager (two copies) and single-copy rendezvous appears around the
+// cell size, echoing the paper's threshold discussion.
+func BenchmarkRTPingPong(b *testing.B) {
+	sizes := []int{4 * 1024, 64 * 1024, 1 << 20, 4 << 20}
+	for _, mode := range []LargeMode{Eager, SingleCopy, Offload} {
+		for _, size := range sizes {
+			mode, size := mode, size
+			b.Run(fmt.Sprintf("%s/%d", mode, size), func(b *testing.B) {
+				w := NewWorld(2, Config{Large: mode})
+				defer w.Close()
+				buf0 := make([]byte, size)
+				buf1 := make([]byte, size)
+				var wg sync.WaitGroup
+				wg.Add(2)
+				b.SetBytes(int64(size))
+				b.ResetTimer()
+				go func() {
+					defer wg.Done()
+					r := w.Rank(0)
+					for i := 0; i < b.N; i++ {
+						r.Send(1, 0, buf0)
+						r.Recv(1, 0, buf0)
+					}
+				}()
+				go func() {
+					defer wg.Done()
+					r := w.Rank(1)
+					for i := 0; i < b.N; i++ {
+						r.Recv(0, 0, buf1)
+						r.Send(0, 0, buf1)
+					}
+				}()
+				wg.Wait()
+			})
+		}
+	}
+}
+
+// BenchmarkRTAlltoall measures the collective under each strategy.
+func BenchmarkRTAlltoall(b *testing.B) {
+	const n = 4
+	const block = 256 * 1024
+	for _, mode := range []LargeMode{Eager, SingleCopy, Offload} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			w := NewWorld(n, Config{Large: mode})
+			defer w.Close()
+			b.SetBytes(int64(n * (n - 1) * block))
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for rank := 0; rank < n; rank++ {
+				rank := rank
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					r := w.Rank(rank)
+					send := make([]byte, n*block)
+					recv := make([]byte, n*block)
+					for i := 0; i < b.N; i++ {
+						r.Alltoall(send, recv, block)
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}

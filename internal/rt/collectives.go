@@ -1,0 +1,138 @@
+package rt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Collective tags live in the negative space so they never collide with
+// user tags (which must be >= 0). Every rank must invoke collectives in the
+// same order, as MPI requires.
+func (r *Rank) collTag(op int) int {
+	r.collSeq++
+	return -(op*1_000_000 + r.collSeq%1_000_000 + 1)
+}
+
+const (
+	opBarrier = iota
+	opBcast
+	opAllreduce
+	opAlltoall
+)
+
+// Barrier synchronizes all ranks (dissemination, log2(n) rounds).
+func (r *Rank) Barrier() {
+	n := r.Size()
+	if n == 1 {
+		return
+	}
+	tag := r.collTag(opBarrier)
+	var empty []byte
+	for k := 1; k < n; k <<= 1 {
+		to := (r.rank + k) % n
+		from := (r.rank - k + n) % n
+		r.Sendrecv(to, tag, empty, from, tag, empty)
+	}
+}
+
+// Bcast broadcasts root's buf to every rank (binomial tree).
+func (r *Rank) Bcast(root int, buf []byte) {
+	n := r.Size()
+	if n == 1 {
+		return
+	}
+	tag := r.collTag(opBcast)
+	rel := (r.rank - root + n) % n
+	if rel != 0 {
+		mask := 1
+		for mask < n && rel&mask == 0 {
+			mask <<= 1
+		}
+		r.Recv((rel-mask+root+n)%n, tag, buf)
+	}
+	mask := 1
+	for mask < n && rel&mask == 0 {
+		mask <<= 1
+	}
+	for child := mask >> 1; child >= 1; child >>= 1 {
+		if rel+child < n {
+			r.Send((rel+child+root)%n, tag, buf)
+		}
+	}
+}
+
+// AllreduceF64 combines each rank's vector elementwise with combine;
+// every rank ends with the result (recursive doubling; any rank count).
+func (r *Rank) AllreduceF64(data []float64, combine func(a, b float64) float64) {
+	n := r.Size()
+	if n == 1 {
+		return
+	}
+	tag := r.collTag(opAllreduce)
+	buf := make([]byte, len(data)*8)
+	tmp := make([]byte, len(data)*8)
+	pack := func() {
+		for i, v := range data {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+	}
+	// Fold the non-power-of-two remainder onto the low ranks first.
+	pow2 := 1
+	for pow2*2 <= n {
+		pow2 *= 2
+	}
+	extra := n - pow2
+	if r.rank >= pow2 {
+		pack()
+		r.Send(r.rank-pow2, tag, buf)
+		// Wait for the result from the partner that absorbed us.
+		r.Recv(r.rank-pow2, tag, buf)
+		for i := range data {
+			data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+		return
+	}
+	if r.rank < extra {
+		r.Recv(r.rank+pow2, tag, tmp)
+		for i := range data {
+			data[i] = combine(data[i], math.Float64frombits(binary.LittleEndian.Uint64(tmp[i*8:])))
+		}
+	}
+	for mask := 1; mask < pow2; mask <<= 1 {
+		partner := r.rank ^ mask
+		pack()
+		r.Sendrecv(partner, tag, buf, partner, tag, tmp)
+		for i := range data {
+			data[i] = combine(data[i], math.Float64frombits(binary.LittleEndian.Uint64(tmp[i*8:])))
+		}
+	}
+	if r.rank < extra {
+		pack()
+		r.Send(r.rank+pow2, tag, buf)
+	}
+}
+
+// Alltoall exchanges equal blocks: send and recv hold Size() blocks of
+// block bytes each (pairwise exchange).
+func (r *Rank) Alltoall(send, recv []byte, block int) {
+	n := r.Size()
+	if len(send) < n*block || len(recv) < n*block {
+		panic(fmt.Sprintf("rt: Alltoall buffers too small for %d x %d", n, block))
+	}
+	tag := r.collTag(opAlltoall)
+	copy(recv[r.rank*block:(r.rank+1)*block], send[r.rank*block:(r.rank+1)*block])
+	pow2 := n&(n-1) == 0
+	for step := 1; step < n; step++ {
+		var to, from int
+		if pow2 {
+			to = r.rank ^ step
+			from = to
+		} else {
+			to = (r.rank + step) % n
+			from = (r.rank - step + n) % n
+		}
+		r.Sendrecv(to, tag, send[to*block:(to+1)*block],
+			from, tag, recv[from*block:(from+1)*block])
+	}
+}

@@ -1,0 +1,265 @@
+package rt
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Matching wildcards.
+const (
+	AnySource = -1
+	AnyTag    = -2147483648 // math.MinInt32: leaves negative tags for collectives
+)
+
+type msgKind int
+
+const (
+	mEager msgKind = iota
+	mRTS
+)
+
+// message is a receive-queue envelope.
+type message struct {
+	kind msgKind
+	src  int
+	tag  int
+	n    int
+	cell []byte      // eager payload cell (pooled), first n bytes valid
+	rv   *rendezvous // RTS payload descriptor
+}
+
+// rendezvous describes one large transfer. Because ranks share the address
+// space, the receiver (or an offload worker) copies directly from src —
+// the single-copy transfer the paper needs a kernel module for.
+type rendezvous struct {
+	src       []byte
+	world     *World
+	sender    int
+	receiver  int
+	completed atomic.Bool
+}
+
+func (rv *rendezvous) complete() {
+	rv.completed.Store(true)
+	rv.world.ranks[rv.sender].wakeUp()
+	rv.world.ranks[rv.receiver].wakeUp()
+}
+
+// Status describes a completed receive.
+type Status struct {
+	Source int
+	Tag    int
+	N      int
+}
+
+// Request is an in-flight operation. Its methods must be called from the
+// owning rank's goroutine.
+type Request struct {
+	owner  *Rank
+	isSend bool
+	ready  atomic.Bool
+	rv     *rendezvous // rendezvous being waited on (may be nil)
+	st     Status
+	dst    []byte // posted receive buffer
+	src    int    // posted receive matching
+	tag    int
+}
+
+// Done reports completion without blocking (it makes one progress pass).
+func (r *Request) Done() bool {
+	r.owner.drain()
+	return r.completed()
+}
+
+func (r *Request) completed() bool {
+	if r.ready.Load() {
+		return true
+	}
+	if r.rv != nil && r.rv.completed.Load() {
+		r.ready.Store(true)
+		return true
+	}
+	return false
+}
+
+// Rank is one participant; all methods must be called from its goroutine.
+type Rank struct {
+	w    *World
+	rank int
+	q    *Queue[*message]
+
+	sleeping atomic.Bool
+	wake     chan struct{}
+
+	posted     []*Request
+	unexpected []*message
+
+	collSeq int
+}
+
+func newRank(w *World, rank int) *Rank {
+	return &Rank{w: w, rank: rank, q: NewQueue[*message](), wake: make(chan struct{}, 1)}
+}
+
+// ID returns this rank's index.
+func (r *Rank) ID() int { return r.rank }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return len(r.w.ranks) }
+
+// World returns the owning world.
+func (r *Rank) World() *World { return r.w }
+
+// wakeUp unparks the rank's goroutine if it is (about to be) sleeping.
+func (r *Rank) wakeUp() {
+	if r.sleeping.Load() {
+		select {
+		case r.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// push delivers a message to this rank (called by senders).
+func (r *Rank) push(m *message) {
+	r.q.Push(m)
+	r.wakeUp()
+}
+
+// park blocks until something wakes the rank, re-draining first to close
+// the race between "queue looked empty" and "producer pushed".
+func (r *Rank) park() {
+	r.sleeping.Store(true)
+	if !r.q.Empty() {
+		r.sleeping.Store(false)
+		return
+	}
+	<-r.wake
+	r.sleeping.Store(false)
+}
+
+// drain processes every currently queued envelope.
+func (r *Rank) drain() {
+	for {
+		m, ok := r.q.Pop()
+		if !ok {
+			return
+		}
+		r.dispatch(m)
+	}
+}
+
+// dispatch matches one arrival against posted receives.
+func (r *Rank) dispatch(m *message) {
+	for i, req := range r.posted {
+		if (req.src == AnySource || req.src == m.src) && (req.tag == AnyTag || req.tag == m.tag) {
+			r.posted = append(r.posted[:i], r.posted[i+1:]...)
+			r.deliver(m, req)
+			return
+		}
+	}
+	r.unexpected = append(r.unexpected, m)
+}
+
+// deliver completes a matched receive.
+func (r *Rank) deliver(m *message, req *Request) {
+	if m.n > len(req.dst) {
+		panic(fmt.Sprintf("rt: %d-byte message overflows %d-byte receive", m.n, len(req.dst)))
+	}
+	req.st = Status{Source: m.src, Tag: m.tag, N: m.n}
+	switch m.kind {
+	case mEager:
+		copy(req.dst[:m.n], m.cell[:m.n])
+		r.w.cells.Put(m.cell) //nolint:staticcheck // cell is a pooled []byte
+		req.ready.Store(true)
+	case mRTS:
+		rv := m.rv
+		r.w.BytesMoved.Add(int64(m.n))
+		if r.w.cfg.Large == Offload {
+			// Hand the copy to the pool; completion wakes both sides.
+			req.rv = rv
+			r.w.copyq <- copyJob{dst: req.dst[:m.n], src: rv.src, done: rv}
+			return
+		}
+		copy(req.dst[:m.n], rv.src)
+		rv.complete()
+		req.ready.Store(true)
+	}
+}
+
+// Isend starts a send; the returned request completes when buf is reusable.
+func (r *Rank) Isend(dst, tag int, buf []byte) *Request {
+	if dst < 0 || dst >= len(r.w.ranks) {
+		panic(fmt.Sprintf("rt: send to invalid rank %d", dst))
+	}
+	target := r.w.ranks[dst]
+	req := &Request{owner: r, isSend: true}
+	if r.w.cfg.Large == Eager || len(buf) <= r.w.cfg.RndvThreshold {
+		// Two-copy path: through a pooled cell sized for the payload.
+		r.w.EagerMsgs.Add(1)
+		var cell []byte
+		if len(buf) <= r.w.cfg.CellBytes {
+			cell = r.w.cells.Get().([]byte)
+		} else {
+			cell = make([]byte, len(buf)) // oversized eager (Eager mode only)
+		}
+		copy(cell[:len(buf)], buf)
+		target.push(&message{kind: mEager, src: r.rank, tag: tag, n: len(buf), cell: cell})
+		r.w.BytesMoved.Add(int64(len(buf)))
+		req.ready.Store(true)
+		return req
+	}
+	// Rendezvous: the buffer stays pinned (referenced) until FIN.
+	r.w.RndvMsgs.Add(1)
+	rv := &rendezvous{src: buf, world: r.w, sender: r.rank, receiver: dst}
+	req.rv = rv
+	target.push(&message{kind: mRTS, src: r.rank, tag: tag, n: len(buf), rv: rv})
+	return req
+}
+
+// Irecv posts a receive into buf.
+func (r *Rank) Irecv(src, tag int, buf []byte) *Request {
+	req := &Request{owner: r, dst: buf, src: src, tag: tag}
+	// Unexpected arrivals first (in arrival order).
+	for i, m := range r.unexpected {
+		if (src == AnySource || src == m.src) && (tag == AnyTag || tag == m.tag) {
+			r.unexpected = append(r.unexpected[:i], r.unexpected[i+1:]...)
+			r.deliver(m, req)
+			return req
+		}
+	}
+	r.posted = append(r.posted, req)
+	r.drain() // give in-flight arrivals a chance to match immediately
+	return req
+}
+
+// Wait blocks until the request completes, progressing the rank meanwhile.
+func (r *Rank) Wait(req *Request) Status {
+	if req.owner != r {
+		panic("rt: waiting on another rank's request")
+	}
+	for spins := 0; ; spins++ {
+		r.drain()
+		if req.completed() {
+			return req.st
+		}
+		if spins < 64 {
+			continue // brief spin: typical Nemesis polling behaviour
+		}
+		r.park()
+	}
+}
+
+// Send is the blocking send.
+func (r *Rank) Send(dst, tag int, buf []byte) { r.Wait(r.Isend(dst, tag, buf)) }
+
+// Recv is the blocking receive.
+func (r *Rank) Recv(src, tag int, buf []byte) Status { return r.Wait(r.Irecv(src, tag, buf)) }
+
+// Sendrecv runs a send and a receive concurrently.
+func (r *Rank) Sendrecv(dst, sendTag int, sendBuf []byte, src, recvTag int, recvBuf []byte) Status {
+	s := r.Isend(dst, sendTag, sendBuf)
+	rr := r.Irecv(src, recvTag, recvBuf)
+	r.Wait(s)
+	return r.Wait(rr)
+}

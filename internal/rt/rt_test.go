@@ -1,0 +1,370 @@
+package rt
+
+import (
+	"bytes"
+
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func pattern(seed, n int) []byte {
+	b := make([]byte, n)
+	x := uint64(seed)*2654435761 + 0x9e3779b9
+	for i := range b {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		b[i] = byte(x)
+	}
+	return b
+}
+
+func TestQueueSequential(t *testing.T) {
+	q := NewQueue[int]()
+	if _, ok := q.Pop(); ok {
+		t.Fatal("empty queue popped a value")
+	}
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = (%d,%v)", i, v, ok)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue not empty after draining")
+	}
+}
+
+func TestQueueConcurrentProducers(t *testing.T) {
+	const producers = 8
+	const perProducer = 10000
+	q := NewQueue[int]()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Push(p*perProducer + i)
+			}
+		}()
+	}
+	seen := make([]bool, producers*perProducer)
+	lastPer := make([]int, producers) // per-producer FIFO check
+	for i := range lastPer {
+		lastPer[i] = -1
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	count := 0
+	for count < producers*perProducer {
+		v, ok := q.Pop()
+		if !ok {
+			select {
+			case <-done:
+				// producers finished; drain what remains
+				if v2, ok2 := q.Pop(); ok2 {
+					v, ok = v2, true
+				} else if count < producers*perProducer {
+					continue
+				}
+			default:
+				continue
+			}
+		}
+		if !ok {
+			continue
+		}
+		if seen[v] {
+			t.Fatalf("value %d popped twice", v)
+		}
+		seen[v] = true
+		p, i := v/perProducer, v%perProducer
+		if i <= lastPer[p] {
+			t.Fatalf("producer %d out of order: %d after %d", p, i, lastPer[p])
+		}
+		lastPer[p] = i
+		count++
+	}
+}
+
+func TestSendRecvAllModes(t *testing.T) {
+	sizes := []int{0, 1, 100, 64 * 1024, 256 * 1024, 1 << 20}
+	for _, mode := range []LargeMode{Eager, SingleCopy, Offload} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			w := NewWorld(2, Config{Large: mode})
+			err := w.Run(func(r *Rank) {
+				for i, n := range sizes {
+					if r.ID() == 0 {
+						r.Send(1, i, pattern(i, n))
+					} else {
+						buf := make([]byte, n)
+						st := r.Recv(0, i, buf)
+						if st.N != n || st.Source != 0 || st.Tag != i {
+							t.Errorf("status %+v for size %d", st, n)
+						}
+						if !bytes.Equal(buf, pattern(i, n)) {
+							t.Errorf("size %d corrupted", n)
+						}
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestPerPairOrderingUnderLoad(t *testing.T) {
+	const msgs = 2000
+	w := NewWorld(2, Config{Large: SingleCopy, RndvThreshold: 512})
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			for i := 0; i < msgs; i++ {
+				n := 64 + (i%20)*64 // mixes eager and rendezvous
+				b := pattern(i, n)
+				r.Send(1, 7, b)
+			}
+		} else {
+			for i := 0; i < msgs; i++ {
+				buf := make([]byte, 64+19*64)
+				st := r.Recv(0, 7, buf)
+				want := pattern(i, st.N)
+				if !bytes.Equal(buf[:st.N], want) {
+					t.Errorf("message %d out of order or corrupted", i)
+					return
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWildcardsAndUnexpected(t *testing.T) {
+	w := NewWorld(4, Config{})
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			got := map[int]bool{}
+			for i := 0; i < 3; i++ {
+				buf := make([]byte, 8)
+				st := r.Recv(AnySource, AnyTag, buf)
+				got[st.Source] = true
+				if int(buf[0]) != st.Source {
+					t.Errorf("payload %d from %d", buf[0], st.Source)
+				}
+			}
+			if len(got) != 3 {
+				t.Errorf("sources: %v", got)
+			}
+		} else {
+			r.Send(0, 10+r.ID(), []byte{byte(r.ID()), 0, 0, 0, 0, 0, 0, 0})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierCollective(t *testing.T) {
+	for _, n := range []int{2, 3, 8} {
+		w := NewWorld(n, Config{})
+		var phase [64]int32
+		err := w.Run(func(r *Rank) {
+			for round := 0; round < 10; round++ {
+				phase[r.ID()] = int32(round)
+				r.Barrier()
+				for peer := 0; peer < n; peer++ {
+					if phase[peer] < int32(round) {
+						t.Errorf("n=%d round %d: rank %d saw peer %d behind", n, round, r.ID(), peer)
+					}
+				}
+				r.Barrier()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBcastAllSizesRanks(t *testing.T) {
+	for _, n := range []int{2, 5, 8} {
+		w := NewWorld(n, Config{Large: SingleCopy})
+		err := w.Run(func(r *Rank) {
+			buf := make([]byte, 200*1024)
+			if r.ID() == 1%n {
+				copy(buf, pattern(42, len(buf)))
+			}
+			r.Bcast(1%n, buf)
+			if !bytes.Equal(buf, pattern(42, len(buf))) {
+				t.Errorf("n=%d rank %d: bcast corrupted", n, r.ID())
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAllreduceF64(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 7, 8} {
+		w := NewWorld(n, Config{})
+		err := w.Run(func(r *Rank) {
+			data := []float64{float64(r.ID()), 1, float64(r.ID() * r.ID())}
+			r.AllreduceF64(data, func(a, b float64) float64 { return a + b })
+			wantSum := 0.0
+			wantSq := 0.0
+			for i := 0; i < n; i++ {
+				wantSum += float64(i)
+				wantSq += float64(i * i)
+			}
+			if data[0] != wantSum || data[1] != float64(n) || data[2] != wantSq {
+				t.Errorf("n=%d rank %d: allreduce = %v", n, r.ID(), data)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAlltoallModes(t *testing.T) {
+	for _, mode := range []LargeMode{Eager, SingleCopy, Offload} {
+		for _, n := range []int{4, 8} {
+			block := 96 * 1024 // rendezvous territory
+			w := NewWorld(n, Config{Large: mode})
+			err := w.Run(func(r *Rank) {
+				send := make([]byte, n*block)
+				recv := make([]byte, n*block)
+				for d := 0; d < n; d++ {
+					copy(send[d*block:], pattern(r.ID()*100+d, block))
+				}
+				r.Alltoall(send, recv, block)
+				for s := 0; s < n; s++ {
+					if !bytes.Equal(recv[s*block:(s+1)*block], pattern(s*100+r.ID(), block)) {
+						t.Errorf("%v n=%d rank %d: block from %d corrupted", mode, n, r.ID(), s)
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// Property: random message schedules between 2 ranks deliver intact in
+// order, for every mode.
+func TestExchangeProperty(t *testing.T) {
+	prop := func(sizesRaw [12]uint16, modeRaw uint8) bool {
+		mode := LargeMode(modeRaw % 3)
+		w := NewWorld(2, Config{Large: mode, RndvThreshold: 4096})
+		ok := true
+		err := w.Run(func(r *Rank) {
+			if r.ID() == 0 {
+				for i, sz := range sizesRaw {
+					r.Send(1, i, pattern(i, int(sz)))
+				}
+				for i, sz := range sizesRaw {
+					buf := make([]byte, int(sz))
+					r.Recv(1, 100+i, buf)
+					if !bytes.Equal(buf, pattern(1000+i, int(sz))) {
+						ok = false
+					}
+				}
+			} else {
+				for i, sz := range sizesRaw {
+					buf := make([]byte, int(sz))
+					r.Recv(0, i, buf)
+					if !bytes.Equal(buf, pattern(i, int(sz))) {
+						ok = false
+					}
+				}
+				for i, sz := range sizesRaw {
+					r.Send(0, 100+i, pattern(1000+i, int(sz)))
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	w := NewWorld(2, Config{})
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 1 {
+			panic("boom")
+		}
+	})
+	if err == nil {
+		t.Fatal("rank panic not reported")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	w := NewWorld(2, Config{Large: SingleCopy, RndvThreshold: 1024})
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 0, make([]byte, 100))    // eager
+			r.Send(1, 1, make([]byte, 100000)) // rendezvous
+		} else {
+			buf := make([]byte, 100000)
+			r.Recv(0, 0, buf)
+			r.Recv(0, 1, buf)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.EagerMsgs.Load() < 1 || w.RndvMsgs.Load() != 1 {
+		t.Fatalf("eager=%d rndv=%d", w.EagerMsgs.Load(), w.RndvMsgs.Load())
+	}
+}
+
+func TestManyRanksStress(t *testing.T) {
+	const n = 8
+	w := NewWorld(n, Config{Large: Offload, RndvThreshold: 8192})
+	err := w.Run(func(r *Rank) {
+		for round := 0; round < 20; round++ {
+			size := 1024 << (round % 5)
+			send := make([]byte, n*size)
+			recv := make([]byte, n*size)
+			for d := 0; d < n; d++ {
+				copy(send[d*size:], pattern(round*1000+r.ID()*10+d, size))
+			}
+			r.Alltoall(send, recv, size)
+			for s := 0; s < n; s++ {
+				if !bytes.Equal(recv[s*size:(s+1)*size], pattern(round*1000+s*10+r.ID(), size)) {
+					t.Errorf("round %d rank %d: corrupted block from %d", round, r.ID(), s)
+					return
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[LargeMode]string{Eager: "eager", SingleCopy: "single-copy", Offload: "offload"} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q", int(m), m.String())
+		}
+	}
+	if LargeMode(9).String() != "LargeMode(9)" {
+		t.Error("unknown mode string wrong")
+	}
+}

@@ -1,0 +1,161 @@
+package rt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// LargeMode selects the large-message strategy, mirroring the paper's LMT
+// choices in Go-native form.
+type LargeMode int
+
+const (
+	// Eager forces every message through the two-copy cell path (the
+	// baseline double-buffering analogue).
+	Eager LargeMode = iota
+	// SingleCopy performs rendezvous: the receiver copies straight from
+	// the sender's buffer (what KNEM/vmsplice achieve via the kernel).
+	SingleCopy
+	// Offload performs rendezvous with the copy executed by a worker
+	// from the copier pool, freeing the receiver to overlap — the
+	// asynchronous KNEM/I/OAT analogue.
+	Offload
+)
+
+// String names the mode.
+func (m LargeMode) String() string {
+	switch m {
+	case Eager:
+		return "eager"
+	case SingleCopy:
+		return "single-copy"
+	case Offload:
+		return "offload"
+	default:
+		return fmt.Sprintf("LargeMode(%d)", int(m))
+	}
+}
+
+// Config tunes a World.
+type Config struct {
+	// RndvThreshold is the eager/rendezvous switch (default 64 KiB).
+	RndvThreshold int
+	// Large selects the rendezvous strategy (default SingleCopy).
+	Large LargeMode
+	// Copiers sizes the offload worker pool (default NumCPU/4, min 1).
+	Copiers int
+	// CellBytes sizes eager copy cells (default 64 KiB).
+	CellBytes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.RndvThreshold == 0 {
+		c.RndvThreshold = 64 * 1024
+	}
+	if c.CellBytes == 0 {
+		c.CellBytes = 64 * 1024
+	}
+	if c.RndvThreshold > c.CellBytes {
+		c.RndvThreshold = c.CellBytes
+	}
+	if c.Copiers == 0 {
+		c.Copiers = runtime.NumCPU() / 4
+		if c.Copiers < 1 {
+			c.Copiers = 1
+		}
+	}
+	return c
+}
+
+// World is one job of n ranks.
+type World struct {
+	cfg   Config
+	ranks []*Rank
+
+	cells   sync.Pool
+	copyq   chan copyJob
+	copyWG  sync.WaitGroup
+	stopped atomic.Bool
+
+	// Stats (atomic; read after Run returns).
+	EagerMsgs  atomic.Int64
+	RndvMsgs   atomic.Int64
+	BytesMoved atomic.Int64
+}
+
+// copyJob is one offloaded copy with completion notification.
+type copyJob struct {
+	dst, src []byte
+	done     *rendezvous
+}
+
+// NewWorld creates a world of n ranks.
+func NewWorld(n int, cfg Config) *World {
+	if n <= 0 {
+		panic("rt: world needs at least one rank")
+	}
+	cfg = cfg.withDefaults()
+	w := &World{cfg: cfg, copyq: make(chan copyJob, 128)}
+	w.cells.New = func() any { return make([]byte, cfg.CellBytes) }
+	for r := 0; r < n; r++ {
+		w.ranks = append(w.ranks, newRank(w, r))
+	}
+	for i := 0; i < cfg.Copiers; i++ {
+		w.copyWG.Add(1)
+		go w.copier()
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// copier is an offload worker: the kernel-thread / DMA-engine analogue.
+func (w *World) copier() {
+	defer w.copyWG.Done()
+	for job := range w.copyq {
+		copy(job.dst, job.src)
+		job.done.complete()
+	}
+}
+
+// Run executes app on every rank concurrently and waits for all of them,
+// then shuts the world down. It returns the first panic as an error.
+func (w *World) Run(app func(r *Rank)) (err error) {
+	var wg sync.WaitGroup
+	panics := make(chan any, len(w.ranks))
+	for _, r := range w.ranks {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics <- fmt.Sprintf("rank %d: %v", r.rank, p)
+				}
+			}()
+			app(r)
+		}()
+	}
+	wg.Wait()
+	w.Close()
+	select {
+	case p := <-panics:
+		return fmt.Errorf("rt: %v", p)
+	default:
+		return nil
+	}
+}
+
+// Close stops the copier pool. Idempotent; Run calls it automatically.
+func (w *World) Close() {
+	if w.stopped.CompareAndSwap(false, true) {
+		close(w.copyq)
+		w.copyWG.Wait()
+	}
+}
+
+// Rank returns rank r's handle (for use by that rank's goroutine only).
+func (w *World) Rank(r int) *Rank { return w.ranks[r] }

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"strings"
+)
+
+// event is a scheduled callback. Events with equal time fire in the order
+// they were scheduled (seq breaks ties), which makes runs deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation executor.
+//
+// The zero value is not usable; create engines with NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+
+	// yield is signalled by a process goroutine when it parks, returning
+	// control to whoever woke it (the engine loop or another waker).
+	yield chan struct{}
+
+	procs    []*Proc
+	liveProc int // processes that have started and not yet finished
+	nextPID  int
+
+	stopped bool
+	err     error
+}
+
+// NewEngine returns an empty engine at simulated time zero.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule registers fn to run at absolute simulated time at.
+// Scheduling in the past panics: it would violate causality.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After registers fn to run d after the current simulated time.
+func (e *Engine) After(d Time, fn func()) { e.Schedule(e.now+d, fn) }
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Fail records err and stops the engine. Used by processes to abort a
+// simulation from inside.
+func (e *Engine) Fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+	e.Stop()
+}
+
+// Run executes events until the event queue is empty, Stop is called, or an
+// error is recorded. If the queue drains while processes are still blocked,
+// Run returns a deadlock error naming the blocked processes.
+func (e *Engine) Run() error {
+	return e.RunUntil(-1)
+}
+
+// RunUntil executes events with timestamps <= limit (limit < 0 means no
+// bound). The simulated clock is left at the last executed event (or at
+// limit when the limit cut execution short).
+func (e *Engine) RunUntil(limit Time) error {
+	e.stopped = false
+	for !e.stopped && len(e.events) > 0 {
+		next := e.events[0]
+		if limit >= 0 && next.at > limit {
+			e.now = limit
+			return e.err
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		next.fn()
+	}
+	if e.err != nil {
+		return e.err
+	}
+	if !e.stopped && e.liveProc > 0 {
+		return fmt.Errorf("sim: deadlock at %v: %d process(es) blocked: %s",
+			e.now, e.liveProc, e.blockedNames())
+	}
+	return nil
+}
+
+func (e *Engine) blockedNames() string {
+	var names []string
+	for _, p := range e.procs {
+		if p.started && !p.done && !p.daemon {
+			names = append(names, fmt.Sprintf("%s[%s]", p.name, p.blockedOn))
+		}
+	}
+	return strings.Join(names, ", ")
+}

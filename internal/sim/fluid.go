@@ -1,0 +1,146 @@
+package sim
+
+import "fmt"
+
+// Fluid models a capacity shared max-min fairly among concurrent flows
+// (processor sharing). It is used for the memory bus (capacity in bytes per
+// second shared by all in-flight transfers) and for CPU cores (capacity of
+// one CPU-second per second shared by runnable contexts, which is how a
+// kernel thread competing with a user process halves both their speeds).
+//
+// A flow with amount A completes after A/rate seconds where rate is the
+// flow's time-varying fair share. Completions are recomputed whenever the
+// flow set changes.
+type Fluid struct {
+	eng      *Engine
+	name     string
+	capacity float64 // units per second
+	flows    []*Flow
+	last     Time   // time of last remaining-work update
+	gen      uint64 // invalidates stale completion events
+
+	// Served accumulates the total units completed (for utilization stats).
+	Served float64
+}
+
+// Flow is one in-flight demand on a Fluid. Create flows with Fluid.Start.
+type Flow struct {
+	fluid     *Fluid
+	remaining float64
+	done      bool
+	waiters   []*Proc
+	amount    float64
+}
+
+// NewFluid returns a fluid resource with the given capacity in units/second.
+func NewFluid(e *Engine, name string, capacity float64) *Fluid {
+	if capacity <= 0 {
+		panic("sim: fluid capacity must be positive")
+	}
+	return &Fluid{eng: e, name: name, capacity: capacity}
+}
+
+// Capacity returns the configured capacity in units per second.
+func (f *Fluid) Capacity() float64 { return f.capacity }
+
+// Active reports the number of in-flight flows.
+func (f *Fluid) Active() int { return len(f.flows) }
+
+// epsilon below which a flow counts as complete: less than 0.01 ps of
+// service at full capacity. Completion times are rounded up by 1 ps, so
+// remaining work at the completion event is always under this bound.
+func (f *Fluid) epsilon() float64 { return f.capacity * 1e-14 }
+
+// Start begins a flow of the given amount and returns a handle to wait on.
+// A non-positive amount completes immediately.
+func (f *Fluid) Start(amount float64) *Flow {
+	fl := &Flow{fluid: f, remaining: amount, amount: amount}
+	if amount <= f.epsilon() {
+		fl.done = true
+		f.Served += amount
+		return fl
+	}
+	f.update()
+	f.flows = append(f.flows, fl)
+	f.reschedule()
+	return fl
+}
+
+// Consume runs a flow of the given amount to completion, blocking p.
+func (f *Fluid) Consume(p *Proc, amount float64) {
+	f.Start(amount).Wait(p)
+}
+
+// Wait blocks p until the flow completes. Multiple processes may wait on the
+// same flow.
+func (fl *Flow) Wait(p *Proc) {
+	for !fl.done {
+		fl.waiters = append(fl.waiters, p)
+		p.park("fluid " + fl.fluid.name)
+	}
+}
+
+// Done reports whether the flow has completed.
+func (fl *Flow) Done() bool { return fl.done }
+
+// update charges elapsed service time against all active flows and retires
+// the ones that finished.
+func (f *Fluid) update() {
+	now := f.eng.now
+	if now > f.last && len(f.flows) > 0 {
+		dec := (f.capacity / float64(len(f.flows))) * (now - f.last).Seconds()
+		for _, fl := range f.flows {
+			fl.remaining -= dec
+		}
+	}
+	f.last = now
+	eps := f.epsilon()
+	live := f.flows[:0]
+	for _, fl := range f.flows {
+		if fl.remaining <= eps {
+			fl.done = true
+			f.Served += fl.amount
+			for _, w := range fl.waiters {
+				f.eng.Schedule(now, w.wake)
+			}
+			fl.waiters = nil
+		} else {
+			live = append(live, fl)
+		}
+	}
+	// Zero the tail so retired flows are not pinned by the backing array.
+	for i := len(live); i < len(f.flows); i++ {
+		f.flows[i] = nil
+	}
+	f.flows = live
+}
+
+// reschedule places a completion event at the earliest flow finish time.
+// The generation counter cancels previously scheduled events.
+func (f *Fluid) reschedule() {
+	f.gen++
+	if len(f.flows) == 0 {
+		return
+	}
+	minRem := f.flows[0].remaining
+	for _, fl := range f.flows[1:] {
+		if fl.remaining < minRem {
+			minRem = fl.remaining
+		}
+	}
+	rate := f.capacity / float64(len(f.flows))
+	dt := FromSeconds(minRem/rate) + 1 // round up so the flow really finishes
+	gen := f.gen
+	f.eng.Schedule(f.eng.now+dt, func() {
+		if gen != f.gen {
+			return // superseded by a later flow-set change
+		}
+		f.update()
+		f.reschedule()
+	})
+}
+
+// String describes the fluid for diagnostics.
+func (f *Fluid) String() string {
+	return fmt.Sprintf("fluid %s cap=%.3g active=%d", f.name, f.capacity, len(f.flows))
+}

@@ -1,0 +1,100 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: a goroutine that advances simulated time by
+// blocking on the engine. All Proc methods must be called from the process's
+// own goroutine (that is, from within the function passed to Spawn).
+type Proc struct {
+	eng  *Engine
+	name string
+	pid  int
+
+	resume    chan struct{}
+	started   bool
+	done      bool
+	daemon    bool
+	blockedOn string // human-readable reason, for deadlock reports
+}
+
+// SpawnAt creates a process that will begin executing fn at simulated time
+// start (which must be >= now). The process counts as live until fn returns.
+func (e *Engine) SpawnAt(start Time, name string, fn func(*Proc)) *Proc {
+	return e.spawn(start, name, false, fn)
+}
+
+func (e *Engine) spawn(start Time, name string, daemon bool, fn func(*Proc)) *Proc {
+	p := &Proc{eng: e, name: name, pid: e.nextPID, daemon: daemon, resume: make(chan struct{})}
+	e.nextPID++
+	e.procs = append(e.procs, p)
+	if !daemon {
+		e.liveProc++
+	}
+	go func() {
+		<-p.resume // wait for the start event
+		fn(p)
+		p.done = true
+		if !daemon {
+			e.liveProc--
+		}
+		e.yield <- struct{}{}
+	}()
+	e.Schedule(start, func() {
+		p.started = true
+		p.wake()
+	})
+	return p
+}
+
+// Spawn creates a process starting at the current simulated time.
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	return e.spawn(e.now, name, false, fn)
+}
+
+// SpawnDaemon creates a service process (device engines, kernel worker
+// threads) that may block forever without counting as a deadlock: Run
+// returns normally when only daemons remain.
+func (e *Engine) SpawnDaemon(name string, fn func(*Proc)) *Proc {
+	return e.spawn(e.now, name, true, fn)
+}
+
+// wake transfers control to the process goroutine and returns when it parks
+// again (or finishes). It must be called from engine/event context.
+func (p *Proc) wake() {
+	p.resume <- struct{}{}
+	<-p.eng.yield
+}
+
+// park returns control to the engine until the process is woken.
+// reason is recorded for deadlock diagnostics.
+func (p *Proc) park(reason string) {
+	p.blockedOn = reason
+	p.eng.yield <- struct{}{}
+	<-p.resume
+	p.blockedOn = ""
+}
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// PID returns the unique process id.
+func (p *Proc) PID() int { return p.pid }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Sleep suspends the process for simulated duration d (d <= 0 yields at the
+// current time, running after already-scheduled same-time events).
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.Schedule(p.eng.now+d, p.wake)
+	p.park(fmt.Sprintf("sleep %v", d))
+}
+
+// Yield reschedules the process at the current time behind pending events.
+func (p *Proc) Yield() { p.Sleep(0) }

@@ -1,0 +1,126 @@
+package sim
+
+// Cond is a simulated condition variable. Unlike sync.Cond there is no
+// associated mutex: the simulation is sequential, so state changes between
+// Wait and Signal cannot race. The usual pattern still applies — waiters
+// must re-check their predicate in a loop, because another process may run
+// between the signal and the wakeup.
+type Cond struct {
+	eng     *Engine
+	waiters []*Proc
+	label   string
+}
+
+// NewCond returns a condition variable bound to engine e. The label appears
+// in deadlock reports.
+func NewCond(e *Engine, label string) *Cond {
+	return &Cond{eng: e, label: label}
+}
+
+// Wait blocks p until Signal or Broadcast wakes it.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park("cond " + c.label)
+}
+
+// Signal wakes the longest-waiting process, if any. The wakeup is delivered
+// as an event at the current time, preserving deterministic ordering.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.eng.Schedule(c.eng.now, w.wake)
+}
+
+// Broadcast wakes all waiting processes in FIFO order.
+func (c *Cond) Broadcast() {
+	for _, w := range c.waiters {
+		c.eng.Schedule(c.eng.now, w.wake)
+	}
+	c.waiters = c.waiters[:0]
+}
+
+// Waiters reports how many processes are blocked on c.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// Mailbox is an unbounded FIFO of items with blocking receive. It is the
+// simulation analogue of a Go channel.
+type Mailbox[T any] struct {
+	items []T
+	cond  *Cond
+}
+
+// NewMailbox returns an empty mailbox bound to engine e.
+func NewMailbox[T any](e *Engine, label string) *Mailbox[T] {
+	return &Mailbox[T]{cond: NewCond(e, "mailbox "+label)}
+}
+
+// Put appends an item and wakes one waiting receiver.
+func (m *Mailbox[T]) Put(v T) {
+	m.items = append(m.items, v)
+	m.cond.Signal()
+}
+
+// Get blocks p until an item is available and returns it.
+func (m *Mailbox[T]) Get(p *Proc) T {
+	for len(m.items) == 0 {
+		m.cond.Wait(p)
+	}
+	v := m.items[0]
+	copy(m.items, m.items[1:])
+	m.items = m.items[:len(m.items)-1]
+	return v
+}
+
+// TryGet returns the next item without blocking.
+func (m *Mailbox[T]) TryGet() (T, bool) {
+	var zero T
+	if len(m.items) == 0 {
+		return zero, false
+	}
+	v := m.items[0]
+	copy(m.items, m.items[1:])
+	m.items = m.items[:len(m.items)-1]
+	return v, true
+}
+
+// Len reports the number of queued items.
+func (m *Mailbox[T]) Len() int { return len(m.items) }
+
+// Resource is a counting semaphore with FIFO admission, used for exclusive
+// or limited-concurrency devices (e.g. a pipe lock or an ioctl path).
+type Resource struct {
+	capacity int
+	inUse    int
+	cond     *Cond
+}
+
+// NewResource returns a resource admitting up to capacity concurrent holders.
+func NewResource(e *Engine, label string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{capacity: capacity, cond: NewCond(e, "resource "+label)}
+}
+
+// Acquire blocks p until a slot is available.
+func (r *Resource) Acquire(p *Proc) {
+	for r.inUse >= r.capacity {
+		r.cond.Wait(p)
+	}
+	r.inUse++
+}
+
+// Release frees a slot and wakes one waiter.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: release of idle resource")
+	}
+	r.inUse--
+	r.cond.Signal()
+}
+
+// InUse reports the current number of holders.
+func (r *Resource) InUse() int { return r.inUse }

@@ -1,0 +1,96 @@
+package topo
+
+import (
+	"testing"
+
+	"knemesis/internal/units"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, m := range []*Machine{XeonE5345(), XeonX5460(), NehalemStyle()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestE5345Topology(t *testing.T) {
+	m := XeonE5345()
+	if m.Cores != 8 {
+		t.Fatalf("cores = %d, want 8", m.Cores)
+	}
+	a, b := m.PairSharedCache()
+	if !m.SharedCache(a, b) {
+		t.Fatalf("PairSharedCache returned non-sharing cores %d,%d", a, b)
+	}
+	c, d := m.PairDifferentDies()
+	if m.SharedCache(c, d) {
+		t.Fatalf("PairDifferentDies returned sharing cores %d,%d", c, d)
+	}
+	if m.L2Of(0) != m.L2Of(1) || m.L2Of(0) == m.L2Of(2) {
+		t.Fatal("L2 domain mapping wrong for E5345")
+	}
+	if n := m.CoresSharingL2(0); n != 2 {
+		t.Fatalf("CoresSharingL2(0) = %d, want 2", n)
+	}
+}
+
+// The paper's §3.5 calibration points: 4 MiB L2 shared by 2 processes gives
+// a 1 MiB threshold; unshared gives 2 MiB; a 6 MiB cache raises thresholds
+// by 50%.
+func TestDMAMinPaperValues(t *testing.T) {
+	e := XeonE5345()
+	if got := e.DMAMin(2); got != 1*units.MiB {
+		t.Errorf("E5345 DMAMin(2) = %s, want 1MiB", units.FormatSize(got))
+	}
+	if got := e.DMAMin(1); got != 2*units.MiB {
+		t.Errorf("E5345 DMAMin(1) = %s, want 2MiB", units.FormatSize(got))
+	}
+	if got := e.DMAMinArch(0); got != 1*units.MiB {
+		t.Errorf("E5345 DMAMinArch = %s, want 1MiB", units.FormatSize(got))
+	}
+	x := XeonX5460()
+	if got, want := x.DMAMin(2), e.DMAMin(2)*3/2; got != want {
+		t.Errorf("X5460 DMAMin(2) = %s, want +50%% = %s",
+			units.FormatSize(got), units.FormatSize(want))
+	}
+}
+
+func TestValidateRejectsBadMachines(t *testing.T) {
+	m := XeonE5345()
+	m.L2Domains = [][]CoreID{{0, 1}} // cores 2..7 missing
+	if err := m.Validate(); err == nil {
+		t.Error("missing-domain machine validated")
+	}
+
+	m = XeonE5345()
+	m.L2Domains = append(m.L2Domains, []CoreID{0}) // duplicate core
+	if err := m.Validate(); err == nil {
+		t.Error("duplicate-core machine validated")
+	}
+
+	m = XeonE5345()
+	m.Params.BlockBytes = 1000 // not a power of two
+	if err := m.Validate(); err == nil {
+		t.Error("non-pow2 block machine validated")
+	}
+
+	m = XeonE5345()
+	m.Params.BlockBytes = 32 // below line size
+	if err := m.Validate(); err == nil {
+		t.Error("block < line machine validated")
+	}
+}
+
+func TestAllCores(t *testing.T) {
+	m := XeonX5460()
+	cores := m.AllCores()
+	if len(cores) != 4 {
+		t.Fatalf("AllCores len = %d, want 4", len(cores))
+	}
+	for i, c := range cores {
+		if int(c) != i {
+			t.Fatalf("AllCores[%d] = %d", i, c)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Package units provides binary size constants, parsing and formatting
+// helpers shared by the simulator, benchmarks and CLIs.
+package units
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Binary size units.
+const (
+	KiB int64 = 1 << 10
+	MiB int64 = 1 << 20
+	GiB int64 = 1 << 30
+)
+
+// FormatSize renders n bytes in the most natural binary unit, e.g. "64KiB",
+// "4MiB", "1.5GiB". Exact multiples print without a fraction.
+func FormatSize(n int64) string {
+	format := func(v int64, unit int64, suffix string) string {
+		if v%unit == 0 {
+			return strconv.FormatInt(v/unit, 10) + suffix
+		}
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", float64(v)/float64(unit)), "0"), ".") + suffix
+	}
+	switch {
+	case n >= GiB:
+		return format(n, GiB, "GiB")
+	case n >= MiB:
+		return format(n, MiB, "MiB")
+	case n >= KiB:
+		return format(n, KiB, "KiB")
+	default:
+		return strconv.FormatInt(n, 10) + "B"
+	}
+}
+
+// ParseSize parses strings like "64KiB", "4M", "1024", "2 MiB" (case
+// insensitive, optional "iB"/"B" suffix) into a byte count.
+func ParseSize(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToLower(s))
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{
+		{"gib", GiB}, {"mib", MiB}, {"kib", KiB},
+		{"gb", GiB}, {"mb", MiB}, {"kb", KiB},
+		{"g", GiB}, {"m", MiB}, {"k", KiB}, {"b", 1},
+	} {
+		if strings.HasSuffix(t, u.suffix) {
+			t = strings.TrimSpace(strings.TrimSuffix(t, u.suffix))
+			mult = u.mult
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: cannot parse size %q: %w", s, err)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("units: negative size %q", s)
+	}
+	return int64(v * float64(mult)), nil
+}
+
+// MiBps converts (bytes, seconds) to MiB/s; returns 0 for non-positive time.
+func MiBps(bytes int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(bytes) / float64(MiB) / seconds
+}
+
+// Pow2Sizes returns the powers of two from lo to hi inclusive (both must be
+// powers of two with lo <= hi).
+func Pow2Sizes(lo, hi int64) []int64 {
+	var out []int64
+	for s := lo; s <= hi; s *= 2 {
+		out = append(out, s)
+	}
+	return out
+}

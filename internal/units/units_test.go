@@ -1,0 +1,102 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatSize(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{1024, "1KiB"},
+		{64 * KiB, "64KiB"},
+		{4 * MiB, "4MiB"},
+		{3 * GiB / 2, "1.5GiB"},
+		{1536, "1.5KiB"},
+	}
+	for _, c := range cases {
+		if got := FormatSize(c.n); got != c.want {
+			t.Errorf("FormatSize(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		s    string
+		want int64
+	}{
+		{"1024", 1024},
+		{"64KiB", 64 * KiB},
+		{"64k", 64 * KiB},
+		{"4MiB", 4 * MiB},
+		{"4 MB", 4 * MiB},
+		{"2g", 2 * GiB},
+		{"1.5KiB", 1536},
+		{"0", 0},
+	}
+	for _, c := range cases {
+		got, err := ParseSize(c.s)
+		if err != nil {
+			t.Errorf("ParseSize(%q) error: %v", c.s, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSize(%q) = %d, want %d", c.s, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "-5KiB", "12QiB"} {
+		if _, err := ParseSize(bad); err == nil {
+			t.Errorf("ParseSize(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// Property: parse(format(n)) == n for exact multiples of KiB/MiB/GiB and
+// small byte counts (formatting of those is lossless).
+func TestFormatParseRoundTrip(t *testing.T) {
+	prop := func(raw uint32, unitSel uint8) bool {
+		var n int64
+		switch unitSel % 4 {
+		case 0:
+			n = int64(raw % 1024) // plain bytes
+		case 1:
+			n = (int64(raw%1023) + 1) * KiB // stays below 1 MiB: lossless
+		case 2:
+			n = (int64(raw%1023) + 1) * MiB // stays below 1 GiB: lossless
+		default:
+			n = (int64(raw%64) + 1) * GiB
+		}
+		got, err := ParseSize(FormatSize(n))
+		return err == nil && got == n
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPow2Sizes(t *testing.T) {
+	got := Pow2Sizes(64*KiB, 4*MiB)
+	want := []int64{64 * KiB, 128 * KiB, 256 * KiB, 512 * KiB, MiB, 2 * MiB, 4 * MiB}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMiBps(t *testing.T) {
+	if got := MiBps(MiB, 1); got != 1 {
+		t.Fatalf("MiBps(1MiB,1s) = %v, want 1", got)
+	}
+	if got := MiBps(MiB, 0); got != 0 {
+		t.Fatalf("MiBps(...,0) = %v, want 0", got)
+	}
+}
