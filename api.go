@@ -55,8 +55,12 @@ var (
 type (
 	// LMTOptions selects and tunes a Large Message Transfer backend.
 	LMTOptions = core.Options
-	// LMTKind enumerates the backends.
+	// LMTKind names a backend: the key of the core backend registry.
 	LMTKind = core.Kind
+	// LMTBackend is one entry of the backend registry.
+	LMTBackend = core.Backend
+	// LMTSpec is one named backend preset (the CLIs' -lmt values).
+	LMTSpec = core.Spec
 	// IOATPolicy controls DMA-engine offload for the KNEM backend.
 	IOATPolicy = core.IOATPolicy
 	// Stack is a fully wired simulated node (hardware, OS, KNEM, channel).
@@ -71,10 +75,25 @@ const (
 	VmspliceLMT       = core.VmspliceLMT
 	VmspliceWritevLMT = core.VmspliceWritevLMT
 	KnemLMT           = core.KnemLMT
+	CMALMT            = core.CMALMT
 
 	IOATOff    = core.IOATOff
 	IOATAlways = core.IOATAlways
 	IOATAuto   = core.IOATAuto
+)
+
+// Backend registry access: the enumeration the CLIs and embedders use
+// instead of hand-maintained switches.
+var (
+	// LMTNames lists every registered backend in paper-table order.
+	LMTNames = core.Names
+	// LMTSpecs lists every named preset (backend x variant).
+	LMTSpecs = core.Specs
+	// ParseLMT resolves a preset name (e.g. "knem-ioat-auto", "cma")
+	// into options.
+	ParseLMT = core.ParseSpec
+	// LookupLMT returns the registry entry for a backend name.
+	LookupLMT = core.Lookup
 )
 
 // NewStack builds a simulated node on machine m with one MPI rank pinned to
@@ -98,6 +117,17 @@ type (
 // NewWorld wraps a stack as an MPI job (one rank per channel endpoint).
 func NewWorld(st *Stack) *World { return mpi.NewWorld(st) }
 
+// Experiment registry types: every paper artefact is a registered
+// Experiment run against an Env; see cmd/knemsim for the CLI.
+type (
+	// Experiment is one entry of the paper-artefact registry.
+	Experiment = experiments.Experiment
+	// ExperimentEnv is the declarative input an experiment runs against.
+	ExperimentEnv = experiments.Env
+	// ExperimentResult is a runnable experiment's rendered artefact.
+	ExperimentResult = experiments.Result
+)
+
 // Benchmarks and experiments.
 var (
 	// PingPong runs the IMB PingPong sweep on a stack.
@@ -105,7 +135,15 @@ var (
 	// Alltoall runs the IMB Alltoall sweep on a stack.
 	Alltoall = imb.Alltoall
 
-	// Figure and table generators (paper §4). See cmd/knemsim for the CLI.
+	// Experiment registry access.
+	Experiments   = experiments.Experiments
+	ExperimentIDs = experiments.ExperimentIDs
+	RunExperiment = experiments.Run
+	// DefaultExperimentEnv is the paper's full-scale setup on a machine.
+	DefaultExperimentEnv = experiments.DefaultEnv
+
+	// Figure and table generators (paper §4), kept as direct entry
+	// points; each is a thin wrapper over its registry entry.
 	Fig3       = experiments.Fig3
 	Fig4       = experiments.Fig4
 	Fig5       = experiments.Fig5

@@ -49,14 +49,53 @@ func TestFacadeExperimentEntryPoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(fig.Series) != 4 {
-		t.Fatalf("fig4 series = %d", len(fig.Series))
+	// The paper's four curves plus the CMA backend.
+	if len(fig.Series) != 5 {
+		t.Fatalf("fig4 series = %d, want 5", len(fig.Series))
+	}
+	if got := fig.Series[4].Label; got != "CMA LMT" {
+		t.Fatalf("extra fig4 curve = %q, want CMA LMT", got)
 	}
 	if ks := NASKernels(); len(ks) != 8 {
 		t.Fatalf("NAS kernels = %d", len(ks))
 	}
+	if testing.Short() {
+		t.Skip("threshold sweep skipped in -short mode")
+	}
 	if _, err := Thresholds(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The facade exposes both registries: backend names/presets and the
+// experiment index, all generated rather than hand-maintained.
+func TestFacadeRegistries(t *testing.T) {
+	names := LMTNames()
+	if len(names) < 5 || names[0] != DefaultLMT {
+		t.Fatalf("LMT names = %v", names)
+	}
+	opt, err := ParseLMT("cma")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Kind != CMALMT {
+		t.Fatalf("ParseLMT(cma).Kind = %q", opt.Kind)
+	}
+	if _, err := LookupLMT(CMALMT); err != nil {
+		t.Fatal(err)
+	}
+	ids := ExperimentIDs()
+	if len(ids) == 0 || ids[0] != "fig3" {
+		t.Fatalf("experiment ids = %v", ids)
+	}
+	env := DefaultExperimentEnv(XeonE5345())
+	env.PingSizes = []int64{128 * units.KiB}
+	res, err := RunExperiment("fig4", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("nil experiment result")
 	}
 }
 

@@ -1,21 +1,23 @@
 // Command imb runs a single IMB-style benchmark (PingPong or Alltoall) on
 // the simulator under one LMT configuration — the interactive counterpart
-// of the figure sweeps in cmd/knemsim.
+// of the figure sweeps in cmd/knemsim. The -lmt value set, help text and
+// validation are generated from the core backend registry.
 //
 // Usage:
 //
 //	imb -bench pingpong -lmt knem -placement cross -min 64KiB -max 4MiB
 //	imb -bench alltoall -lmt knem-ioat -ranks 8
+//	imb -lmt list        # describe every registered backend preset
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"knemesis/internal/core"
 	"knemesis/internal/imb"
-	"knemesis/internal/knem"
 	"knemesis/internal/nemesis"
 	"knemesis/internal/topo"
 	"knemesis/internal/units"
@@ -24,7 +26,7 @@ import (
 func main() {
 	var (
 		bench     = flag.String("bench", "pingpong", "pingpong|alltoall")
-		lmt       = flag.String("lmt", "default", "default|vmsplice|vmsplice-writev|knem|knem-ioat|knem-ioat-auto|knem-async")
+		lmt       = flag.String("lmt", "default", strings.Join(core.SpecNames(), "|")+"|list")
 		placement = flag.String("placement", "cross", "shared|cross (pingpong only)")
 		machine   = flag.String("machine", "e5345", "e5345|x5460|nehalem")
 		ranks     = flag.Int("ranks", 8, "rank count (alltoall only)")
@@ -34,9 +36,16 @@ func main() {
 	)
 	flag.Parse()
 
+	if *lmt == "list" {
+		for _, s := range core.Specs() {
+			fmt.Printf("%-16s %s\n", s.Name, s.Help)
+		}
+		return
+	}
+
 	m, err := machineByName(*machine)
 	check(err)
-	opt, err := lmtByName(*lmt)
+	opt, err := core.ParseSpec(*lmt)
 	check(err)
 	lo, err := units.ParseSize(*minSize)
 	check(err)
@@ -52,6 +61,7 @@ func main() {
 	}
 
 	var res imb.Result
+	var st *core.Stack
 	switch *bench {
 	case "pingpong":
 		var c0, c1 topo.CoreID
@@ -60,46 +70,24 @@ func main() {
 		} else {
 			c0, c1 = m.PairDifferentDies()
 		}
-		st := core.NewStack(m, []topo.CoreID{c0, c1}, opt, cfg)
+		st = core.NewStack(m, []topo.CoreID{c0, c1}, opt, cfg)
 		res, err = imb.PingPong(st, sizes)
 	case "alltoall":
 		if *ranks > m.Cores {
 			check(fmt.Errorf("machine has %d cores, requested %d ranks", m.Cores, *ranks))
 		}
-		st := core.NewStack(m, m.AllCores()[:*ranks], opt, cfg)
+		st = core.NewStack(m, m.AllCores()[:*ranks], opt, cfg)
 		res, err = imb.Alltoall(st, sizes)
 	default:
 		check(fmt.Errorf("unknown bench %q", *bench))
 	}
 	check(err)
 
-	fmt.Printf("# %s, %s LMT, machine %s\n", res.Bench, res.Label, m.Name)
+	fmt.Printf("# %s, %s LMT (backend %s), machine %s\n", res.Bench, res.Label, st.Ch.BackendName(), m.Name)
 	fmt.Printf("%-10s %14s %14s %14s\n", "size", "time(us)", "MiB/s", "L2miss/op")
 	for _, pt := range res.Points {
 		fmt.Printf("%-10s %14.2f %14.0f %14d\n",
 			units.FormatSize(pt.Size), pt.Time.Microseconds(), pt.Throughput, pt.L2Misses)
-	}
-}
-
-func lmtByName(name string) (core.Options, error) {
-	switch name {
-	case "default":
-		return core.Options{Kind: core.DefaultLMT}, nil
-	case "vmsplice":
-		return core.Options{Kind: core.VmspliceLMT}, nil
-	case "vmsplice-writev":
-		return core.Options{Kind: core.VmspliceWritevLMT}, nil
-	case "knem":
-		return core.Options{Kind: core.KnemLMT, IOAT: core.IOATOff}, nil
-	case "knem-ioat":
-		return core.Options{Kind: core.KnemLMT, IOAT: core.IOATAlways}, nil
-	case "knem-ioat-auto":
-		return core.Options{Kind: core.KnemLMT, IOAT: core.IOATAuto}, nil
-	case "knem-async":
-		md := knem.AsyncKThread
-		return core.Options{Kind: core.KnemLMT, ForceKnemMode: &md}, nil
-	default:
-		return core.Options{}, fmt.Errorf("unknown LMT %q", name)
 	}
 }
 

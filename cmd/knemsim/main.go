@@ -1,5 +1,7 @@
 // Command knemsim regenerates the paper's evaluation artefacts (Figures
-// 3-7, Tables 1-2, and the §3.5 threshold study) on the simulator.
+// 3-7, Tables 1-2, the §3.5 threshold study and the model ablations) on the
+// simulator. The experiment set, its help text and its validation all come
+// from the experiments registry — adding an experiment there adds it here.
 //
 // Usage:
 //
@@ -7,12 +9,14 @@
 //	knemsim -experiment all -out results     # everything + CSV/JSON files
 //	knemsim -experiment table1 -quick        # reduced-scale smoke run
 //	knemsim -experiment fig4 -machine x5460  # the 6 MiB-L2 host
+//	knemsim -experiment all -j 8             # shard stacks over 8 workers
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"knemesis/internal/experiments"
@@ -22,12 +26,15 @@ import (
 )
 
 func main() {
+	ids := experiments.ExperimentIDs()
 	var (
-		experiment = flag.String("experiment", "all", "fig3|fig4|fig5|fig6|fig7|table1|table2|thresholds|ablation|collective-aware|all")
+		experiment = flag.String("experiment", "all", strings.Join(ids, "|")+"|all")
 		machine    = flag.String("machine", "e5345", "e5345|x5460|nehalem")
 		outDir     = flag.String("out", "", "directory for CSV/JSON artefacts (optional)")
 		quick      = flag.Bool("quick", false, "reduced sizes and scaled NAS kernels")
-		verbose    = flag.Bool("v", false, "progress to stderr")
+		workers    = flag.Int("j", experiments.DefaultWorkers(),
+			"worker pool width for independent stack simulations (1 = serial)")
+		verbose = flag.Bool("v", false, "progress to stderr")
 	)
 	flag.Parse()
 
@@ -35,144 +42,49 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *experiment != "all" {
+		if _, err := experiments.LookupExperiment(*experiment); err != nil {
+			fatal(err)
+		}
+	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fatal(err)
 		}
 	}
 
-	pingSizes := experiments.DefaultPingPongSizes()
-	a2aSizes := experiments.DefaultAlltoallSizes()
-	kernels := nas.Kernels()
-	isKernel := nas.IS()
+	env := experiments.DefaultEnv(m)
+	env.Workers = *workers
 	if *quick {
-		pingSizes = []int64{128 * units.KiB, 512 * units.KiB, 2 * units.MiB}
-		a2aSizes = []int64{16 * units.KiB, 128 * units.KiB, 1 * units.MiB}
-		kernels = []nas.Kernel{nas.MG().Scaled(4), nas.FT().Scaled(10), nas.ISSized(1<<21, 3, 8)}
-		isKernel = nas.ISSized(1<<21, 3, 8)
+		env.PingSizes = []int64{128 * units.KiB, 512 * units.KiB, 2 * units.MiB}
+		env.A2ASizes = []int64{16 * units.KiB, 128 * units.KiB, 1 * units.MiB}
+		env.Kernels = []nas.Kernel{nas.MG().Scaled(4), nas.FT().Scaled(10), nas.ISSized(1<<21, 3, 8)}
+		env.ISKernel = nas.ISSized(1<<21, 3, 8)
 	}
 
-	run := func(id string, fn func() error) {
-		if *experiment != "all" && *experiment != id {
-			return
+	for _, exp := range experiments.Experiments() {
+		if *experiment != "all" && *experiment != exp.ID {
+			continue
 		}
 		start := time.Now()
 		if *verbose {
-			fmt.Fprintf(os.Stderr, "running %s on %s...\n", id, m.Name)
+			fmt.Fprintf(os.Stderr, "running %s on %s...\n", exp.ID, m.Name)
 		}
-		if err := fn(); err != nil {
-			fatal(fmt.Errorf("%s: %w", id, err))
+		res, err := exp.Run(env)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", exp.ID, err))
+		}
+		res.Render(os.Stdout)
+		fmt.Println()
+		if *outDir != "" {
+			if err := res.WriteFiles(*outDir); err != nil {
+				fatal(fmt.Errorf("%s: %w", exp.ID, err))
+			}
 		}
 		if *verbose {
-			fmt.Fprintf(os.Stderr, "%s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "%s done in %v\n", exp.ID, time.Since(start).Round(time.Millisecond))
 		}
 	}
-
-	emitFigure := func(fig experiments.Figure) error {
-		experiments.RenderFigure(os.Stdout, fig)
-		fmt.Println()
-		if *outDir != "" {
-			if err := experiments.WriteFigureCSV(*outDir, fig); err != nil {
-				return err
-			}
-			return experiments.WriteJSON(*outDir, fig.ID, fig)
-		}
-		return nil
-	}
-
-	run("fig3", func() error {
-		fig, err := experiments.Fig3(m, pingSizes)
-		if err != nil {
-			return err
-		}
-		return emitFigure(fig)
-	})
-	run("fig4", func() error {
-		fig, err := experiments.Fig4(m, pingSizes)
-		if err != nil {
-			return err
-		}
-		return emitFigure(fig)
-	})
-	run("fig5", func() error {
-		fig, err := experiments.Fig5(m, pingSizes)
-		if err != nil {
-			return err
-		}
-		return emitFigure(fig)
-	})
-	run("fig6", func() error {
-		fig, err := experiments.Fig6(m, pingSizes)
-		if err != nil {
-			return err
-		}
-		return emitFigure(fig)
-	})
-	run("fig7", func() error {
-		fig, err := experiments.Fig7(m, a2aSizes)
-		if err != nil {
-			return err
-		}
-		return emitFigure(fig)
-	})
-	run("table1", func() error {
-		tab, rows, err := experiments.Table1(m, kernels)
-		if err != nil {
-			return err
-		}
-		experiments.RenderTable(os.Stdout, tab)
-		fmt.Println()
-		if *outDir != "" {
-			if err := experiments.WriteJSON(*outDir, "table1", rows); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
-	run("table2", func() error {
-		tab, err := experiments.Table2(m, isKernel)
-		if err != nil {
-			return err
-		}
-		experiments.RenderTable(os.Stdout, tab)
-		fmt.Println()
-		if *outDir != "" {
-			return experiments.WriteJSON(*outDir, "table2", tab)
-		}
-		return nil
-	})
-	run("thresholds", func() error {
-		results, err := experiments.Thresholds()
-		if err != nil {
-			return err
-		}
-		experiments.RenderThresholds(os.Stdout, results)
-		fmt.Println()
-		if *outDir != "" {
-			return experiments.WriteJSON(*outDir, "thresholds", results)
-		}
-		return nil
-	})
-	run("ablation", func() error {
-		rows, err := experiments.ModelAblation()
-		if err != nil {
-			return err
-		}
-		experiments.RenderAblation(os.Stdout, rows)
-		fmt.Println()
-		if *outDir != "" {
-			return experiments.WriteJSON(*outDir, "ablation", rows)
-		}
-		return nil
-	})
-	run("collective-aware", func() error {
-		sizes := a2aSizes
-		fig, err := experiments.CollectiveAwareStudy(m, sizes)
-		if err != nil {
-			return err
-		}
-		return emitFigure(fig)
-	})
 }
 
 func machineByName(name string) (*topo.Machine, error) {

@@ -1,0 +1,3 @@
+module knemesis
+
+go 1.22

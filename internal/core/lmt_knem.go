@@ -4,8 +4,55 @@ import (
 	"knemesis/internal/knem"
 	"knemesis/internal/nemesis"
 	"knemesis/internal/sim"
-	"knemesis/internal/topo"
 )
+
+func init() {
+	Register(KnemLMT, Info{
+		Summary:   "KNEM kernel-module single copy, optionally I/OAT-offloaded (§3.2-3.4)",
+		Order:     3,
+		NeedsKNEM: true,
+		NeedsDMA:  knemNeedsDMA,
+		Label:     knemLabel,
+		Variants: []Variant{
+			{Help: "KNEM kernel copy (no offload)"},
+			{Suffix: "ioat", Help: "KNEM offloading every transfer to I/OAT",
+				Apply: func(o *Options) { o.IOAT = IOATAlways }},
+			{Suffix: "ioat-auto", Help: "KNEM with the §3.5 DMAmin offload threshold",
+				Apply: func(o *Options) { o.IOAT = IOATAuto }},
+			{Suffix: "async", Help: "KNEM kernel-thread asynchronous copy (Fig. 6)",
+				Apply: func(o *Options) {
+					md := knem.AsyncKThread
+					o.ForceKnemMode = &md
+				}},
+		},
+	}, func(ch *nemesis.Channel, opt Options) nemesis.LMT {
+		return newKnemLMT(ch, opt)
+	})
+}
+
+// knemNeedsDMA reports whether the configuration will submit I/OAT work:
+// either an explicit I/OAT mode is forced, or the offload policy may engage.
+func knemNeedsDMA(opt Options) bool {
+	if opt.ForceKnemMode != nil {
+		return *opt.ForceKnemMode == knem.SyncIOAT || *opt.ForceKnemMode == knem.AsyncIOAT
+	}
+	return opt.IOAT != IOATOff
+}
+
+// knemLabel renders the configuration as in the paper's tables.
+func knemLabel(opt Options) string {
+	s := string(KnemLMT)
+	if opt.ForceKnemMode != nil {
+		return s + "/" + opt.ForceKnemMode.String()
+	}
+	switch opt.IOAT {
+	case IOATAlways:
+		s += "+ioat"
+	case IOATAuto:
+		s += "+ioat-auto"
+	}
+	return s
+}
 
 // knemLMT transfers large messages through the KNEM kernel module (§3.2):
 // the sender declares its buffer (send command) and passes the resulting
@@ -59,30 +106,11 @@ func (l *knemLMT) chooseMode(t *nemesis.Transfer) knem.Mode {
 	case IOATAlways:
 		return knem.AsyncIOAT
 	case IOATAuto:
-		if t.Size >= l.dmaMin(t.RecvCore()) {
+		if t.Size >= dmaMinFor(l.ch, l.opt, t.RecvCore()) {
 			return knem.AsyncIOAT
 		}
 		return knem.SyncCopy
 	default:
 		return knem.SyncCopy
 	}
-}
-
-// dmaMin evaluates DMAmin = cache / (2 x processes using the cache) for the
-// receiving core, counting the channel ranks actually placed on its L2.
-// With CollectiveAware and an upper-layer hint of n concurrent large
-// transfers, the threshold shrinks by n: the transfers' aggregate footprint
-// is what pressures the cache.
-func (l *knemLMT) dmaMin(recvCore topo.CoreID) int64 {
-	cores := make([]topo.CoreID, 0, len(l.ch.Endpoints))
-	for _, ep := range l.ch.Endpoints {
-		cores = append(cores, ep.Core)
-	}
-	min := DMAMinFor(l.ch.M.Topo, cores, recvCore)
-	if l.opt.CollectiveAware {
-		if hint := l.ch.CollectiveHint(); hint > 1 {
-			min /= int64(hint)
-		}
-	}
-	return min
 }

@@ -7,6 +7,7 @@ import (
 	"knemesis/internal/mem"
 	"knemesis/internal/nemesis"
 	"knemesis/internal/sim"
+	"knemesis/internal/topo"
 )
 
 // Double-buffering geometry: two slots of 32 KiB, as in the MPICH2 shm LMT
@@ -18,12 +19,73 @@ const (
 	shmSlots     = 2
 )
 
-// copyRing is the per-connection shared-memory copy buffer.
+func init() {
+	Register(DefaultLMT, Info{
+		Summary: "shared-memory double-buffering (two copies, §2)",
+		Order:   0,
+	}, func(ch *nemesis.Channel, opt Options) nemesis.LMT {
+		return newShmLMT(ch)
+	})
+}
+
+// copyRing is the per-connection shared-memory copy buffer. It implements
+// stagedPipe: the sender pushes one slot per call, the receiver pulls one,
+// with a cache-line control transfer publishing each slot-state flip.
 type copyRing struct {
+	m      *hw.Machine
 	slots  [shmSlots]*mem.Buffer
 	full   [shmSlots]bool
 	filled [shmSlots]int64 // valid bytes in a full slot
 	cond   *sim.Cond
+
+	pushSlot int // next slot the sender fills
+	pullSlot int // next slot the receiver drains
+
+	// The transfer's fixed placement: Push always runs on sendCore and
+	// publishes to recvCore, Pull the reverse.
+	sendCore, recvCore topo.CoreID
+}
+
+// Push fills the next free slot from rest and publishes the "slot full" flag
+// to the receiver (one cache line).
+func (r *copyRing) Push(p *sim.Proc, core topo.CoreID, rest mem.IOVec) int64 {
+	slot := r.pushSlot
+	for r.full[slot] {
+		r.cond.Wait(p)
+	}
+	n := int64(shmSlotBytes)
+	if total := rest.TotalLen(); n > total {
+		n = total
+	}
+	slotVec := mem.IOVec{{Buf: r.slots[slot], Off: 0, Len: n}}
+	for _, pair := range mem.Overlay(slotVec, rest.Slice(0, n), 0) {
+		r.m.CopyRange(p, core, pair.Dst, pair.Src, hw.CopyOpts{})
+	}
+	r.full[slot] = true
+	r.filled[slot] = n
+	r.m.ControlTransfer(p, core, r.recvCore, 1)
+	r.cond.Broadcast()
+	r.pushSlot = (slot + 1) % shmSlots
+	return n
+}
+
+// Pull drains the next full slot into rest and publishes the "slot free"
+// flag back to the sender.
+func (r *copyRing) Pull(p *sim.Proc, core topo.CoreID, rest mem.IOVec) int64 {
+	slot := r.pullSlot
+	for !r.full[slot] {
+		r.cond.Wait(p)
+	}
+	n := r.filled[slot]
+	slotVec := mem.IOVec{{Buf: r.slots[slot], Off: 0, Len: n}}
+	for _, pair := range mem.Overlay(rest.Slice(0, n), slotVec, 0) {
+		r.m.CopyRange(p, core, pair.Dst, pair.Src, hw.CopyOpts{})
+	}
+	r.full[slot] = false
+	r.m.ControlTransfer(p, core, r.sendCore, 1)
+	r.cond.Broadcast()
+	r.pullSlot = (slot + 1) % shmSlots
+	return n
 }
 
 // shmLMT is the default Nemesis LMT: a double-buffered two-copy pipeline.
@@ -38,7 +100,7 @@ func newShmLMT(ch *nemesis.Channel) *shmLMT {
 	return &shmLMT{ch: ch, rings: make(map[[2]int]*copyRing)}
 }
 
-func (l *shmLMT) Name() string { return "default" }
+func (l *shmLMT) Name() string { return string(DefaultLMT) }
 
 // Flags: the receiver must allocate the ring, so a CTS carries it back; the
 // sender finishes as soon as its last chunk is in the ring (no FIN).
@@ -46,12 +108,16 @@ func (l *shmLMT) Flags() (wantsCTS, finCompletes bool) { return true, false }
 
 func (l *shmLMT) InitiateSend(p *sim.Proc, t *nemesis.Transfer) any { return nil }
 
-// PrepareCTS returns the (lazily created, per-ordered-pair) copy ring.
+// PrepareCTS returns the (lazily created, per-ordered-pair) copy ring, reset
+// for this transfer.
 func (l *shmLMT) PrepareCTS(p *sim.Proc, t *nemesis.Transfer) any {
 	key := [2]int{t.SrcRank, t.DstRank}
 	r, ok := l.rings[key]
 	if !ok {
-		r = &copyRing{cond: sim.NewCond(l.ch.M.Eng, fmt.Sprintf("ring%d-%d", t.SrcRank, t.DstRank))}
+		r = &copyRing{
+			m:    l.ch.M,
+			cond: sim.NewCond(l.ch.M.Eng, fmt.Sprintf("ring%d-%d", t.SrcRank, t.DstRank)),
+		}
 		for i := range r.slots {
 			r.slots[i] = l.ch.Shm.Alloc(shmSlotBytes)
 		}
@@ -60,60 +126,18 @@ func (l *shmLMT) PrepareCTS(p *sim.Proc, t *nemesis.Transfer) any {
 	for i := range r.full {
 		r.full[i] = false
 	}
+	r.pushSlot, r.pullSlot = 0, 0
+	r.sendCore, r.recvCore = t.SenderCore(), t.RecvCore()
 	return r
 }
 
 // HandleCTS is the sender's copy pump: fill free slots in order.
 func (l *shmLMT) HandleCTS(p *sim.Proc, t *nemesis.Transfer, info any) {
-	r := info.(*copyRing)
-	m := l.ch.M
-	senderCore := t.SenderCore()
-	recvCore := t.RecvCore()
-
-	var off int64
-	for slot := 0; off < t.Size; slot = (slot + 1) % shmSlots {
-		for r.full[slot] {
-			r.cond.Wait(p)
-		}
-		n := int64(shmSlotBytes)
-		if n > t.Size-off {
-			n = t.Size - off
-		}
-		slotVec := mem.IOVec{{Buf: r.slots[slot], Off: 0, Len: n}}
-		for _, pair := range mem.Overlay(slotVec, t.SrcVec.Slice(off, n), 0) {
-			m.CopyRange(p, senderCore, pair.Dst, pair.Src, hw.CopyOpts{})
-		}
-		off += n
-		r.full[slot] = true
-		r.filled[slot] = n
-		// Publish the "slot full" flag: one cache line to the receiver.
-		m.ControlTransfer(p, senderCore, recvCore, 1)
-		r.cond.Broadcast()
-	}
+	pumpSend(p, info.(*copyRing), t)
 }
 
 // Recv is the receiver's pump: drain full slots in order.
 func (l *shmLMT) Recv(p *sim.Proc, t *nemesis.Transfer, cookie any) {
 	// The ring was created in PrepareCTS on this same endpoint.
-	r := l.rings[[2]int{t.SrcRank, t.DstRank}]
-	m := l.ch.M
-	senderCore := t.SenderCore()
-	recvCore := t.RecvCore()
-
-	var off int64
-	for slot := 0; off < t.Size; slot = (slot + 1) % shmSlots {
-		for !r.full[slot] {
-			r.cond.Wait(p)
-		}
-		n := r.filled[slot]
-		slotVec := mem.IOVec{{Buf: r.slots[slot], Off: 0, Len: n}}
-		for _, pair := range mem.Overlay(t.DstVec.Slice(off, n), slotVec, 0) {
-			m.CopyRange(p, recvCore, pair.Dst, pair.Src, hw.CopyOpts{})
-		}
-		off += n
-		r.full[slot] = false
-		// Publish the "slot free" flag back to the sender.
-		m.ControlTransfer(p, recvCore, senderCore, 1)
-		r.cond.Broadcast()
-	}
+	pumpRecv(p, l.rings[[2]int{t.SrcRank, t.DstRank}], t)
 }

@@ -57,7 +57,7 @@ func mibps(size int64, d sim.Time) float64 { return units.MiBps(size, d.Seconds(
 func TestAllBackendsDeliverLargeMessages(t *testing.T) {
 	m := topo.XeonE5345()
 	c0, c1 := m.PairDifferentDies()
-	opts := append(StandardOptions(), Options{Kind: VmspliceWritevLMT})
+	opts := append(StandardOptions(), Options{Kind: VmspliceWritevLMT}, Options{Kind: CMALMT})
 	for _, opt := range opts {
 		d := pingpong(t, opt, []topo.CoreID{c0, c1}, 1*units.MiB, 2)
 		if d <= 0 {
@@ -201,6 +201,39 @@ func TestFig6AsyncModes(t *testing.T) {
 	}
 }
 
+// CMA is KNEM's single-copy data path without the module: same receive-side
+// copy, but no send-side registration ioctl — it must at least match the
+// KNEM kernel copy, and its sender must issue no syscalls at all.
+func TestCMATracksKnemSyncCopy(t *testing.T) {
+	m := topo.XeonE5345()
+	c0, c1 := m.PairDifferentDies()
+	cores := []topo.CoreID{c0, c1}
+	size := int64(1 * units.MiB)
+	dKnem := pingpong(t, Options{Kind: KnemLMT, IOAT: IOATOff}, cores, size, 3)
+	dCMA := pingpong(t, Options{Kind: CMALMT}, cores, size, 3)
+	t.Logf("1MiB cross-die: knem=%.0f cma=%.0f MiB/s", mibps(size, dKnem), mibps(size, dCMA))
+	if dCMA > dKnem {
+		t.Fatalf("CMA (%v) should not be slower than the KNEM kernel copy (%v)", dCMA, dKnem)
+	}
+
+	st := NewStack(m, cores, Options{Kind: CMALMT}, nemesis.Config{})
+	ep0, ep1 := st.Ch.Endpoints[0], st.Ch.Endpoints[1]
+	a := ep0.Space.Alloc(size)
+	b := ep1.Space.Alloc(size)
+	a.FillPattern(5)
+	st.M.Eng.Spawn("r0", func(p *sim.Proc) { ep0.Send(p, 1, 0, mem.VecOf(a)) })
+	st.M.Eng.Spawn("r1", func(p *sim.Proc) { ep1.Recv(p, 0, 0, mem.VecOf(b)) })
+	if err := st.M.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st.OS.CMACalls == 0 {
+		t.Error("transfer did not go through process_vm_readv")
+	}
+	if st.KNEM.SendCmds != 0 || st.KNEM.RecvCmds != 0 {
+		t.Error("CMA transfer touched the KNEM module")
+	}
+}
+
 // DMAMinFor reproduces the paper's calibration points with real placements.
 func TestDMAMinForPlacements(t *testing.T) {
 	m := topo.XeonE5345()
@@ -226,6 +259,7 @@ func TestBackendIntegrityProperty(t *testing.T) {
 		{Kind: VmspliceWritevLMT},
 		{Kind: KnemLMT, IOAT: IOATOff},
 		{Kind: KnemLMT, IOAT: IOATAuto},
+		{Kind: CMALMT},
 	}
 	prop := func(sizeRaw uint32, kindRaw, coreRaw uint8) bool {
 		size := int64(sizeRaw)%(512*units.KiB) + 1
@@ -255,7 +289,7 @@ func TestBackendIntegrityProperty(t *testing.T) {
 func TestBidirectionalRendezvousNoDeadlock(t *testing.T) {
 	// Simultaneous large sends in both directions (the alltoall pattern)
 	// must not deadlock for any backend.
-	for _, opt := range append(StandardOptions(), Options{Kind: VmspliceWritevLMT}) {
+	for _, opt := range append(StandardOptions(), Options{Kind: VmspliceWritevLMT}, Options{Kind: CMALMT}) {
 		st := NewStack(topo.XeonE5345(), []topo.CoreID{0, 2}, opt, nemesis.Config{})
 		ep0, ep1 := st.Ch.Endpoints[0], st.Ch.Endpoints[1]
 		size := int64(512 * units.KiB)

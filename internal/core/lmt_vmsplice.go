@@ -7,7 +7,25 @@ import (
 	"knemesis/internal/mem"
 	"knemesis/internal/nemesis"
 	"knemesis/internal/sim"
+	"knemesis/internal/topo"
 )
+
+func init() {
+	Register(VmspliceLMT, Info{
+		Summary:     "single copy through a kernel pipe via vmsplice (§3.1)",
+		Order:       1,
+		NeedsKernel: true,
+	}, func(ch *nemesis.Channel, opt Options) nemesis.LMT {
+		return newVmspliceLMT(ch, false)
+	})
+	Register(VmspliceWritevLMT, Info{
+		Summary:     "vmsplice backend forced to copy through writev (Fig. 3 control)",
+		Order:       2,
+		NeedsKernel: true,
+	}, func(ch *nemesis.Channel, opt Options) nemesis.LMT {
+		return newVmspliceLMT(ch, true)
+	})
+}
 
 // vmspliceLMT transfers large messages through a per-connection Unix pipe
 // (§3.1): the sender attaches its pages with vmsplice (no copy) and the
@@ -24,17 +42,14 @@ type vmspliceLMT struct {
 }
 
 func newVmspliceLMT(ch *nemesis.Channel, useWritev bool) *vmspliceLMT {
-	if ch.OS == nil {
-		panic("core: vmsplice LMT requires the kernel substrate")
-	}
 	return &vmspliceLMT{ch: ch, useWritev: useWritev, pipes: make(map[[2]int]*kernel.Pipe)}
 }
 
 func (l *vmspliceLMT) Name() string {
 	if l.useWritev {
-		return "vmsplice-writev"
+		return string(VmspliceWritevLMT)
 	}
-	return "vmsplice"
+	return string(VmspliceLMT)
 }
 
 // Flags: the receiver opens (or finds) the shared pipe and announces
@@ -44,6 +59,25 @@ func (l *vmspliceLMT) Name() string {
 func (l *vmspliceLMT) Flags() (wantsCTS, finCompletes bool) { return true, !l.useWritev }
 
 func (l *vmspliceLMT) InitiateSend(p *sim.Proc, t *nemesis.Transfer) any { return nil }
+
+// pipeStage adapts a kernel pipe to the stagedPipe pipeline: Push is one
+// vmsplice (or writev) window, Pull is one readv into the head destination
+// region.
+type pipeStage struct {
+	pp        *kernel.Pipe
+	useWritev bool
+}
+
+func (s pipeStage) Push(p *sim.Proc, core topo.CoreID, rest mem.IOVec) int64 {
+	if s.useWritev {
+		return s.pp.Writev(p, core, rest)
+	}
+	return s.pp.Vmsplice(p, core, rest)
+}
+
+func (s pipeStage) Pull(p *sim.Proc, core topo.CoreID, rest mem.IOVec) int64 {
+	return s.pp.Readv(p, core, rest[0])
+}
 
 // PrepareCTS returns the per-ordered-pair pipe ("the sending and receiving
 // processes open the same UNIX pipe").
@@ -60,27 +94,10 @@ func (l *vmspliceLMT) PrepareCTS(p *sim.Proc, t *nemesis.Transfer) any {
 // HandleCTS is the sender pump: splice (or write) the source vector into
 // the pipe, 64 KiB window by 64 KiB window.
 func (l *vmspliceLMT) HandleCTS(p *sim.Proc, t *nemesis.Transfer, info any) {
-	pp := info.(*kernel.Pipe)
-	core := t.SenderCore()
-	var off int64
-	for off < t.Size {
-		rest := t.SrcVec.Slice(off, t.Size-off)
-		if l.useWritev {
-			off += pp.Writev(p, core, rest)
-		} else {
-			off += pp.Vmsplice(p, core, rest)
-		}
-	}
+	pumpSend(p, pipeStage{pp: info.(*kernel.Pipe), useWritev: l.useWritev}, t)
 }
 
 // Recv is the receiver pump: readv into each destination region in turn.
 func (l *vmspliceLMT) Recv(p *sim.Proc, t *nemesis.Transfer, cookie any) {
-	pp := l.pipes[[2]int{t.SrcRank, t.DstRank}]
-	core := t.RecvCore()
-	for _, r := range t.DstVec {
-		var off int64
-		for off < r.Len {
-			off += pp.Readv(p, core, mem.Region{Buf: r.Buf, Off: r.Off + off, Len: r.Len - off})
-		}
-	}
+	pumpRecv(p, pipeStage{pp: l.pipes[[2]int{t.SrcRank, t.DstRank}]}, t)
 }

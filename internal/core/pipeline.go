@@ -1,0 +1,46 @@
+package core
+
+import (
+	"knemesis/internal/mem"
+	"knemesis/internal/nemesis"
+	"knemesis/internal/sim"
+	"knemesis/internal/topo"
+)
+
+// stagedPipe is the bounded staging area a double-buffered two-sided copy
+// pipeline flows through. The default LMT's shared-memory slot ring and the
+// vmsplice LMT's kernel pipe are both instances: the sender pushes windows
+// in while capacity allows, the receiver pulls them out, and the bounded
+// capacity is what overlaps the two halves of the copy (§2: "the copies
+// might overlap to some degree").
+type stagedPipe interface {
+	// Push moves a prefix of rest (the unsent remainder of the source
+	// vector) into the stage as core, blocking while the stage is full,
+	// and returns the bytes accepted.
+	Push(p *sim.Proc, core topo.CoreID, rest mem.IOVec) int64
+
+	// Pull moves staged bytes into a prefix of rest (the unfilled
+	// remainder of the destination vector) as core, blocking until data
+	// is available, and returns the bytes delivered.
+	Pull(p *sim.Proc, core topo.CoreID, rest mem.IOVec) int64
+}
+
+// pumpSend drives the sender half of a staged pipeline: push successive
+// windows of t.SrcVec until the whole transfer is in (or through) the stage.
+func pumpSend(p *sim.Proc, pipe stagedPipe, t *nemesis.Transfer) {
+	core := t.SenderCore()
+	var off int64
+	for off < t.Size {
+		off += pipe.Push(p, core, t.SrcVec.Slice(off, t.Size-off))
+	}
+}
+
+// pumpRecv drives the receiver half: pull staged data into successive
+// windows of t.DstVec until the transfer is complete.
+func pumpRecv(p *sim.Proc, pipe stagedPipe, t *nemesis.Transfer) {
+	core := t.RecvCore()
+	var off int64
+	for off < t.Size {
+		off += pipe.Pull(p, core, t.DstVec.Slice(off, t.Size-off))
+	}
+}

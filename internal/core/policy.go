@@ -7,45 +7,44 @@
 //     its two-copy writev variant used as a control in Figure 3,
 //   - the KNEM kernel-module transfer (§3.2) with synchronous, asynchronous
 //     (kernel thread) and I/OAT-offloaded modes (§3.3-3.4),
+//   - the CMA single-copy direct transfer (process_vm_readv), the
+//     real-world successor of KNEM that needs no module at all,
 //
 // together with the cache-aware policy of §3.5 that decides when to offload
 // copies to the DMA engine (the DMAmin threshold).
+//
+// Backends live in a named registry (Register / Lookup / Names): each entry
+// declares its capability requirements (kernel substrate, KNEM module, DMA
+// hardware) which the factory checks centrally, and the option presets the
+// CLIs expose. Adding a backend is one file with an init() — no switch
+// statements to edit.
 package core
 
 import (
-	"fmt"
-
 	"knemesis/internal/knem"
 	"knemesis/internal/nemesis"
 	"knemesis/internal/sim"
 	"knemesis/internal/topo"
 )
 
-// Kind selects an LMT backend.
-type Kind int
+// Kind names an LMT backend: the registry key.
+type Kind string
 
-// Backends, in the order the paper's tables list them.
+// Built-in backends, named as in the paper's tables.
 const (
-	DefaultLMT Kind = iota // shared-memory double-buffering
-	VmspliceLMT
-	VmspliceWritevLMT // vmsplice backend forced to use writev (Fig. 3)
-	KnemLMT
+	DefaultLMT        Kind = "default"         // shared-memory double-buffering
+	VmspliceLMT       Kind = "vmsplice"        // single-copy through a kernel pipe
+	VmspliceWritevLMT Kind = "vmsplice-writev" // vmsplice backend forced to use writev (Fig. 3)
+	KnemLMT           Kind = "knem"            // KNEM kernel module
+	CMALMT            Kind = "cma"             // process_vm_readv single-copy
 )
 
 // String names the backend as in the paper's tables.
 func (k Kind) String() string {
-	switch k {
-	case DefaultLMT:
-		return "default"
-	case VmspliceLMT:
-		return "vmsplice"
-	case VmspliceWritevLMT:
-		return "vmsplice-writev"
-	case KnemLMT:
-		return "knem"
-	default:
-		return fmt.Sprintf("Kind(%d)", int(k))
+	if k == "" {
+		return string(DefaultLMT)
 	}
+	return string(k)
 }
 
 // IOATPolicy controls DMA offload for the KNEM backend.
@@ -90,53 +89,51 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
+	if o.Kind == "" {
+		o.Kind = DefaultLMT
+	}
 	if o.BusyPollQuantum == 0 {
 		o.BusyPollQuantum = 2 * sim.Microsecond
 	}
 	return o
 }
 
-// Label renders the configuration for experiment tables.
+// Label renders the configuration for experiment tables, delegating to the
+// backend's registered label function.
 func (o Options) Label() string {
-	s := o.Kind.String()
-	if o.Kind == KnemLMT {
-		if o.ForceKnemMode != nil {
-			return s + "/" + o.ForceKnemMode.String()
-		}
-		switch o.IOAT {
-		case IOATAlways:
-			s += "+ioat"
-		case IOATAuto:
-			s += "+ioat-auto"
-		}
+	o = o.withDefaults()
+	if b, err := Lookup(o.Kind); err == nil {
+		return b.label(o)
 	}
-	return s
+	return o.Kind.String()
 }
 
-// Factory returns a channel LMT constructor for the options; pass it in
-// nemesis.Config.LMT.
-func Factory(opt Options) func(*nemesis.Channel) nemesis.LMT {
+// FactoryFor resolves opt against the registry and returns a channel LMT
+// constructor; pass it in nemesis.Config.LMT. The constructor checks the
+// backend's capability requirements against the channel centrally and panics
+// with the check's error if the channel lacks them (a wiring bug).
+func FactoryFor(opt Options) (func(*nemesis.Channel) nemesis.LMT, error) {
 	opt = opt.withDefaults()
-	return func(ch *nemesis.Channel) nemesis.LMT {
-		switch opt.Kind {
-		case DefaultLMT:
-			return newShmLMT(ch)
-		case VmspliceLMT:
-			return newVmspliceLMT(ch, false)
-		case VmspliceWritevLMT:
-			return newVmspliceLMT(ch, true)
-		case KnemLMT:
-			if ch.KNEM == nil {
-				panic("core: KnemLMT requires a loaded KNEM module")
-			}
-			if opt.ForceKnemMode == nil && opt.IOAT != IOATOff && !ch.KNEM.HasIOAT() {
-				panic("core: I/OAT policy requires DMA hardware")
-			}
-			return newKnemLMT(ch, opt)
-		default:
-			panic("core: unknown LMT kind")
-		}
+	b, err := Lookup(opt.Kind)
+	if err != nil {
+		return nil, err
 	}
+	return func(ch *nemesis.Channel) nemesis.LMT {
+		if err := b.CheckCaps(ch, opt); err != nil {
+			panic(err)
+		}
+		return b.New(ch, opt)
+	}, nil
+}
+
+// Factory is FactoryFor for callers wired to valid registry entries; it
+// panics on an unknown backend name.
+func Factory(opt Options) func(*nemesis.Channel) nemesis.LMT {
+	f, err := FactoryFor(opt)
+	if err != nil {
+		panic(err)
+	}
+	return f
 }
 
 // DMAMinFor computes the §3.5 threshold for a transfer into recvCore, given
@@ -150,4 +147,21 @@ func DMAMinFor(m *topo.Machine, cores []topo.CoreID, recvCore topo.CoreID) int64
 		}
 	}
 	return m.DMAMin(procs)
+}
+
+// dmaMinFor evaluates the threshold for a channel's receive core, counting
+// the channel ranks actually placed on its L2, with the §6 collective-aware
+// divisor. Shared by every backend with an IOATAuto-style policy.
+func dmaMinFor(ch *nemesis.Channel, opt Options, recvCore topo.CoreID) int64 {
+	cores := make([]topo.CoreID, 0, len(ch.Endpoints))
+	for _, ep := range ch.Endpoints {
+		cores = append(cores, ep.Core)
+	}
+	min := DMAMinFor(ch.M.Topo, cores, recvCore)
+	if opt.CollectiveAware {
+		if hint := ch.CollectiveHint(); hint > 1 {
+			min /= int64(hint)
+		}
+	}
+	return min
 }

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"knemesis/internal/nemesis"
+)
+
+// Info describes a registered backend: help text, paper ordering, the
+// capability requirements the factory checks centrally, and the option
+// presets ("variants") the CLIs expose.
+type Info struct {
+	// Summary is one line of help text (CLI -lmt listings).
+	Summary string
+
+	// Order positions the backend in Names() — the order the paper's
+	// tables list the strategies.
+	Order int
+
+	// NeedsKernel marks backends that require the OS substrate (pipes,
+	// CMA syscalls) on the channel.
+	NeedsKernel bool
+
+	// NeedsKNEM marks backends that require a loaded KNEM module.
+	NeedsKNEM bool
+
+	// NeedsDMA reports whether the given configuration requires I/OAT DMA
+	// hardware. Nil means the backend never touches the DMA engine.
+	NeedsDMA func(Options) bool
+
+	// Label renders the option-dependent experiment-table label; nil means
+	// the plain backend name.
+	Label func(Options) string
+
+	// Variants are the named option presets derived from this backend.
+	// A variant with empty Suffix is the bare backend name; a non-empty
+	// Suffix registers "<name>-<suffix>" (e.g. knem-ioat-auto).
+	Variants []Variant
+}
+
+// Variant is one named option preset of a backend, exposed by the CLIs.
+type Variant struct {
+	Suffix string
+	Help   string
+	Apply  func(*Options)
+}
+
+// Backend is one entry of the LMT registry.
+type Backend struct {
+	Name Kind
+	Info Info
+	New  func(ch *nemesis.Channel, opt Options) nemesis.LMT
+}
+
+var registry = map[Kind]*Backend{}
+
+// Register adds a backend under name. It panics on an empty name, a nil
+// constructor or a duplicate registration — all programmer errors at init
+// time.
+func Register(name Kind, info Info, ctor func(ch *nemesis.Channel, opt Options) nemesis.LMT) {
+	if name == "" {
+		panic("core: Register with empty backend name")
+	}
+	if ctor == nil {
+		panic(fmt.Sprintf("core: Register(%q) with nil constructor", name))
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("core: backend %q registered twice", name))
+	}
+	registry[name] = &Backend{Name: name, Info: info, New: ctor}
+}
+
+// Lookup returns the backend registered under name.
+func Lookup(name Kind) (*Backend, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown LMT backend %q (have %s)",
+			name, strings.Join(kindStrings(Names()), "|"))
+	}
+	return b, nil
+}
+
+// Names returns every registered backend name in paper-table order.
+func Names() []Kind {
+	out := make([]Kind, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		bi, bj := registry[out[i]], registry[out[j]]
+		if bi.Info.Order != bj.Info.Order {
+			return bi.Info.Order < bj.Info.Order
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// CheckCaps verifies the backend's declared capability requirements against
+// what the channel actually wires up. This is the single, central place
+// backends' environmental preconditions are enforced (the per-case panics
+// the Factory switch used to carry).
+func (b *Backend) CheckCaps(ch *nemesis.Channel, opt Options) error {
+	if b.Info.NeedsKernel && ch.OS == nil {
+		return fmt.Errorf("core: %s LMT requires the kernel substrate", b.Name)
+	}
+	if b.Info.NeedsKNEM && ch.KNEM == nil {
+		return fmt.Errorf("core: %s LMT requires a loaded KNEM module", b.Name)
+	}
+	if b.Info.NeedsDMA != nil && b.Info.NeedsDMA(opt) {
+		if ch.KNEM == nil || !ch.KNEM.HasIOAT() {
+			return fmt.Errorf("core: %s configuration %q requires DMA hardware", b.Name, opt.Label())
+		}
+	}
+	return nil
+}
+
+// label renders the backend's table label for opt.
+func (b *Backend) label(opt Options) string {
+	if b.Info.Label != nil {
+		return b.Info.Label(opt)
+	}
+	return string(b.Name)
+}
+
+// Spec is one named LMT configuration preset (backend x variant), the unit
+// the CLIs' -lmt flag selects.
+type Spec struct {
+	Name    string
+	Help    string
+	Options Options
+}
+
+// Specs enumerates every named preset in paper order — the generated source
+// of -lmt help text and validation.
+func Specs() []Spec {
+	var out []Spec
+	for _, name := range Names() {
+		b := registry[name]
+		variants := b.Info.Variants
+		if len(variants) == 0 {
+			variants = []Variant{{}}
+		}
+		for _, v := range variants {
+			specName := string(name)
+			if v.Suffix != "" {
+				specName += "-" + v.Suffix
+			}
+			opt := Options{Kind: name}
+			if v.Apply != nil {
+				v.Apply(&opt)
+			}
+			help := v.Help
+			if help == "" {
+				help = b.Info.Summary
+			}
+			out = append(out, Spec{Name: specName, Help: help, Options: opt})
+		}
+	}
+	return out
+}
+
+// SpecNames returns every preset name, for flag help text.
+func SpecNames() []string {
+	specs := Specs()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// ParseSpec resolves a -lmt style preset name into Options.
+func ParseSpec(name string) (Options, error) {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s.Options, nil
+		}
+	}
+	return Options{}, fmt.Errorf("core: unknown LMT %q (have %s)",
+		name, strings.Join(SpecNames(), "|"))
+}
+
+func kindStrings(ks []Kind) []string {
+	out := make([]string, len(ks))
+	for i, k := range ks {
+		out[i] = string(k)
+	}
+	return out
+}

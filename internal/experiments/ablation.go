@@ -11,6 +11,27 @@ import (
 	"knemesis/internal/units"
 )
 
+func init() {
+	RegisterExperiment(Experiment{
+		ID: "ablation", Order: 11,
+		Title: "model-mechanism ablation behind the headline results",
+		Run: func(env Env) (Result, error) {
+			rows, err := modelAblation(env.Machine, env.workers())
+			if err != nil {
+				return nil, err
+			}
+			return rows, nil
+		},
+	})
+	RegisterExperiment(Experiment{
+		ID: "collective-aware", Order: 12,
+		Title: "§6 collective-aware DMAmin policy on Alltoall",
+		Run: func(env Env) (Result, error) {
+			return collectiveAwareStudy(env.Machine, env.A2ASizes, env.workers())
+		},
+	})
+}
+
 // AblationRow is one model-mechanism ablation: a headline measurement with
 // the mechanism enabled (the calibrated model) and disabled.
 type AblationRow struct {
@@ -20,17 +41,68 @@ type AblationRow struct {
 	Without   float64
 }
 
-// ModelAblation quantifies the two model mechanisms DESIGN.md calls out as
+// AblationSet is the full ablation study. It implements Result.
+type AblationSet []AblationRow
+
+// Render writes the rows as text.
+func (rows AblationSet) Render(w io.Writer) { RenderAblation(w, rows) }
+
+// WriteFiles writes the rows' JSON artefact into dir.
+func (rows AblationSet) WriteFiles(dir string) error { return WriteJSON(dir, "ablation", rows) }
+
+// ModelAblation quantifies the three model mechanisms DESIGN.md calls out as
 // load-bearing for the paper's headline results:
 //
 //   - RemoteDirtyStallFactor (slow modified-line interventions) is what
 //     makes the default double-buffered LMT collapse across dies (Fig. 5);
-//   - SchedWakeLatency (pipe wakeups) is what keeps vmsplice below KNEM.
+//   - SchedWakeLatency (pipe wakeups) is what keeps vmsplice below KNEM;
+//   - DMAPrep* (per-transfer I/OAT preparation) is what keeps offload
+//     unattractive below DMAmin.
 //
 // Each row reports the 1 MiB cross-die PingPong throughput of the affected
 // backend with the mechanism on and off.
-func ModelAblation() ([]AblationRow, error) {
+func ModelAblation() (AblationSet, error) {
+	return modelAblation(topo.XeonE5345(), DefaultWorkers())
+}
+
+func modelAblation(base *topo.Machine, workers int) (AblationSet, error) {
 	const size = 1 * units.MiB
+	// Each mechanism ablates on a private copy of the machine preset with
+	// the parameter neutralized; the with/without pair shards as two
+	// independent stack simulations.
+	mechanisms := []struct {
+		name    string
+		metric  string
+		opt     core.Options
+		disable func(*topo.Machine)
+	}{
+		{
+			name:   "RemoteDirtyStallFactor (FSB modified-line intervention)",
+			metric: "default LMT cross-die 1MiB PingPong MiB/s",
+			opt:    core.Options{Kind: core.DefaultLMT},
+			disable: func(m *topo.Machine) {
+				m.Params.RemoteDirtyStallFactor = 1.0
+			},
+		},
+		{
+			name:   "SchedWakeLatency (pipe wakeup synchronization)",
+			metric: "vmsplice LMT cross-die 1MiB PingPong MiB/s",
+			opt:    core.Options{Kind: core.VmspliceLMT},
+			disable: func(m *topo.Machine) {
+				m.Params.SchedWakeLatency = 0
+			},
+		},
+		{
+			name:   "DMAPrep* (I/OAT per-transfer driver preparation)",
+			metric: "knem+ioat cross-die 1MiB PingPong MiB/s",
+			opt:    core.Options{Kind: core.KnemLMT, IOAT: core.IOATAlways},
+			disable: func(m *topo.Machine) {
+				m.Params.DMAPrepFixed = 0
+				m.Params.DMAPrepPerPage = 0
+			},
+		},
+	}
+
 	measure := func(m *topo.Machine, opt core.Options) (float64, error) {
 		c0, c1 := m.PairDifferentDies()
 		st := core.NewStack(m, []topo.CoreID{c0, c1}, opt, nemesis.Config{})
@@ -41,62 +113,33 @@ func ModelAblation() ([]AblationRow, error) {
 		return res.Points[0].Throughput, nil
 	}
 
-	var rows []AblationRow
-
-	// Mechanism 1: dirty-line intervention stalls vs plain misses.
-	withDirty, err := measure(topo.XeonE5345(), core.Options{Kind: core.DefaultLMT})
-	if err != nil {
-		return nil, err
-	}
-	flat := topo.XeonE5345()
-	flat.Params.RemoteDirtyStallFactor = 1.0
-	withoutDirty, err := measure(flat, core.Options{Kind: core.DefaultLMT})
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, AblationRow{
-		Mechanism: "RemoteDirtyStallFactor (FSB modified-line intervention)",
-		Metric:    "default LMT cross-die 1MiB PingPong MiB/s",
-		With:      withDirty,
-		Without:   withoutDirty,
+	// Two jobs per mechanism: even index = calibrated model, odd = ablated.
+	vals := make([]float64, 2*len(mechanisms))
+	err := forEach(workers, len(vals), func(i int) error {
+		mech := mechanisms[i/2]
+		m := *base // shallow copy: jobs only mutate value-typed Params fields
+		if i%2 == 1 {
+			mech.disable(&m)
+		}
+		v, err := measure(&m, mech.opt)
+		if err != nil {
+			return err
+		}
+		vals[i] = v
+		return nil
 	})
-
-	// Mechanism 2: pipe scheduler wakeup latency.
-	withWake, err := measure(topo.XeonE5345(), core.Options{Kind: core.VmspliceLMT})
 	if err != nil {
 		return nil, err
 	}
-	noWake := topo.XeonE5345()
-	noWake.Params.SchedWakeLatency = 0
-	withoutWake, err := measure(noWake, core.Options{Kind: core.VmspliceLMT})
-	if err != nil {
-		return nil, err
+	rows := make(AblationSet, len(mechanisms))
+	for i, mech := range mechanisms {
+		rows[i] = AblationRow{
+			Mechanism: mech.name,
+			Metric:    mech.metric,
+			With:      vals[2*i],
+			Without:   vals[2*i+1],
+		}
 	}
-	rows = append(rows, AblationRow{
-		Mechanism: "SchedWakeLatency (pipe wakeup synchronization)",
-		Metric:    "vmsplice LMT cross-die 1MiB PingPong MiB/s",
-		With:      withWake,
-		Without:   withoutWake,
-	})
-
-	// Mechanism 3: per-transfer I/OAT preparation cost.
-	withPrep, err := measure(topo.XeonE5345(), core.Options{Kind: core.KnemLMT, IOAT: core.IOATAlways})
-	if err != nil {
-		return nil, err
-	}
-	noPrep := topo.XeonE5345()
-	noPrep.Params.DMAPrepFixed = 0
-	noPrep.Params.DMAPrepPerPage = 0
-	withoutPrep, err := measure(noPrep, core.Options{Kind: core.KnemLMT, IOAT: core.IOATAlways})
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, AblationRow{
-		Mechanism: "DMAPrep* (I/OAT per-transfer driver preparation)",
-		Metric:    "knem+ioat cross-die 1MiB PingPong MiB/s",
-		With:      withPrep,
-		Without:   withoutPrep,
-	})
 	return rows, nil
 }
 
@@ -105,6 +148,10 @@ func ModelAblation() ([]AblationRow, error) {
 // hint. With the hint, the threshold drops by the transfer concurrency and
 // I/OAT engages at the ~200 KiB sizes the paper observed (§4.4).
 func CollectiveAwareStudy(m *topo.Machine, sizes []int64) (Figure, error) {
+	return collectiveAwareStudy(m, sizes, DefaultWorkers())
+}
+
+func collectiveAwareStudy(m *topo.Machine, sizes []int64, workers int) (Figure, error) {
 	fig := Figure{
 		ID:     "collective-aware",
 		Title:  "Alltoall with the section-6 collective-aware DMAmin policy",
@@ -119,19 +166,22 @@ func CollectiveAwareStudy(m *topo.Machine, sizes []int64) (Figure, error) {
 		{core.Options{Kind: core.KnemLMT, IOAT: core.IOATAuto, CollectiveAware: true}, "IOATAuto + collective hint"},
 		{core.Options{Kind: core.KnemLMT, IOAT: core.IOATAlways}, "I/OAT always (reference)"},
 	}
-	for _, cs := range cases {
+	fig.Series = make([]Series, len(cases))
+	err := forEach(workers, len(cases), func(i int) error {
+		cs := cases[i]
 		st := core.NewStack(m, m.AllCores(), cs.opt, cfg)
 		res, err := imb.Alltoall(st, sizes)
 		if err != nil {
-			return fig, fmt.Errorf("%s: %w", cs.label, err)
+			return fmt.Errorf("%s: %w", cs.label, err)
 		}
-		fig.Series = append(fig.Series, Series{Label: cs.label, Points: res.Points})
-	}
-	return fig, nil
+		fig.Series[i] = Series{Label: cs.label, Points: res.Points}
+		return nil
+	})
+	return fig, err
 }
 
 // RenderAblation writes the ablation rows as text.
-func RenderAblation(w io.Writer, rows []AblationRow) {
+func RenderAblation(w io.Writer, rows AblationSet) {
 	fmt.Fprintln(w, "# ablation: model mechanisms behind the headline results")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\n  %s: with=%.0f without=%.0f (x%.2f)\n",

@@ -37,6 +37,9 @@ func TestModelAblationDirections(t *testing.T) {
 }
 
 func TestCollectiveAwareEngagesEarlier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8-rank alltoall study skipped in -short mode")
+	}
 	sizes := []int64{256 * units.KiB}
 	fig, err := CollectiveAwareStudy(topo.XeonE5345(), sizes)
 	if err != nil {

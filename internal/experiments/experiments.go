@@ -2,12 +2,21 @@
 // evaluation section (§4): Figures 3-7, Tables 1-2 and the §3.5 threshold
 // study, each as a typed result that can be rendered as text, CSV or JSON.
 //
-// The per-experiment index in DESIGN.md maps each function here to the
-// paper artefact it reproduces; EXPERIMENTS.md records paper-vs-measured.
+// Experiments live in a declarative registry (RegisterExperiment /
+// LookupExperiment / Experiments): every entry maps an ID to a Run function
+// over a common Env, which is how cmd/knemsim enumerates, validates and
+// executes them with no hand-maintained switch. Independent stack
+// simulations inside each experiment are sharded across a worker pool
+// (Env.Workers); results are byte-identical to a serial run because every
+// stack is a self-contained deterministic simulation.
+//
+// The per-experiment index in DESIGN.md maps each entry here to the paper
+// artefact it reproduces; EXPERIMENTS.md records paper-vs-measured.
 package experiments
 
 import (
 	"fmt"
+	"io"
 
 	"knemesis/internal/core"
 	"knemesis/internal/imb"
@@ -24,7 +33,7 @@ type Series struct {
 	Points []imb.Point
 }
 
-// Figure is a reproduced paper figure.
+// Figure is a reproduced paper figure. It implements Result.
 type Figure struct {
 	ID     string
 	Title  string
@@ -32,7 +41,18 @@ type Figure struct {
 	Series []Series
 }
 
-// Table is a reproduced paper table.
+// Render writes the figure as a fixed-width text table.
+func (f Figure) Render(w io.Writer) { RenderFigure(w, f) }
+
+// WriteFiles writes the figure's CSV and JSON artefacts into dir.
+func (f Figure) WriteFiles(dir string) error {
+	if err := WriteFigureCSV(dir, f); err != nil {
+		return err
+	}
+	return WriteJSON(dir, f.ID, f)
+}
+
+// Table is a reproduced paper table. It implements Result.
 type Table struct {
 	ID     string
 	Title  string
@@ -40,11 +60,55 @@ type Table struct {
 	Rows   [][]string
 }
 
+// Render writes the table as fixed-width text.
+func (t Table) Render(w io.Writer) { RenderTable(w, t) }
+
+// WriteFiles writes the table's JSON artefact into dir.
+func (t Table) WriteFiles(dir string) error { return WriteJSON(dir, t.ID, t) }
+
 // DefaultPingPongSizes spans the x axis of Figures 3-6.
 func DefaultPingPongSizes() []int64 { return units.Pow2Sizes(64*units.KiB, 4*units.MiB) }
 
 // DefaultAlltoallSizes spans the x axis of Figure 7.
 func DefaultAlltoallSizes() []int64 { return units.Pow2Sizes(4*units.KiB, 4*units.MiB) }
+
+func init() {
+	RegisterExperiment(Experiment{
+		ID: "fig3", Order: 3,
+		Title: "PingPong: vmsplice vs writev vs default, both placements",
+		Run:   func(env Env) (Result, error) { return fig3(env) },
+	})
+	RegisterExperiment(Experiment{
+		ID: "fig4", Order: 4,
+		Title: "PingPong throughput, 2 processes sharing an L2",
+		Run:   func(env Env) (Result, error) { return fig4(env) },
+	})
+	RegisterExperiment(Experiment{
+		ID: "fig5", Order: 5,
+		Title: "PingPong throughput, 2 processes on different dies",
+		Run:   func(env Env) (Result, error) { return fig5(env) },
+	})
+	RegisterExperiment(Experiment{
+		ID: "fig6", Order: 6,
+		Title: "KNEM synchronous vs asynchronous receive modes",
+		Run:   func(env Env) (Result, error) { return fig6(env) },
+	})
+	RegisterExperiment(Experiment{
+		ID: "fig7", Order: 7,
+		Title: "Alltoall aggregated throughput, 8 local processes",
+		Run:   func(env Env) (Result, error) { return fig7(env) },
+	})
+	RegisterExperiment(Experiment{
+		ID: "table1", Order: 8,
+		Title: "NAS Parallel Benchmark execution times",
+		Run:   func(env Env) (Result, error) { return table1(env) },
+	})
+	RegisterExperiment(Experiment{
+		ID: "table2", Order: 9,
+		Title: "L2 cache misses per workload and backend",
+		Run:   func(env Env) (Result, error) { return table2(env) },
+	})
+}
 
 // pingPongSeries runs one PingPong sweep on a fresh stack.
 func pingPongSeries(t *topo.Machine, cores []topo.CoreID, opt core.Options, label string, sizes []int64) (Series, error) {
@@ -56,128 +120,111 @@ func pingPongSeries(t *topo.Machine, cores []topo.CoreID, opt core.Options, labe
 	return Series{Label: label, Points: res.Points}, nil
 }
 
-// Fig3 reproduces Figure 3: PingPong with the vmsplice LMT using vmsplice
+// pingPongCase is one sharded PingPong curve of a figure.
+type pingPongCase struct {
+	opt   core.Options
+	cores []topo.CoreID
+	label string
+}
+
+// pingPongFigure shards one stack simulation per case across the worker
+// pool; series slots are index-addressed, so the figure is identical to a
+// serial run.
+func pingPongFigure(env Env, fig Figure, cases []pingPongCase) (Figure, error) {
+	fig.Series = make([]Series, len(cases))
+	err := forEach(env.workers(), len(cases), func(i int) error {
+		s, err := pingPongSeries(env.Machine, cases[i].cores, cases[i].opt, cases[i].label, env.PingSizes)
+		if err != nil {
+			return err
+		}
+		fig.Series[i] = s
+		return nil
+	})
+	return fig, err
+}
+
+// fig3 reproduces Figure 3: PingPong with the vmsplice LMT using vmsplice
 // (single copy) or writev (two copies), against the default LMT, for both
 // core placements.
-func Fig3(t *topo.Machine, sizes []int64) (Figure, error) {
-	fig := Figure{
+func fig3(env Env) (Figure, error) {
+	t := env.Machine
+	s0, s1 := t.PairSharedCache()
+	d0, d1 := t.PairDifferentDies()
+	shared, cross := []topo.CoreID{s0, s1}, []topo.CoreID{d0, d1}
+	return pingPongFigure(env, Figure{
 		ID:     "fig3",
 		Title:  "IMB Pingpong with the vmsplice LMT using vmsplice (single-copy) or writev (two copies)",
 		YLabel: "Throughput (MiB/s)",
-	}
-	s0, s1 := t.PairSharedCache()
-	d0, d1 := t.PairDifferentDies()
-	cases := []struct {
-		opt   core.Options
-		cores []topo.CoreID
-		label string
-	}{
-		{core.Options{Kind: core.DefaultLMT}, []topo.CoreID{s0, s1}, "default LMT - Shared Cache"},
-		{core.Options{Kind: core.VmspliceLMT}, []topo.CoreID{s0, s1}, "vmsplice LMT - Shared Cache"},
-		{core.Options{Kind: core.VmspliceWritevLMT}, []topo.CoreID{s0, s1}, "vmsplice LMT using writev - Shared Cache"},
-		{core.Options{Kind: core.DefaultLMT}, []topo.CoreID{d0, d1}, "default LMT - Different Dies"},
-		{core.Options{Kind: core.VmspliceLMT}, []topo.CoreID{d0, d1}, "vmsplice LMT - Different Dies"},
-		{core.Options{Kind: core.VmspliceWritevLMT}, []topo.CoreID{d0, d1}, "vmsplice LMT using writev - Different Dies"},
-	}
-	for _, cs := range cases {
-		s, err := pingPongSeries(t, cs.cores, cs.opt, cs.label, sizes)
-		if err != nil {
-			return fig, err
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig, nil
+	}, []pingPongCase{
+		{core.Options{Kind: core.DefaultLMT}, shared, "default LMT - Shared Cache"},
+		{core.Options{Kind: core.VmspliceLMT}, shared, "vmsplice LMT - Shared Cache"},
+		{core.Options{Kind: core.VmspliceWritevLMT}, shared, "vmsplice LMT using writev - Shared Cache"},
+		{core.Options{Kind: core.DefaultLMT}, cross, "default LMT - Different Dies"},
+		{core.Options{Kind: core.VmspliceLMT}, cross, "vmsplice LMT - Different Dies"},
+		{core.Options{Kind: core.VmspliceWritevLMT}, cross, "vmsplice LMT using writev - Different Dies"},
+	})
 }
 
-// standardPingPongCases are the four curves of Figures 4 and 5.
-func standardPingPongCases() []struct {
-	opt   core.Options
-	label string
-} {
-	return []struct {
-		opt   core.Options
-		label string
-	}{
-		{core.Options{Kind: core.DefaultLMT}, "default LMT"},
-		{core.Options{Kind: core.VmspliceLMT}, "vmsplice LMT"},
-		{core.Options{Kind: core.KnemLMT, IOAT: core.IOATOff}, "KNEM LMT"},
-		{core.Options{Kind: core.KnemLMT, IOAT: core.IOATAlways}, "KNEM LMT with I/OAT"},
+// standardPingPongCases are the four curves of the paper's Figures 4 and 5
+// plus the CMA backend — the post-paper single-copy successor of KNEM —
+// as an extra curve.
+func standardPingPongCases(cores []topo.CoreID) []pingPongCase {
+	return []pingPongCase{
+		{core.Options{Kind: core.DefaultLMT}, cores, "default LMT"},
+		{core.Options{Kind: core.VmspliceLMT}, cores, "vmsplice LMT"},
+		{core.Options{Kind: core.KnemLMT, IOAT: core.IOATOff}, cores, "KNEM LMT"},
+		{core.Options{Kind: core.KnemLMT, IOAT: core.IOATAlways}, cores, "KNEM LMT with I/OAT"},
+		{core.Options{Kind: core.CMALMT}, cores, "CMA LMT"},
 	}
 }
 
-// Fig4 reproduces Figure 4: PingPong between two processes sharing an L2.
-func Fig4(t *topo.Machine, sizes []int64) (Figure, error) {
-	fig := Figure{
+// fig4 reproduces Figure 4: PingPong between two processes sharing an L2.
+func fig4(env Env) (Figure, error) {
+	c0, c1 := env.Machine.PairSharedCache()
+	return pingPongFigure(env, Figure{
 		ID:     "fig4",
 		Title:  "IMB Pingpong throughput between 2 processes sharing a 4MiB L2 cache",
 		YLabel: "Throughput (MiB/s)",
-	}
-	c0, c1 := t.PairSharedCache()
-	for _, cs := range standardPingPongCases() {
-		s, err := pingPongSeries(t, []topo.CoreID{c0, c1}, cs.opt, cs.label, sizes)
-		if err != nil {
-			return fig, err
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig, nil
+	}, standardPingPongCases([]topo.CoreID{c0, c1}))
 }
 
-// Fig5 reproduces Figure 5: PingPong between processes not sharing a cache.
-func Fig5(t *topo.Machine, sizes []int64) (Figure, error) {
-	fig := Figure{
+// fig5 reproduces Figure 5: PingPong between processes not sharing a cache.
+func fig5(env Env) (Figure, error) {
+	c0, c1 := env.Machine.PairDifferentDies()
+	return pingPongFigure(env, Figure{
 		ID:     "fig5",
 		Title:  "IMB Pingpong throughput between 2 processes not sharing any cache",
 		YLabel: "Throughput (MiB/s)",
-	}
-	c0, c1 := t.PairDifferentDies()
-	for _, cs := range standardPingPongCases() {
-		s, err := pingPongSeries(t, []topo.CoreID{c0, c1}, cs.opt, cs.label, sizes)
-		if err != nil {
-			return fig, err
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig, nil
+	}, standardPingPongCases([]topo.CoreID{c0, c1}))
 }
 
-// Fig6 reproduces Figure 6: KNEM synchronous vs asynchronous modes (with
+// fig6 reproduces Figure 6: KNEM synchronous vs asynchronous modes (with
 // and without I/OAT), cross-die placement.
-func Fig6(t *topo.Machine, sizes []int64) (Figure, error) {
-	fig := Figure{
-		ID:     "fig6",
-		Title:  "Performance comparison of KNEM synchronous and asynchronous models",
-		YLabel: "Throughput (MiB/s)",
-	}
-	c0, c1 := t.PairDifferentDies()
+func fig6(env Env) (Figure, error) {
+	c0, c1 := env.Machine.PairDifferentDies()
+	cores := []topo.CoreID{c0, c1}
 	force := func(md knem.Mode) core.Options {
 		return core.Options{Kind: core.KnemLMT, ForceKnemMode: &md}
 	}
-	cases := []struct {
-		opt   core.Options
-		label string
-	}{
-		{force(knem.SyncCopy), "KNEM LMT - synchronous"},
-		{force(knem.AsyncKThread), "KNEM LMT - asynchronous"},
-		{force(knem.SyncIOAT), "KNEM LMT - synchronous with I/OAT"},
-		{force(knem.AsyncIOAT), "KNEM LMT - asynchronous with I/OAT"},
-	}
-	for _, cs := range cases {
-		s, err := pingPongSeries(t, []topo.CoreID{c0, c1}, cs.opt, cs.label, sizes)
-		if err != nil {
-			return fig, err
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig, nil
+	return pingPongFigure(env, Figure{
+		ID:     "fig6",
+		Title:  "Performance comparison of KNEM synchronous and asynchronous models",
+		YLabel: "Throughput (MiB/s)",
+	}, []pingPongCase{
+		{force(knem.SyncCopy), cores, "KNEM LMT - synchronous"},
+		{force(knem.AsyncKThread), cores, "KNEM LMT - asynchronous"},
+		{force(knem.SyncIOAT), cores, "KNEM LMT - synchronous with I/OAT"},
+		{force(knem.AsyncIOAT), cores, "KNEM LMT - asynchronous with I/OAT"},
+	})
 }
 
-// Fig7 reproduces Figure 7: IMB Alltoall aggregated throughput across all 8
+// fig7 reproduces Figure 7: IMB Alltoall aggregated throughput across all 8
 // local processes. As in the paper's setup, the kernel-assisted backends run
 // with a lowered rendezvous threshold (the paper observes KNEM is already
 // worthwhile from 4 KiB in this pattern, §4.4), while the default
 // configuration keeps Nemesis' stock 64 KiB threshold.
-func Fig7(t *topo.Machine, sizes []int64) (Figure, error) {
+func fig7(env Env) (Figure, error) {
+	t := env.Machine
 	fig := Figure{
 		ID:     "fig7",
 		Title:  "IMB Alltoall aggregated throughput between 8 local processes",
@@ -194,35 +241,55 @@ func Fig7(t *topo.Machine, sizes []int64) (Figure, error) {
 		{core.Options{Kind: core.KnemLMT, IOAT: core.IOATOff}, lowThreshold, "KNEM LMT"},
 		{core.Options{Kind: core.KnemLMT, IOAT: core.IOATAlways}, lowThreshold, "KNEM LMT with I/OAT"},
 	}
-	for _, cs := range cases {
+	fig.Series = make([]Series, len(cases))
+	err := forEach(env.workers(), len(cases), func(i int) error {
+		cs := cases[i]
 		st := core.NewStack(t, t.AllCores(), cs.opt, cs.cfg)
-		res, err := imb.Alltoall(st, sizes)
+		res, err := imb.Alltoall(st, env.A2ASizes)
 		if err != nil {
-			return fig, fmt.Errorf("%s: %w", cs.label, err)
+			return fmt.Errorf("%s: %w", cs.label, err)
 		}
-		fig.Series = append(fig.Series, Series{Label: cs.label, Points: res.Points})
-	}
-	return fig, nil
+		fig.Series[i] = Series{Label: cs.label, Points: res.Points}
+		return nil
+	})
+	return fig, err
 }
 
-// Table1 reproduces Table 1: NAS Parallel Benchmark execution times under
+// table1Result couples the rendered Table 1 with its typed rows (the JSON
+// artefact knemsim writes).
+type table1Result struct {
+	Table
+	NASRows []nas.Row
+}
+
+func (t table1Result) WriteFiles(dir string) error { return WriteJSON(dir, t.ID, t.NASRows) }
+
+// table1 reproduces Table 1: NAS Parallel Benchmark execution times under
 // the four LMT configurations, with the default column calibrated to the
 // paper (see nas.Calibrate) and the speedup column comparing default
-// against KNEM+I/OAT.
-func Table1(t *topo.Machine, kernels []nas.Kernel) (Table, []nas.Row, error) {
-	tab := Table{
+// against KNEM+I/OAT. Kernels shard across the pool (each Table1Row runs
+// four full stacks).
+func table1(env Env) (table1Result, error) {
+	res := table1Result{Table: Table{
 		ID:     "table1",
 		Title:  "Execution time of some NAS Parallel Benchmarks",
 		Header: []string{"NAS Kernel", "default LMT", "vmsplice LMT", "KNEM kernel copy", "KNEM I/OAT", "Speedup"},
-	}
-	var rows []nas.Row
-	for _, k := range kernels {
-		row, err := nas.Table1Row(k, t)
+	}}
+	rows := make([]nas.Row, len(env.Kernels))
+	err := forEach(env.workers(), len(env.Kernels), func(i int) error {
+		row, err := nas.Table1Row(env.Kernels[i], env.Machine)
 		if err != nil {
-			return tab, nil, err
+			return err
 		}
-		rows = append(rows, row)
-		tab.Rows = append(tab.Rows, []string{
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.NASRows = rows
+	for _, row := range rows {
+		res.Rows = append(res.Rows, []string{
 			row.Kernel,
 			fmt.Sprintf("%.2f s", row.Seconds[0]),
 			fmt.Sprintf("%.2f s", row.Seconds[1]),
@@ -231,14 +298,16 @@ func Table1(t *topo.Machine, kernels []nas.Kernel) (Table, []nas.Row, error) {
 			fmt.Sprintf("%+.1f%%", row.SpeedupPct),
 		})
 	}
-	return tab, rows, nil
+	return res, nil
 }
 
-// Table2 reproduces Table 2: L2 cache misses for 64 KiB / 4 MiB PingPong
+// table2 reproduces Table 2: L2 cache misses for 64 KiB / 4 MiB PingPong
 // (different dies) and Alltoall (all 8 cores), plus the full is.B.8 run,
 // under the four LMT configurations. Counts are 64-byte-line equivalents;
-// point-to-point rows are per operation, the IS row is the whole run.
-func Table2(t *topo.Machine, isKernel nas.Kernel) (Table, error) {
+// point-to-point rows are per operation, the IS row is the whole run. Each
+// (workload, backend) cell's stack shards across the pool.
+func table2(env Env) (Table, error) {
+	t := env.Machine
 	tab := Table{
 		ID:     "table2",
 		Title:  "L2 cache misses (64B-line equivalents)",
@@ -248,71 +317,119 @@ func Table2(t *topo.Machine, isKernel nas.Kernel) (Table, error) {
 
 	ppSizes := []int64{64 * units.KiB, 4 * units.MiB}
 	d0, d1 := t.PairDifferentDies()
-	ppMisses := make([][]int64, len(ppSizes))
-	for _, opt := range opts {
-		st := core.NewStack(t, []topo.CoreID{d0, d1}, opt, nemesis.Config{})
+	ppByOpt := make([][]int64, len(opts)) // [opt][sizeIdx]
+	if err := forEach(env.workers(), len(opts), func(i int) error {
+		st := core.NewStack(t, []topo.CoreID{d0, d1}, opts[i], nemesis.Config{})
 		res, err := imb.PingPong(st, ppSizes)
 		if err != nil {
-			return tab, err
+			return err
 		}
-		for i, pt := range res.Points {
-			ppMisses[i] = append(ppMisses[i], pt.L2Misses)
+		for _, pt := range res.Points {
+			ppByOpt[i] = append(ppByOpt[i], pt.L2Misses)
 		}
+		return nil
+	}); err != nil {
+		return tab, err
 	}
 
 	// As in Figure 7, the kernel-assisted backends run with the lowered
 	// rendezvous threshold in the alltoall rows (the paper's 64 KiB
 	// Alltoall row shows LMT differences, so their setup had it too).
 	a2aSizes := []int64{64 * units.KiB, 4 * units.MiB}
-	a2aMisses := make([][]int64, len(a2aSizes))
-	for _, opt := range opts {
+	a2aByOpt := make([][]int64, len(opts))
+	if err := forEach(env.workers(), len(opts), func(i int) error {
 		cfg := nemesis.Config{}
-		if opt.Kind != core.DefaultLMT {
+		if opts[i].Kind != core.DefaultLMT {
 			cfg.EagerMax = 4 * units.KiB
 		}
-		st := core.NewStack(t, t.AllCores(), opt, cfg)
+		st := core.NewStack(t, t.AllCores(), opts[i], cfg)
 		res, err := imb.Alltoall(st, a2aSizes)
 		if err != nil {
-			return tab, err
+			return err
 		}
-		for i, pt := range res.Points {
-			a2aMisses[i] = append(a2aMisses[i], pt.L2Misses)
+		for _, pt := range res.Points {
+			a2aByOpt[i] = append(a2aByOpt[i], pt.L2Misses)
 		}
+		return nil
+	}); err != nil {
+		return tab, err
 	}
 
-	var isMisses []int64
-	compute, err := nas.Calibrate(isKernel, t)
+	compute, err := nas.Calibrate(env.ISKernel, t)
 	if err != nil {
 		return tab, err
 	}
-	for _, opt := range opts {
-		res, err := nas.RunKernel(isKernel, t, opt, compute)
+	isMisses := make([]int64, len(opts))
+	if err := forEach(env.workers(), len(opts), func(i int) error {
+		res, err := nas.RunKernel(env.ISKernel, t, opts[i], compute)
 		if err != nil {
-			return tab, err
+			return err
 		}
-		isMisses = append(isMisses, res.L2MissLines)
+		isMisses[i] = res.L2MissLines
+		return nil
+	}); err != nil {
+		return tab, err
 	}
 
-	addRow := func(name string, vals []int64) {
+	addRow := func(name string, byOpt [][]int64, sizeIdx int) {
 		row := []string{name}
-		for _, v := range vals {
-			row = append(row, formatCount(v))
+		for i := range opts {
+			row = append(row, formatCount(byOpt[i][sizeIdx]))
 		}
 		tab.Rows = append(tab.Rows, row)
 	}
-	addRow("64KiB Pingpong", ppMisses[0])
-	addRow("4MiB Pingpong", ppMisses[1])
-	addRow("64KiB Alltoall", a2aMisses[0])
-	addRow("4MiB Alltoall", a2aMisses[1])
-	addRow(isKernel.Name, isMisses)
+	addRow("64KiB Pingpong", ppByOpt, 0)
+	addRow("4MiB Pingpong", ppByOpt, 1)
+	addRow("64KiB Alltoall", a2aByOpt, 0)
+	addRow("4MiB Alltoall", a2aByOpt, 1)
+	isRow := []string{env.ISKernel.Name}
+	for _, v := range isMisses {
+		isRow = append(isRow, formatCount(v))
+	}
+	tab.Rows = append(tab.Rows, isRow)
 	return tab, nil
+}
+
+// Fig3 reproduces Figure 3 on machine t (library entry point; the registry
+// entry "fig3" is the declarative equivalent).
+func Fig3(t *topo.Machine, sizes []int64) (Figure, error) {
+	return fig3(Env{Machine: t, PingSizes: sizes})
+}
+
+// Fig4 reproduces Figure 4 on machine t.
+func Fig4(t *topo.Machine, sizes []int64) (Figure, error) {
+	return fig4(Env{Machine: t, PingSizes: sizes})
+}
+
+// Fig5 reproduces Figure 5 on machine t.
+func Fig5(t *topo.Machine, sizes []int64) (Figure, error) {
+	return fig5(Env{Machine: t, PingSizes: sizes})
+}
+
+// Fig6 reproduces Figure 6 on machine t.
+func Fig6(t *topo.Machine, sizes []int64) (Figure, error) {
+	return fig6(Env{Machine: t, PingSizes: sizes})
+}
+
+// Fig7 reproduces Figure 7 on machine t.
+func Fig7(t *topo.Machine, sizes []int64) (Figure, error) {
+	return fig7(Env{Machine: t, A2ASizes: sizes})
+}
+
+// Table1 reproduces Table 1 for the given kernels on machine t.
+func Table1(t *topo.Machine, kernels []nas.Kernel) (Table, []nas.Row, error) {
+	res, err := table1(Env{Machine: t, Kernels: kernels})
+	return res.Table, res.NASRows, err
+}
+
+// Table2 reproduces Table 2 with the given IS kernel on machine t.
+func Table2(t *topo.Machine, isKernel nas.Kernel) (Table, error) {
+	return table2(Env{Machine: t, ISKernel: isKernel})
 }
 
 // formatCount renders counts the way the paper does (91, 45k, 11.25M).
 func formatCount(v int64) string {
 	switch {
-	case v >= 10_000_000:
-		return fmt.Sprintf("%.2fM", float64(v)/1e6)
 	case v >= 1_000_000:
 		return fmt.Sprintf("%.2fM", float64(v)/1e6)
 	case v >= 10_000:

@@ -12,6 +12,17 @@ import (
 
 var smallSizes = []int64{128 * units.KiB, 1 * units.MiB}
 
+// reducedEnv is a fast, full-coverage Env for registry smoke tests.
+func reducedEnv() Env {
+	return Env{
+		Machine:   topo.XeonE5345(),
+		PingSizes: smallSizes,
+		A2ASizes:  []int64{32 * units.KiB, 256 * units.KiB},
+		Kernels:   []nas.Kernel{nas.MG().Scaled(4), nas.ISSized(1<<18, 2, 8)},
+		ISKernel:  nas.ISSized(1<<18, 2, 8),
+	}
+}
+
 func TestFig3SmallSweep(t *testing.T) {
 	fig, err := Fig3(topo.XeonE5345(), smallSizes)
 	if err != nil {
@@ -98,6 +109,9 @@ func TestTable1SmallRun(t *testing.T) {
 }
 
 func TestTable2SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("4MiB miss-count rows skipped in -short mode")
+	}
 	tab, err := Table2(topo.XeonE5345(), nas.ISSized(1<<18, 2, 8))
 	if err != nil {
 		t.Fatal(err)

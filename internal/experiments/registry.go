@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"knemesis/internal/nas"
+	"knemesis/internal/topo"
+)
+
+// Env is the declarative input every experiment runs against: the machine
+// preset, the sweep axes, the NAS proxy suite and the worker-pool width for
+// sharded stack simulations.
+type Env struct {
+	Machine   *topo.Machine
+	PingSizes []int64
+	A2ASizes  []int64
+	Kernels   []nas.Kernel
+	ISKernel  nas.Kernel
+
+	// Workers caps the number of concurrently simulated stacks. Zero
+	// means DefaultWorkers(); 1 forces the serial path. Results are
+	// byte-identical at any width: every stack is a self-contained
+	// deterministic simulation and results land in index-addressed slots.
+	Workers int
+}
+
+// DefaultEnv returns the full-scale evaluation setup of the paper on m.
+func DefaultEnv(m *topo.Machine) Env {
+	return Env{
+		Machine:   m,
+		PingSizes: DefaultPingPongSizes(),
+		A2ASizes:  DefaultAlltoallSizes(),
+		Kernels:   nas.Kernels(),
+		ISKernel:  nas.IS(),
+	}
+}
+
+func (env Env) workers() int {
+	if env.Workers <= 0 {
+		return DefaultWorkers()
+	}
+	return env.Workers
+}
+
+// Result is a runnable experiment's artefact: it renders as text and knows
+// how to write its CSV/JSON files.
+type Result interface {
+	Render(w io.Writer)
+	WriteFiles(dir string) error
+}
+
+// Experiment is one entry of the paper-artefact registry.
+type Experiment struct {
+	// ID is the registry key (the -experiment flag value).
+	ID string
+	// Title is one line of help text.
+	Title string
+	// Order positions the experiment in Experiments() — the order the
+	// paper presents them.
+	Order int
+	// Run regenerates the artefact for env.
+	Run func(env Env) (Result, error)
+}
+
+var expRegistry = map[string]Experiment{}
+
+// RegisterExperiment adds an experiment to the registry; duplicate or
+// anonymous registrations are init-time programmer errors.
+func RegisterExperiment(e Experiment) {
+	if e.ID == "" {
+		panic("experiments: RegisterExperiment with empty ID")
+	}
+	if e.Run == nil {
+		panic(fmt.Sprintf("experiments: RegisterExperiment(%q) with nil Run", e.ID))
+	}
+	if _, dup := expRegistry[e.ID]; dup {
+		panic(fmt.Sprintf("experiments: experiment %q registered twice", e.ID))
+	}
+	expRegistry[e.ID] = e
+}
+
+// LookupExperiment returns the experiment registered under id.
+func LookupExperiment(id string) (Experiment, error) {
+	e, ok := expRegistry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have %s)",
+			id, strings.Join(ExperimentIDs(), "|"))
+	}
+	return e, nil
+}
+
+// Experiments returns every registered experiment in presentation order.
+func Experiments() []Experiment {
+	out := make([]Experiment, 0, len(expRegistry))
+	for _, e := range expRegistry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Order != out[j].Order {
+			return out[i].Order < out[j].Order
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// ExperimentIDs returns the registered IDs in presentation order, for flag
+// help text and validation.
+func ExperimentIDs() []string {
+	exps := Experiments()
+	out := make([]string, len(exps))
+	for i, e := range exps {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// Run regenerates the artefact of the experiment registered under id.
+func Run(id string, env Env) (Result, error) {
+	e, err := LookupExperiment(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(env)
+}

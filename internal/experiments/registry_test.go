@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"knemesis/internal/topo"
+	"knemesis/internal/units"
+)
+
+func TestExperimentRegistryRoundTrip(t *testing.T) {
+	want := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table1", "table2",
+		"thresholds", "ablation", "collective-aware"}
+	ids := ExperimentIDs()
+	if len(ids) != len(want) {
+		t.Fatalf("registered experiments = %v, want %v", ids, want)
+	}
+	for i, id := range ids {
+		if id != want[i] {
+			t.Errorf("ExperimentIDs()[%d] = %q, want %q", i, id, want[i])
+		}
+		e, err := LookupExperiment(id)
+		if err != nil {
+			t.Fatalf("LookupExperiment(%q): %v", id, err)
+		}
+		if e.ID != id {
+			t.Errorf("LookupExperiment(%q).ID = %q", id, e.ID)
+		}
+		if e.Title == "" {
+			t.Errorf("%q has no title", id)
+		}
+		if e.Run == nil {
+			t.Errorf("%q has no Run", id)
+		}
+	}
+	if _, err := LookupExperiment("fig99"); err == nil {
+		t.Error("LookupExperiment of unknown id did not error")
+	}
+	if _, err := Run("fig99", Env{}); err == nil {
+		t.Error("Run of unknown id did not error")
+	}
+}
+
+func TestDuplicateExperimentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate RegisterExperiment did not panic")
+		}
+	}()
+	RegisterExperiment(Experiment{ID: "fig4", Run: func(Env) (Result, error) { return nil, nil }})
+}
+
+func TestForEachOrderAndErrors(t *testing.T) {
+	// Results land in index order regardless of pool width.
+	for _, workers := range []int{1, 3, 8, 100} {
+		got := make([]int, 20)
+		if err := forEach(workers, len(got), func(i int) error {
+			got[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+
+	// First error by job index wins, matching serial semantics.
+	sentinel3 := errors.New("job 3")
+	err := forEach(4, 10, func(i int) error {
+		if i >= 3 {
+			return fmt.Errorf("job %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != sentinel3.Error() {
+		t.Errorf("forEach error = %v, want %v", err, sentinel3)
+	}
+
+	// Zero jobs is a no-op.
+	if err := forEach(4, 0, func(int) error { t.Error("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The acceptance bar of the concurrent runner: sharding across a worker
+// pool must produce output byte-identical to the serial path, because every
+// stack is a self-contained deterministic simulation.
+func TestConcurrentRunnerMatchesSerial(t *testing.T) {
+	env := Env{
+		Machine:   topo.XeonE5345(),
+		PingSizes: []int64{128 * units.KiB, 512 * units.KiB},
+		A2ASizes:  []int64{32 * units.KiB},
+	}
+	for _, id := range []string{"fig4", "fig7"} {
+		env.Workers = 1
+		serial, err := Run(id, env)
+		if err != nil {
+			t.Fatalf("%s serial: %v", id, err)
+		}
+		env.Workers = 8
+		concurrent, err := Run(id, env)
+		if err != nil {
+			t.Fatalf("%s concurrent: %v", id, err)
+		}
+		var sw, cw bytes.Buffer
+		serial.Render(&sw)
+		concurrent.Render(&cw)
+		if sw.String() != cw.String() {
+			t.Errorf("%s: concurrent output differs from serial:\n--- serial ---\n%s--- concurrent ---\n%s",
+				id, sw.String(), cw.String())
+		}
+	}
+}
+
+// Every registry entry runs end to end on a reduced Env and renders
+// something non-empty — the smoke test a new experiment gets for free.
+func TestEveryExperimentRunsReduced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry sweep skipped in -short mode")
+	}
+	env := reducedEnv()
+	for _, e := range Experiments() {
+		res, err := e.Run(env)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		var buf bytes.Buffer
+		res.Render(&buf)
+		if buf.Len() == 0 {
+			t.Errorf("%s: empty rendering", e.ID)
+		}
+		dir := t.TempDir()
+		if err := res.WriteFiles(dir); err != nil {
+			t.Errorf("%s: WriteFiles: %v", e.ID, err)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 
 	"knemesis/internal/core"
 	"knemesis/internal/imb"
@@ -9,6 +10,20 @@ import (
 	"knemesis/internal/topo"
 	"knemesis/internal/units"
 )
+
+func init() {
+	RegisterExperiment(Experiment{
+		ID: "thresholds", Order: 10,
+		Title: "DMAmin formula vs measured I/OAT crossover (§3.5)",
+		Run: func(env Env) (Result, error) {
+			res, err := thresholds(env.workers())
+			if err != nil {
+				return nil, err
+			}
+			return res, nil
+		},
+	})
+}
 
 // ThresholdResult is one §3.5 calibration point: the message size where the
 // I/OAT-offloaded transfer overtakes the kernel copy, compared against the
@@ -22,11 +37,21 @@ type ThresholdResult struct {
 	MeasuredCrossover int64
 }
 
+// ThresholdSet is the full §3.5 study. It implements Result.
+type ThresholdSet []ThresholdResult
+
+// Render writes the study as text.
+func (ts ThresholdSet) Render(w io.Writer) { RenderThresholds(w, ts) }
+
+// WriteFiles writes the study's JSON artefact into dir.
+func (ts ThresholdSet) WriteFiles(dir string) error { return WriteJSON(dir, "thresholds", ts) }
+
 // Thresholds reproduces the §3.5 study: on the 4 MiB-cache machine the
 // offload threshold is ~1 MiB under a shared cache and ~2 MiB across dies,
 // and a 6 MiB cache raises it by 50%.
-func Thresholds() ([]ThresholdResult, error) {
-	var out []ThresholdResult
+func Thresholds() (ThresholdSet, error) { return thresholds(DefaultWorkers()) }
+
+func thresholds(workers int) (ThresholdSet, error) {
 	type place struct {
 		name   string
 		cores  func(*topo.Machine) (topo.CoreID, topo.CoreID)
@@ -36,24 +61,29 @@ func Thresholds() ([]ThresholdResult, error) {
 		{"shared cache", func(m *topo.Machine) (topo.CoreID, topo.CoreID) { return m.PairSharedCache() }, true},
 		{"different dies", func(m *topo.Machine) (topo.CoreID, topo.CoreID) { return m.PairDifferentDies() }, false},
 	}
-	for _, m := range []*topo.Machine{topo.XeonE5345(), topo.XeonX5460()} {
-		for _, pl := range places {
-			c0, c1 := pl.cores(m)
-			cross, err := measureCrossover(m, []topo.CoreID{c0, c1})
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", m.Name, pl.name, err)
-			}
-			procs := 1
-			if pl.shared {
-				procs = 2
-			}
-			out = append(out, ThresholdResult{
-				Machine:           m.Name,
-				Placement:         pl.name,
-				FormulaDMAmin:     m.DMAMin(procs),
-				MeasuredCrossover: cross,
-			})
+	machines := []*topo.Machine{topo.XeonE5345(), topo.XeonX5460()}
+	out := make(ThresholdSet, len(machines)*len(places))
+	err := forEach(workers, len(out), func(i int) error {
+		m, pl := machines[i/len(places)], places[i%len(places)]
+		c0, c1 := pl.cores(m)
+		cross, err := measureCrossover(m, []topo.CoreID{c0, c1})
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", m.Name, pl.name, err)
 		}
+		procs := 1
+		if pl.shared {
+			procs = 2
+		}
+		out[i] = ThresholdResult{
+			Machine:           m.Name,
+			Placement:         pl.name,
+			FormulaDMAmin:     m.DMAMin(procs),
+			MeasuredCrossover: cross,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -11,6 +11,9 @@ import (
 // quad-core XEON X5460 ... and observed similar behavior" (§4). Verify the
 // headline orderings hold on that preset too.
 func TestX5460SimilarBehaviour(t *testing.T) {
+	if testing.Short() {
+		t.Skip("secondary-host sweep skipped in -short mode")
+	}
 	m := topo.XeonX5460()
 	sizes := []int64{256 * units.KiB, 1 * units.MiB}
 

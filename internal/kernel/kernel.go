@@ -27,6 +27,8 @@ type OS struct {
 	// Stats
 	Syscalls    int64
 	PagesPinned int64
+	CMACalls    int64
+	CMABytes    int64
 }
 
 // New creates the OS layer for machine m.

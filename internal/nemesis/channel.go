@@ -38,6 +38,13 @@ type Config struct {
 	// CellsPerRank sizes each rank's free-cell pool (default 8).
 	CellsPerRank int
 
+	// Backend is the registry name of the configured LMT strategy. The
+	// channel treats it as opaque metadata: the embedding layer
+	// (core.NewStack) resolves it against the backend registry and fills
+	// LMT accordingly, so reports and tooling can name the strategy
+	// without reaching into the constructor.
+	Backend string
+
 	// LMT constructs the large-message backend for this channel; nil
 	// means "eager only" (then EagerMax must cover all traffic).
 	LMT func(ch *Channel) LMT
@@ -130,6 +137,15 @@ func (ch *Channel) LMTName() string {
 		return "eager-only"
 	}
 	return ch.lmt.Name()
+}
+
+// BackendName reports the configured registry name of the backend, falling
+// back to the live backend's own name when the config carries none.
+func (ch *Channel) BackendName() string {
+	if ch.Cfg.Backend != "" {
+		return ch.Cfg.Backend
+	}
+	return ch.LMTName()
 }
 
 // Transfer is one rendezvous message in flight, shared between the sender's
