@@ -134,6 +134,16 @@ var (
 	PingPong = imb.PingPong
 	// Alltoall runs the IMB Alltoall sweep on a stack.
 	Alltoall = imb.Alltoall
+	// MultiPingPong runs N concurrent PingPong pairs (ranks 2i, 2i+1) so
+	// they contend for the shared bus and caches; see topo pair placements.
+	MultiPingPong = imb.MultiPingPong
+	// Sendrecv runs the IMB periodic-chain Sendrecv pattern.
+	Sendrecv = imb.Sendrecv
+	// Exchange runs the IMB both-neighbour Exchange pattern.
+	Exchange = imb.Exchange
+	// Multipair runs the N-pair contention sweep over every registered
+	// backend and placement (the "multipair" experiment).
+	Multipair = experiments.Multipair
 
 	// Experiment registry access.
 	Experiments   = experiments.Experiments

@@ -1,11 +1,16 @@
-// Command imb runs a single IMB-style benchmark (PingPong or Alltoall) on
-// the simulator under one LMT configuration — the interactive counterpart
-// of the figure sweeps in cmd/knemsim. The -lmt value set, help text and
-// validation are generated from the core backend registry.
+// Command imb runs a single IMB-style benchmark on the simulator under one
+// LMT configuration — the interactive counterpart of the figure sweeps in
+// cmd/knemsim. Besides PingPong and Alltoall it drives the concurrent
+// patterns (Multi-PingPong via -multi, Sendrecv, Exchange), which report bus
+// utilization and CPU busy seconds alongside throughput. The -lmt value set,
+// help text and validation are generated from the core backend registry.
 //
 // Usage:
 //
 //	imb -bench pingpong -lmt knem -placement cross -min 64KiB -max 4MiB
+//	imb -bench pingpong -multi 4 -placement cross     # 4 contending pairs
+//	imb -bench sendrecv -lmt cma -ranks 8             # periodic-chain exchange
+//	imb -bench exchange -ranks 8                      # both-neighbour exchange
 //	imb -bench alltoall -lmt knem-ioat -ranks 8
 //	imb -lmt list        # describe every registered backend preset
 package main
@@ -25,11 +30,12 @@ import (
 
 func main() {
 	var (
-		bench     = flag.String("bench", "pingpong", "pingpong|alltoall")
+		bench     = flag.String("bench", "pingpong", "pingpong|sendrecv|exchange|alltoall")
 		lmt       = flag.String("lmt", "default", strings.Join(core.SpecNames(), "|")+"|list")
 		placement = flag.String("placement", "cross", "shared|cross (pingpong only)")
 		machine   = flag.String("machine", "e5345", "e5345|x5460|nehalem")
-		ranks     = flag.Int("ranks", 8, "rank count (alltoall only)")
+		ranks     = flag.Int("ranks", 8, "rank count (sendrecv/exchange/alltoall)")
+		multi     = flag.Int("multi", 1, "concurrent PingPong pairs (pingpong only)")
 		minSize   = flag.String("min", "64KiB", "smallest message size")
 		maxSize   = flag.String("max", "4MiB", "largest message size")
 		eagerMax  = flag.String("eager", "", "override the rendezvous threshold (e.g. 4KiB)")
@@ -59,35 +65,91 @@ func main() {
 		check(err)
 		cfg.EagerMax = v
 	}
-
-	var res imb.Result
-	var st *core.Stack
-	switch *bench {
-	case "pingpong":
-		var c0, c1 topo.CoreID
-		if *placement == "shared" {
-			c0, c1 = m.PairSharedCache()
-		} else {
-			c0, c1 = m.PairDifferentDies()
+	// -ranks only applies to the chain/collective benches; pingpong sizes
+	// itself from -multi and the placement helpers.
+	checkRanks := func() {
+		if *ranks < 2 {
+			check(fmt.Errorf("-ranks %d: need at least 2", *ranks))
 		}
-		st = core.NewStack(m, []topo.CoreID{c0, c1}, opt, cfg)
-		res, err = imb.PingPong(st, sizes)
-	case "alltoall":
 		if *ranks > m.Cores {
 			check(fmt.Errorf("machine has %d cores, requested %d ranks", m.Cores, *ranks))
 		}
-		st = core.NewStack(m, m.AllCores()[:*ranks], opt, cfg)
-		res, err = imb.Alltoall(st, sizes)
+	}
+
+	switch *bench {
+	case "pingpong":
+		if *multi > 1 {
+			cores, err := pairPlacement(m, *placement, *multi)
+			check(err)
+			st := core.NewStack(m, cores, opt, cfg)
+			res, err := imb.MultiPingPong(st, sizes)
+			check(err)
+			printMulti(res, st, m)
+			return
+		}
+		cores, err := pairPlacement(m, *placement, 1)
+		check(err)
+		st := core.NewStack(m, cores, opt, cfg)
+		res, err := imb.PingPong(st, sizes)
+		check(err)
+		printSolo(res, st, m)
+	case "sendrecv":
+		checkRanks()
+		st := core.NewStack(m, m.AllCores()[:*ranks], opt, cfg)
+		res, err := imb.Sendrecv(st, sizes)
+		check(err)
+		printMulti(res, st, m)
+	case "exchange":
+		checkRanks()
+		st := core.NewStack(m, m.AllCores()[:*ranks], opt, cfg)
+		res, err := imb.Exchange(st, sizes)
+		check(err)
+		printMulti(res, st, m)
+	case "alltoall":
+		checkRanks()
+		st := core.NewStack(m, m.AllCores()[:*ranks], opt, cfg)
+		res, err := imb.Alltoall(st, sizes)
+		check(err)
+		printSolo(res, st, m)
 	default:
 		check(fmt.Errorf("unknown bench %q", *bench))
 	}
-	check(err)
+}
 
+// pairPlacement builds the core list for n PingPong pairs under a placement.
+func pairPlacement(m *topo.Machine, placement string, n int) ([]topo.CoreID, error) {
+	var pairs [][2]topo.CoreID
+	var err error
+	switch placement {
+	case "shared":
+		pairs, err = m.SharedCachePairs(n)
+	case "cross":
+		pairs, err = m.CrossDiePairs(n)
+	default:
+		return nil, fmt.Errorf("unknown placement %q (shared|cross)", placement)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return topo.PairCores(pairs), nil
+}
+
+func printSolo(res imb.Result, st *core.Stack, m *topo.Machine) {
 	fmt.Printf("# %s, %s LMT (backend %s), machine %s\n", res.Bench, res.Label, st.Ch.BackendName(), m.Name)
 	fmt.Printf("%-10s %14s %14s %14s\n", "size", "time(us)", "MiB/s", "L2miss/op")
 	for _, pt := range res.Points {
 		fmt.Printf("%-10s %14.2f %14.0f %14d\n",
 			units.FormatSize(pt.Size), pt.Time.Microseconds(), pt.Throughput, pt.L2Misses)
+	}
+}
+
+func printMulti(res imb.MultiResult, st *core.Stack, m *topo.Machine) {
+	fmt.Printf("# %s, %d ranks, %s LMT (backend %s), machine %s\n",
+		res.Bench, res.Ranks, res.Label, st.Ch.BackendName(), m.Name)
+	fmt.Printf("%-10s %14s %14s %10s %14s\n", "size", "time(us)", "agg MiB/s", "bus util", "cpu busy(s)")
+	for _, pt := range res.Points {
+		fmt.Printf("%-10s %14.2f %14.0f %10.2f %14.4f\n",
+			units.FormatSize(pt.Size), pt.Time.Microseconds(), pt.Throughput, pt.BusUtil, pt.CPUBusySec)
 	}
 }
 

@@ -241,3 +241,82 @@ func TestDMAMinForEdgeCases(t *testing.T) {
 			units.FormatSize(got), units.FormatSize(m.DMAMin(1)))
 	}
 }
+
+// optionsEqual compares presets by value, following the ForceKnemMode
+// pointer (fresh per Specs() call, so struct equality would be wrong).
+func optionsEqual(a, b Options) bool {
+	if a.Kind != b.Kind || a.IOAT != b.IOAT ||
+		a.BusyPollQuantum != b.BusyPollQuantum || a.CollectiveAware != b.CollectiveAware {
+		return false
+	}
+	if (a.ForceKnemMode == nil) != (b.ForceKnemMode == nil) {
+		return false
+	}
+	return a.ForceKnemMode == nil || *a.ForceKnemMode == *b.ForceKnemMode
+}
+
+// Property: the spec table is a bijection between names and presets — every
+// spec name parses back to exactly its options (full struct), every
+// registered backend surfaces at least one spec, and case or whitespace
+// variations of a valid name are rejected rather than fuzzily matched.
+func TestSpecsParseRoundTripProperty(t *testing.T) {
+	byKind := map[Kind]int{}
+	for _, s := range Specs() {
+		opt, err := ParseSpec(s.Name)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", s.Name, err)
+		}
+		if !optionsEqual(opt, s.Options) {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", s.Name, opt, s.Options)
+		}
+		byKind[opt.Kind]++
+		for _, mutant := range []string{" " + s.Name, s.Name + " ", strings.ToUpper(s.Name), s.Name + "-"} {
+			if mutant == s.Name {
+				continue
+			}
+			if _, err := ParseSpec(mutant); err == nil {
+				t.Errorf("ParseSpec(%q) accepted a mutant of %q", mutant, s.Name)
+			}
+		}
+	}
+	for _, name := range Names() {
+		if byKind[name] == 0 {
+			t.Errorf("backend %q has no spec preset", name)
+		}
+	}
+}
+
+// FuzzParseSpec checks the parser's trichotomy on arbitrary input: it either
+// errors, or returns the exact preset registered under that name — never a
+// "nearby" preset and never a panic.
+func FuzzParseSpec(f *testing.F) {
+	for _, s := range Specs() {
+		f.Add(s.Name)
+		f.Add(s.Name + "x")
+		f.Add("X" + s.Name)
+	}
+	f.Add("")
+	f.Add("knem ioat")
+	f.Add("knem-")
+	f.Add("\x00default")
+	known := map[string]Options{}
+	for _, s := range Specs() {
+		known[s.Name] = s.Options
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		opt, err := ParseSpec(name)
+		want, ok := known[name]
+		if err != nil {
+			if ok {
+				t.Fatalf("ParseSpec(%q) errored on a registered spec: %v", name, err)
+			}
+			return
+		}
+		if !ok {
+			t.Fatalf("ParseSpec(%q) = %+v for an unregistered name", name, opt)
+		}
+		if !optionsEqual(opt, want) {
+			t.Fatalf("ParseSpec(%q) = %+v, want %+v", name, opt, want)
+		}
+	})
+}

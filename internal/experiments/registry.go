@@ -14,11 +14,12 @@ import (
 // preset, the sweep axes, the NAS proxy suite and the worker-pool width for
 // sharded stack simulations.
 type Env struct {
-	Machine   *topo.Machine
-	PingSizes []int64
-	A2ASizes  []int64
-	Kernels   []nas.Kernel
-	ISKernel  nas.Kernel
+	Machine    *topo.Machine
+	PingSizes  []int64
+	A2ASizes   []int64
+	MultiSizes []int64 // multipair contention sweep (empty = defaults)
+	Kernels    []nas.Kernel
+	ISKernel   nas.Kernel
 
 	// Workers caps the number of concurrently simulated stacks. Zero
 	// means DefaultWorkers(); 1 forces the serial path. Results are
@@ -30,11 +31,12 @@ type Env struct {
 // DefaultEnv returns the full-scale evaluation setup of the paper on m.
 func DefaultEnv(m *topo.Machine) Env {
 	return Env{
-		Machine:   m,
-		PingSizes: DefaultPingPongSizes(),
-		A2ASizes:  DefaultAlltoallSizes(),
-		Kernels:   nas.Kernels(),
-		ISKernel:  nas.IS(),
+		Machine:    m,
+		PingSizes:  DefaultPingPongSizes(),
+		A2ASizes:   DefaultAlltoallSizes(),
+		MultiSizes: DefaultMultiPairSizes(),
+		Kernels:    nas.Kernels(),
+		ISKernel:   nas.IS(),
 	}
 }
 

@@ -120,6 +120,7 @@ func (c *Core) Busy(p *sim.Proc, d sim.Time) {
 type Utilization struct {
 	Elapsed        sim.Time
 	BusBytesServed float64
+	BusCapacityBps float64   // bus bandwidth the fractions are relative to
 	BusUtilization float64   // fraction of bus capacity used
 	CoreBusySec    []float64 // CPU-seconds consumed per core
 }
@@ -130,6 +131,7 @@ func (m *Machine) UtilizationReport() Utilization {
 	u := Utilization{
 		Elapsed:        m.Eng.Now(),
 		BusBytesServed: m.Bus.Served,
+		BusCapacityBps: m.Topo.Params.BusBandwidth,
 	}
 	if secs := u.Elapsed.Seconds(); secs > 0 {
 		u.BusUtilization = m.Bus.Served / (m.Topo.Params.BusBandwidth * secs)
@@ -138,6 +140,38 @@ func (m *Machine) UtilizationReport() Utilization {
 		u.CoreBusySec = append(u.CoreBusySec, c.CPU.Served)
 	}
 	return u
+}
+
+// Sub returns the utilization of the window between snapshot prev and u:
+// elapsed time, bus bytes and per-core busy seconds become deltas, and
+// BusUtilization is recomputed over the window. It is how benchmarks report
+// contention for exactly their measured iterations.
+func (u Utilization) Sub(prev Utilization) Utilization {
+	d := Utilization{
+		Elapsed:        u.Elapsed - prev.Elapsed,
+		BusBytesServed: u.BusBytesServed - prev.BusBytesServed,
+		BusCapacityBps: u.BusCapacityBps,
+	}
+	for i, s := range u.CoreBusySec {
+		busy := s
+		if i < len(prev.CoreBusySec) {
+			busy -= prev.CoreBusySec[i]
+		}
+		d.CoreBusySec = append(d.CoreBusySec, busy)
+	}
+	if secs := d.Elapsed.Seconds(); secs > 0 && d.BusCapacityBps > 0 {
+		d.BusUtilization = d.BusBytesServed / (d.BusCapacityBps * secs)
+	}
+	return d
+}
+
+// TotalCoreBusySec sums busy seconds across every core.
+func (u Utilization) TotalCoreBusySec() float64 {
+	var t float64
+	for _, s := range u.CoreBusySec {
+		t += s
+	}
+	return t
 }
 
 // Traffic summarises the memory-system activity of one bulk operation.

@@ -67,3 +67,35 @@ func TestIOATFreesCPUvsKernelCopy(t *testing.T) {
 	}
 	_ = buf
 }
+
+func TestUtilizationSubWindow(t *testing.T) {
+	m := New(topo.XeonE5345())
+	buf := m.Mem.NewSpace("p").Alloc(4 * units.MiB)
+	m.Eng.Spawn("worker", func(p *sim.Proc) {
+		m.TouchRange(p, 3, buf.Addr(), buf.Len(), false, false)
+		pre := m.UtilizationReport()
+		m.TouchRange(p, 5, buf.Addr(), 2*units.MiB, true, false)
+		win := m.UtilizationReport().Sub(pre)
+		if win.Elapsed <= 0 {
+			t.Error("window has no elapsed time")
+		}
+		if win.BusBytesServed < float64(2*units.MiB) {
+			t.Errorf("window bus bytes %.0f, want >= the 2MiB of fills", win.BusBytesServed)
+		}
+		if win.BusUtilization <= 0 || win.BusUtilization > 1.01 {
+			t.Errorf("window bus utilization %.3f out of range", win.BusUtilization)
+		}
+		if win.CoreBusySec[3] != 0 {
+			t.Errorf("core 3 busy %.9f inside a window it did not work in", win.CoreBusySec[3])
+		}
+		if win.CoreBusySec[5] <= 0 {
+			t.Error("working core 5 shows no busy time in the window")
+		}
+		if got, want := win.TotalCoreBusySec(), win.CoreBusySec[5]; got != want {
+			t.Errorf("TotalCoreBusySec %.9f != sole busy core's %.9f", got, want)
+		}
+	})
+	if err := m.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

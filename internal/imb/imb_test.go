@@ -79,3 +79,40 @@ func TestLabelsCarryBackend(t *testing.T) {
 		t.Fatalf("label = %q", res.Label)
 	}
 }
+
+// Iterations boundary behaviour: the repetition schedule must be a positive,
+// non-increasing step function with breaks exactly at 64 KiB and 512 KiB,
+// and degenerate sizes (zero, negative) must still yield a sane count.
+func TestIterationsEdgeCases(t *testing.T) {
+	cases := []struct {
+		size int64
+		want int
+	}{
+		{-1, 8}, // degenerate sizes take the small-message schedule
+		{0, 8},
+		{1, 8},
+		{64*units.KiB - 1, 8},
+		{64 * units.KiB, 8},
+		{64*units.KiB + 1, 5},
+		{512 * units.KiB, 5},
+		{512*units.KiB + 1, 3},
+		{4 * units.MiB, 3},
+		{1 << 40, 3},
+	}
+	for _, c := range cases {
+		if got := Iterations(c.size); got != c.want {
+			t.Errorf("Iterations(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+	prev := Iterations(0)
+	for s := int64(1); s <= 8*units.MiB; s *= 2 {
+		cur := Iterations(s)
+		if cur < 1 {
+			t.Fatalf("Iterations(%d) = %d < 1", s, cur)
+		}
+		if cur > prev {
+			t.Fatalf("Iterations not non-increasing at %d: %d > %d", s, cur, prev)
+		}
+		prev = cur
+	}
+}

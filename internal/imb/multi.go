@@ -1,0 +1,191 @@
+// Multi-pair and neighbour-exchange benchmarks: IMB's multi-mode
+// Multi-PingPong plus the Sendrecv and Exchange patterns. Unlike the solo
+// PingPong of imb.go, these run several transfers concurrently inside one
+// simulation, so the pairs genuinely contend for the shared bus and the L2
+// fluids — the regime where the paper's single-copy argument actually bites.
+package imb
+
+import (
+	"fmt"
+
+	"knemesis/internal/core"
+	"knemesis/internal/hw"
+	"knemesis/internal/mem"
+	"knemesis/internal/mpi"
+	"knemesis/internal/sim"
+	"knemesis/internal/units"
+)
+
+// MultiPoint is one measured size of a concurrent benchmark. Aggregate
+// throughput follows IMB's accounting: the per-rank (or per-pair) rates of
+// the pattern summed over all participants. Bus and CPU figures cover
+// exactly the measured iterations (warm-up excluded).
+type MultiPoint struct {
+	Size       int64
+	Time       sim.Time // per operation
+	Throughput float64  // aggregate MiB/s, IMB accounting
+	BusUtil    float64  // fraction of bus capacity used in the window
+	CPUBusySec float64  // CPU-seconds consumed in the window, all cores
+
+	// CoreBusySec is the per-core breakdown behind CPUBusySec.
+	CoreBusySec []float64
+}
+
+// MultiResult is one concurrent benchmark sweep under one LMT configuration.
+type MultiResult struct {
+	Bench  string
+	Label  string
+	Ranks  int
+	Points []MultiPoint
+}
+
+// concurrentSweep is the shared measurement skeleton of the concurrent
+// benchmarks: per size it barriers, runs one warm-up operation, snapshots
+// machine utilization on rank 0 behind a second barrier (so no measured
+// payload moves before the snapshot), runs iters measured operations on
+// every rank, and closes the window with a final barrier (rank 0 completes
+// it only after every rank finished its operations).
+//
+// body runs once per rank and returns the rank's per-operation closure,
+// keeping buffers in rank-local state; movedPerOp is the IMB-accounted
+// aggregate byte count of one operation across all ranks; opsPerIter scales
+// the reported per-operation time (2 for PingPong, whose convention is the
+// half round trip).
+func concurrentSweep(st *core.Stack, bench string, sizes []int64, body func(c *mpi.Comm, maxSize int64) func(size int64), movedPerOp func(size int64) int64, opsPerIter int) (MultiResult, error) {
+	res := MultiResult{Bench: bench, Label: st.Ch.LMTName(), Ranks: len(st.Ch.Endpoints)}
+	w := mpi.NewWorld(st)
+	maxSize := sizes[len(sizes)-1]
+	var pre, post []hw.Utilization
+
+	_, err := w.Run(func(c *mpi.Comm) {
+		op := body(c, maxSize)
+		for _, size := range sizes {
+			iters := Iterations(size)
+			c.Barrier()
+			op(size) // warm-up
+			c.Barrier()
+			if c.Rank() == 0 {
+				pre = append(pre, st.M.UtilizationReport())
+			}
+			c.Barrier() // no measured traffic before the snapshot
+			for i := 0; i < iters; i++ {
+				op(size)
+			}
+			c.Barrier()
+			if c.Rank() == 0 {
+				post = append(post, st.M.UtilizationReport())
+			}
+		}
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, size := range sizes {
+		iters := Iterations(size)
+		win := post[i].Sub(pre[i])
+		elapsed := win.Elapsed
+		res.Points = append(res.Points, MultiPoint{
+			Size:        size,
+			Time:        elapsed / sim.Time(iters*opsPerIter),
+			Throughput:  units.MiBps(movedPerOp(size)*int64(iters), elapsed.Seconds()),
+			BusUtil:     win.BusUtilization,
+			CPUBusySec:  win.TotalCoreBusySec(),
+			CoreBusySec: win.CoreBusySec,
+		})
+	}
+	return res, nil
+}
+
+// pairBuffers allocates a rank's send and receive buffers (the receive
+// buffer scaled by recvFactor) and fills the send side with a rank-specific
+// pattern, as IMB does.
+func pairBuffers(c *mpi.Comm, maxSize, recvFactor int64) (send, recv *mem.Buffer) {
+	send, recv = c.Alloc(maxSize), c.Alloc(recvFactor*maxSize)
+	send.FillPattern(uint64(c.Rank()) + 1)
+	return send, recv
+}
+
+// MultiPingPong measures N independent PingPong pairs running concurrently:
+// ranks 2i and 2i+1 form pair i (see topo.PairCores for building such
+// placements). The reported time is the half round trip averaged across
+// pairs; throughput is the aggregate across pairs, each one-way transfer
+// counted once, as in IMB's multi mode.
+func MultiPingPong(st *core.Stack, sizes []int64) (MultiResult, error) {
+	n := len(st.Ch.Endpoints)
+	if n < 2 || n%2 != 0 {
+		return MultiResult{}, fmt.Errorf("imb: Multi-PingPong needs an even rank count >= 2, have %d", n)
+	}
+	pairs := n / 2
+	res, err := concurrentSweep(st, fmt.Sprintf("Multi-PingPong(%d pairs)", pairs), sizes,
+		func(c *mpi.Comm, maxSize int64) func(size int64) {
+			send, recv := pairBuffers(c, maxSize, 1)
+			peer := c.Rank() ^ 1
+			return func(size int64) {
+				sv := mem.IOVec{{Buf: send, Off: 0, Len: size}}
+				rv := mem.IOVec{{Buf: recv, Off: 0, Len: size}}
+				if c.Rank()%2 == 0 {
+					c.Send(peer, 0, sv)
+					c.Recv(peer, 0, rv)
+				} else {
+					c.Recv(peer, 0, rv)
+					c.Send(peer, 0, sv)
+				}
+			}
+		},
+		func(size int64) int64 { return int64(2*pairs) * size },
+		2)
+	return res, err
+}
+
+// Sendrecv measures the IMB Sendrecv pattern: all ranks form a periodic
+// chain, each rank sending to its right neighbour while receiving from its
+// left. Per IMB accounting each rank moves 2*size bytes per operation (one
+// sent, one received), so the aggregate counts 2*size*ranks.
+func Sendrecv(st *core.Stack, sizes []int64) (MultiResult, error) {
+	n := len(st.Ch.Endpoints)
+	if n < 2 {
+		return MultiResult{}, fmt.Errorf("imb: Sendrecv needs >= 2 ranks, have %d", n)
+	}
+	return concurrentSweep(st, "Sendrecv", sizes,
+		func(c *mpi.Comm, maxSize int64) func(size int64) {
+			send, recv := pairBuffers(c, maxSize, 1)
+			right := (c.Rank() + 1) % n
+			left := (c.Rank() - 1 + n) % n
+			return func(size int64) {
+				sv := mem.IOVec{{Buf: send, Off: 0, Len: size}}
+				rv := mem.IOVec{{Buf: recv, Off: 0, Len: size}}
+				c.Sendrecv(right, 0, sv, left, 0, rv)
+			}
+		},
+		func(size int64) int64 { return int64(2*n) * size },
+		1)
+}
+
+// Exchange measures the IMB Exchange pattern: every rank exchanges with both
+// chain neighbours, posting both receives before both sends. Per IMB
+// accounting each rank moves 4*size bytes per operation (two sent, two
+// received), so the aggregate counts 4*size*ranks.
+func Exchange(st *core.Stack, sizes []int64) (MultiResult, error) {
+	n := len(st.Ch.Endpoints)
+	if n < 2 {
+		return MultiResult{}, fmt.Errorf("imb: Exchange needs >= 2 ranks, have %d", n)
+	}
+	return concurrentSweep(st, "Exchange", sizes,
+		func(c *mpi.Comm, maxSize int64) func(size int64) {
+			send, recv := pairBuffers(c, maxSize, 2)
+			right := (c.Rank() + 1) % n
+			left := (c.Rank() - 1 + n) % n
+			return func(size int64) {
+				sv := mem.IOVec{{Buf: send, Off: 0, Len: size}}
+				rvL := mem.IOVec{{Buf: recv, Off: 0, Len: size}}
+				rvR := mem.IOVec{{Buf: recv, Off: size, Len: size}}
+				r1 := c.Irecv(left, 0, rvL)
+				r2 := c.Irecv(right, 0, rvR)
+				s1 := c.Isend(left, 0, sv)
+				s2 := c.Isend(right, 0, sv)
+				c.Waitall(r1, r2, s1, s2)
+			}
+		},
+		func(size int64) int64 { return int64(4*n) * size },
+		1)
+}

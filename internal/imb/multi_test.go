@@ -1,0 +1,159 @@
+package imb
+
+import (
+	"math"
+	"testing"
+
+	"knemesis/internal/core"
+	"knemesis/internal/nemesis"
+	"knemesis/internal/topo"
+	"knemesis/internal/units"
+)
+
+func multiStack(t *testing.T, kind core.Kind, pairs int, shared bool) *core.Stack {
+	t.Helper()
+	m := topo.XeonE5345()
+	var pp [][2]topo.CoreID
+	var err error
+	if shared {
+		pp, err = m.SharedCachePairs(pairs)
+	} else {
+		pp, err = m.CrossDiePairs(pairs)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewStack(m, topo.PairCores(pp), core.Options{Kind: kind}, nemesis.Config{})
+}
+
+// A single-pair Multi-PingPong is the plain PingPong measured through the
+// barrier-bounded window: the two must agree closely.
+func TestMultiPingPongMatchesSoloAtOnePair(t *testing.T) {
+	sizes := []int64{256 * units.KiB}
+	multi, err := MultiPingPong(multiStack(t, core.KnemLMT, 1, false), sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := PingPong(multiStack(t, core.KnemLMT, 1, false), sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, st := multi.Points[0].Throughput, solo.Points[0].Throughput
+	if math.Abs(mt-st)/st > 0.1 {
+		t.Fatalf("1-pair multi %.0f MiB/s deviates from solo %.0f MiB/s", mt, st)
+	}
+}
+
+func TestMultiPingPongNeedsEvenRanks(t *testing.T) {
+	m := topo.XeonE5345()
+	st := core.NewStack(m, []topo.CoreID{0, 2, 4}, core.Options{Kind: core.DefaultLMT}, nemesis.Config{})
+	if _, err := MultiPingPong(st, []int64{128 * units.KiB}); err == nil {
+		t.Fatal("odd rank count should fail")
+	}
+	st = core.NewStack(m, []topo.CoreID{0}, core.Options{Kind: core.DefaultLMT}, nemesis.Config{})
+	if _, err := MultiPingPong(st, []int64{128 * units.KiB}); err == nil {
+		t.Fatal("single rank should fail")
+	}
+}
+
+// The utilization window must be self-consistent: positive elapsed time,
+// bus utilization a fraction, and the per-core breakdown summing to the
+// total. Only the pair's two cores may be busy.
+func TestMultiPointUtilizationWindow(t *testing.T) {
+	st := multiStack(t, core.DefaultLMT, 1, false)
+	res, err := MultiPingPong(st, []int64{256 * units.KiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := res.Points[0]
+	if pt.Time <= 0 || pt.Throughput <= 0 {
+		t.Fatalf("degenerate point %+v", pt)
+	}
+	if pt.BusUtil < 0 || pt.BusUtil > 1.01 {
+		t.Fatalf("bus utilization %.3f out of range", pt.BusUtil)
+	}
+	var sum float64
+	busyCores := 0
+	for _, s := range pt.CoreBusySec {
+		sum += s
+		if s > 0 {
+			busyCores++
+		}
+	}
+	if math.Abs(sum-pt.CPUBusySec) > 1e-12 {
+		t.Fatalf("per-core busy %.9f != total %.9f", sum, pt.CPUBusySec)
+	}
+	if busyCores != 2 {
+		t.Fatalf("%d cores busy, want exactly the pair's 2", busyCores)
+	}
+}
+
+// Concurrent pairs contend: with the two-copy default LMT cross-die, the
+// 4-pair aggregate must stay well below 4x solo while each extra KNEM pair
+// adds nearly its full solo rate (the experiment-level crossover test in
+// internal/experiments pins the exact thresholds).
+func TestMultiPingPongContends(t *testing.T) {
+	sizes := []int64{1 * units.MiB}
+	for _, tc := range []struct {
+		kind     core.Kind
+		maxScale float64
+		minScale float64
+	}{
+		{core.DefaultLMT, 3.0, 1.2},
+		{core.KnemLMT, 4.1, 3.5},
+	} {
+		solo, err := MultiPingPong(multiStack(t, tc.kind, 1, false), sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		four, err := MultiPingPong(multiStack(t, tc.kind, 4, false), sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scale := four.Points[0].Throughput / solo.Points[0].Throughput
+		if scale > tc.maxScale || scale < tc.minScale {
+			t.Errorf("%s: 4-pair scaling %.2fx outside [%.1f, %.1f]", tc.kind, scale, tc.minScale, tc.maxScale)
+		}
+	}
+}
+
+func TestSendrecvAndExchangeShapes(t *testing.T) {
+	m := topo.XeonE5345()
+	sizes := []int64{128 * units.KiB}
+	st := core.NewStack(m, m.AllCores()[:4], core.Options{Kind: core.CMALMT}, nemesis.Config{})
+	sr, err := Sendrecv(st, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = core.NewStack(m, m.AllCores()[:4], core.Options{Kind: core.CMALMT}, nemesis.Config{})
+	ex, err := Exchange(st, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range []MultiResult{sr, ex} {
+		if res.Ranks != 4 || len(res.Points) != 1 {
+			t.Fatalf("%s: shape %d ranks %d points", res.Bench, res.Ranks, len(res.Points))
+		}
+		if res.Points[0].Throughput <= 0 || res.Points[0].Time <= 0 {
+			t.Fatalf("%s: degenerate point %+v", res.Bench, res.Points[0])
+		}
+	}
+	// Exchange moves twice the bytes of Sendrecv per operation; with both
+	// directions overlapping it must report a higher aggregate.
+	if ex.Points[0].Throughput <= sr.Points[0].Throughput {
+		t.Fatalf("Exchange (%.0f) should aggregate above Sendrecv (%.0f)",
+			ex.Points[0].Throughput, sr.Points[0].Throughput)
+	}
+}
+
+func TestSendrecvNeedsTwoRanks(t *testing.T) {
+	m := topo.XeonE5345()
+	st := core.NewStack(m, []topo.CoreID{0}, core.Options{Kind: core.DefaultLMT}, nemesis.Config{})
+	if _, err := Sendrecv(st, []int64{64 * units.KiB}); err == nil {
+		t.Fatal("single-rank Sendrecv should fail")
+	}
+	st = core.NewStack(m, []topo.CoreID{0}, core.Options{Kind: core.DefaultLMT}, nemesis.Config{})
+	if _, err := Exchange(st, []int64{64 * units.KiB}); err == nil {
+		t.Fatal("single-rank Exchange should fail")
+	}
+}

@@ -299,3 +299,49 @@ func TestAlltoallProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Sendrecv must genuinely overlap its two directions: a bidirectional
+// 512 KiB exchange (the building block of the Sendrecv/Exchange contention
+// benchmarks) has to finish in well under the time of two sequential
+// one-way transfers, and both payloads must arrive intact.
+func TestSendrecvOverlapsDirections(t *testing.T) {
+	size := 512 * units.KiB
+	oneWay := func() sim.Time {
+		w := newWorld(t, 2, core.Options{Kind: core.KnemLMT})
+		elapsed, err := w.Run(func(c *Comm) {
+			b := c.Alloc(size)
+			if c.Rank() == 0 {
+				b.FillPattern(7)
+				c.Send(1, 0, mem.VecOf(b))
+			} else {
+				c.Recv(0, 0, mem.VecOf(b))
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return elapsed
+	}()
+
+	w := newWorld(t, 2, core.Options{Kind: core.KnemLMT})
+	both, err := w.Run(func(c *Comm) {
+		send, recv := c.Alloc(size), c.Alloc(size)
+		send.FillPattern(uint64(c.Rank()) + 1)
+		peer := 1 - c.Rank()
+		st := c.Sendrecv(peer, 3, mem.VecOf(send), peer, 3, mem.VecOf(recv))
+		if st.Source != peer || st.Tag != 3 || st.Bytes != size {
+			t.Errorf("rank %d: status = %+v", c.Rank(), st)
+		}
+		want := c.Alloc(size)
+		want.FillPattern(uint64(peer) + 1)
+		if !mem.EqualBytes(recv, want) {
+			t.Errorf("rank %d: payload corrupted", c.Rank())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both >= 2*oneWay {
+		t.Errorf("bidirectional Sendrecv took %v, want < 2x one-way %v (no overlap)", both, oneWay)
+	}
+}

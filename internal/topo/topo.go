@@ -137,10 +137,14 @@ type Params struct {
 // machine presets.
 func DefaultParams() Params {
 	return Params{
-		BlockBytes:             1024,
-		LineBytes:              64,
-		PageBytes:              4096,
-		BusBandwidth:           10.6e9, // 1333 MHz FSB x 8 B
+		BlockBytes: 1024,
+		LineBytes:  64,
+		PageBytes:  4096,
+		// 1333 MHz FSB x 8 B is 10.6e9 peak; sustained transfer efficiency
+		// on these FSBs is ~75% (arbitration, snoop and turnaround cycles
+		// — STREAM measures 6-7 GB/s on Clovertown), and contention-regime
+		// scaling only reproduces with the sustained figure.
+		BusBandwidth:           8.0e9,
 		CPUCopyCachedBps:       6.5e9,
 		CPUCopyStreamBps:       3.0e9,
 		DirtyTransferFactor:    2.0,
@@ -299,6 +303,64 @@ func (m *Machine) PairDifferentDies() (CoreID, CoreID) {
 		panic("topo: machine has a single cache domain: " + m.Name)
 	}
 	return m.L2Domains[0][0], m.L2Domains[1][0]
+}
+
+// SharedCachePairs returns n disjoint core pairs, each pair sharing an L2
+// (the paper's "Shared Cache" placement replicated n times). Pairs are drawn
+// from distinct L2 domains first, so with one pair per domain no two pairs
+// contend for the same cache.
+func (m *Machine) SharedCachePairs(n int) ([][2]CoreID, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topo: need at least 1 pair, want %d", n)
+	}
+	var out [][2]CoreID
+	for round := 0; ; round++ {
+		added := false
+		for _, dom := range m.L2Domains {
+			i := 2 * round
+			if i+1 >= len(dom) {
+				continue
+			}
+			added = true
+			if out = append(out, [2]CoreID{dom[i], dom[i+1]}); len(out) == n {
+				return out, nil
+			}
+		}
+		if !added {
+			return nil, fmt.Errorf("topo: %s supports %d shared-cache pairs, want %d", m.Name, len(out), n)
+		}
+	}
+}
+
+// CrossDiePairs returns n disjoint core pairs whose members do not share any
+// cache (the paper's "Different Dies" placement replicated n times). Domains
+// are consumed two at a time and their cores zipped, so the i-th pair of a
+// domain couple occupies slot i of both dies.
+func (m *Machine) CrossDiePairs(n int) ([][2]CoreID, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topo: need at least 1 pair, want %d", n)
+	}
+	var out [][2]CoreID
+	for d := 0; d+1 < len(m.L2Domains); d += 2 {
+		a, b := m.L2Domains[d], m.L2Domains[d+1]
+		for i := 0; i < len(a) && i < len(b) && len(out) < n; i++ {
+			out = append(out, [2]CoreID{a[i], b[i]})
+		}
+	}
+	if len(out) < n {
+		return nil, fmt.Errorf("topo: %s supports %d cross-die pairs, want %d", m.Name, len(out), n)
+	}
+	return out[:n], nil
+}
+
+// PairCores flattens pair placements into the rank-ordered core list a
+// channel expects: pair i becomes ranks 2i and 2i+1.
+func PairCores(pairs [][2]CoreID) []CoreID {
+	out := make([]CoreID, 0, 2*len(pairs))
+	for _, p := range pairs {
+		out = append(out, p[0], p[1])
+	}
+	return out
 }
 
 // AllCores returns 0..Cores-1, the placement used by 8-process runs.

@@ -94,3 +94,100 @@ func TestAllCores(t *testing.T) {
 		}
 	}
 }
+
+func TestSharedCachePairs(t *testing.T) {
+	m := XeonE5345()
+	pairs, err := m.SharedCachePairs(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[CoreID]bool{}
+	for _, p := range pairs {
+		if !m.SharedCache(p[0], p[1]) {
+			t.Errorf("pair %v does not share a cache", p)
+		}
+		for _, c := range p {
+			if seen[c] {
+				t.Errorf("core %d appears in two pairs", c)
+			}
+			seen[c] = true
+		}
+	}
+	if _, err := m.SharedCachePairs(5); err == nil {
+		t.Error("5 shared pairs should not fit 8 cores")
+	}
+	if _, err := XeonX5460().SharedCachePairs(3); err == nil {
+		t.Error("3 shared pairs should not fit 4 cores")
+	}
+	if _, err := m.SharedCachePairs(0); err == nil {
+		t.Error("0 pairs should error")
+	}
+	// Pairs spread round-robin across domains: on a wide-domain machine
+	// the first pairs must land in distinct L2s before any domain hosts
+	// a second pair.
+	wide := NehalemStyle() // single 8-core domain: all pairs share it
+	pairs, err = wide.SharedCachePairs(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 4 {
+		t.Fatalf("nehalem shared pairs = %d, want 4", len(pairs))
+	}
+	two := XeonE5345()
+	pp, err := two.SharedCachePairs(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.L2Of(pp[0][0]) == two.L2Of(pp[1][0]) {
+		t.Errorf("2 shared pairs landed in one L2 domain: %v", pp)
+	}
+}
+
+func TestCrossDiePairs(t *testing.T) {
+	m := XeonE5345()
+	pairs, err := m.CrossDiePairs(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[CoreID]bool{}
+	for _, p := range pairs {
+		if m.SharedCache(p[0], p[1]) {
+			t.Errorf("pair %v shares a cache", p)
+		}
+		for _, c := range p {
+			if seen[c] {
+				t.Errorf("core %d appears in two pairs", c)
+			}
+			seen[c] = true
+		}
+	}
+	if _, err := m.CrossDiePairs(5); err == nil {
+		t.Error("5 cross pairs should not fit 8 cores")
+	}
+	// A single cache domain has no cross-die placement at all.
+	if _, err := NehalemStyle().CrossDiePairs(1); err == nil {
+		t.Error("single-domain machine produced a cross-die pair")
+	}
+}
+
+func TestPairCores(t *testing.T) {
+	m := XeonE5345()
+	pairs, err := m.CrossDiePairs(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cores := PairCores(pairs)
+	if len(cores) != 4 {
+		t.Fatalf("PairCores len = %d, want 4", len(cores))
+	}
+	for i, p := range pairs {
+		if cores[2*i] != p[0] || cores[2*i+1] != p[1] {
+			t.Fatalf("pair %d not at ranks %d,%d: %v", i, 2*i, 2*i+1, cores)
+		}
+	}
+	// The first pair's placement matches the single-pair helper.
+	d0, d1 := m.PairDifferentDies()
+	if pairs[0] != [2]CoreID{d0, d1} {
+		t.Errorf("first cross pair %v != PairDifferentDies (%d,%d)", pairs[0], d0, d1)
+	}
+}

@@ -100,3 +100,79 @@ func TestMiBps(t *testing.T) {
 		t.Fatalf("MiBps(...,0) = %v, want 0", got)
 	}
 }
+
+// Boundary and degenerate inputs for the size parser/formatter: exact unit
+// boundaries, off-by-one sizes, bare suffixes, embedded signs and
+// whitespace-only strings.
+func TestParseSizeEdgeCases(t *testing.T) {
+	good := []struct {
+		s    string
+		want int64
+	}{
+		{"0B", 0},
+		{"0KiB", 0},
+		{"1023", 1023},
+		{"1024", 1024},
+		{"1025", 1025},
+		{"1KiB", KiB},
+		{"1023KiB", 1023 * KiB},
+		{"1MiB", MiB},
+		{"1GiB", GiB},
+		{"  2 KiB  ", 2 * KiB},
+		{"0.5KiB", 512},
+		{"0.25MiB", 256 * KiB},
+	}
+	for _, c := range good {
+		got, err := ParseSize(c.s)
+		if err != nil {
+			t.Errorf("ParseSize(%q) error: %v", c.s, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSize(%q) = %d, want %d", c.s, got, c.want)
+		}
+	}
+	for _, bad := range []string{"-1", "-0.5KiB", "B", "KiB", "MiB", " ", "\t", "1..5K", "1e", "++1", "0x10"} {
+		if _, err := ParseSize(bad); err == nil {
+			t.Errorf("ParseSize(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestFormatSizeEdgeCases(t *testing.T) {
+	cases := map[int64]string{
+		0:           "0B",
+		1:           "1B",
+		1023:        "1023B",
+		KiB:         "1KiB",
+		KiB + 1:     "1KiB", // rounds to 2 decimals, trailing zeros trimmed
+		MiB - 1:     "1024KiB",
+		MiB:         "1MiB",
+		GiB:         "1GiB",
+		3 * GiB / 2: "1.5GiB",
+	}
+	for n, want := range cases {
+		if got := FormatSize(n); got != want {
+			t.Errorf("FormatSize(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestMiBpsEdgeCases(t *testing.T) {
+	cases := []struct {
+		bytes   int64
+		seconds float64
+		want    float64
+	}{
+		{0, 1, 0},
+		{MiB, 0, 0}, // non-positive time guards
+		{MiB, -1, 0},
+		{MiB, 1, 1},
+		{-MiB, 1, -1}, // negative byte deltas pass through
+	}
+	for _, c := range cases {
+		if got := MiBps(c.bytes, c.seconds); got != c.want {
+			t.Errorf("MiBps(%d, %v) = %v, want %v", c.bytes, c.seconds, got, c.want)
+		}
+	}
+}
