@@ -24,23 +24,34 @@ import (
 	"knemesis/internal/core"
 	"knemesis/internal/imb"
 	"knemesis/internal/nemesis"
+	"knemesis/internal/profiling"
 	"knemesis/internal/topo"
 	"knemesis/internal/units"
 )
 
 func main() {
 	var (
-		bench     = flag.String("bench", "pingpong", "pingpong|sendrecv|exchange|alltoall")
-		lmt       = flag.String("lmt", "default", strings.Join(core.SpecNames(), "|")+"|list")
-		placement = flag.String("placement", "cross", "shared|cross (pingpong only)")
-		machine   = flag.String("machine", "e5345", "e5345|x5460|nehalem")
-		ranks     = flag.Int("ranks", 8, "rank count (sendrecv/exchange/alltoall)")
-		multi     = flag.Int("multi", 1, "concurrent PingPong pairs (pingpong only)")
-		minSize   = flag.String("min", "64KiB", "smallest message size")
-		maxSize   = flag.String("max", "4MiB", "largest message size")
-		eagerMax  = flag.String("eager", "", "override the rendezvous threshold (e.g. 4KiB)")
+		bench      = flag.String("bench", "pingpong", "pingpong|sendrecv|exchange|alltoall")
+		lmt        = flag.String("lmt", "default", strings.Join(core.SpecNames(), "|")+"|list")
+		placement  = flag.String("placement", "cross", "shared|cross (pingpong only)")
+		machine    = flag.String("machine", "e5345", "e5345|x5460|nehalem")
+		ranks      = flag.Int("ranks", 8, "rank count (sendrecv/exchange/alltoall)")
+		multi      = flag.Int("multi", 1, "concurrent PingPong pairs (pingpong only)")
+		minSize    = flag.String("min", "64KiB", "smallest message size")
+		maxSize    = flag.String("max", "4MiB", "largest message size")
+		eagerMax   = flag.String("eager", "", "override the rendezvous threshold (e.g. 4KiB)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	check(err)
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "imb: profile:", err)
+		}
+	}()
 
 	if *lmt == "list" {
 		for _, s := range core.Specs() {

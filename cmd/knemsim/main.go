@@ -21,6 +21,7 @@ import (
 
 	"knemesis/internal/experiments"
 	"knemesis/internal/nas"
+	"knemesis/internal/profiling"
 	"knemesis/internal/topo"
 	"knemesis/internal/units"
 )
@@ -34,9 +35,21 @@ func main() {
 		quick      = flag.Bool("quick", false, "reduced sizes and scaled NAS kernels")
 		workers    = flag.Int("j", experiments.DefaultWorkers(),
 			"worker pool width for independent stack simulations (1 = serial)")
-		verbose = flag.Bool("v", false, "progress to stderr")
+		verbose    = flag.Bool("v", false, "progress to stderr")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "knemsim: profile:", err)
+		}
+	}()
 
 	m, err := machineByName(*machine)
 	if err != nil {

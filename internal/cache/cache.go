@@ -58,6 +58,13 @@ func (s Stats) MissesInLines(lineBytes int64) int64 {
 }
 
 // Cache is one physical cache (an L2 in this simulator).
+//
+// Way state is encoded for scan speed: an invalid way holds tag
+// invalidTag (which no real block number reaches) and stamp 0, while valid
+// ways always have stamp >= 1 (the clock pre-increments). The LRU victim
+// search is then a bare argmin over stamps — zero-stamp (invalid) ways win
+// automatically, earliest index first, exactly the historical
+// first-invalid-else-LRU policy.
 type Cache struct {
 	name       string
 	blockBytes int64
@@ -65,14 +72,18 @@ type Cache struct {
 	assoc      int
 
 	// Way arrays indexed by set*assoc+way.
-	tags  []uint64 // block number (not tag-only: simpler, still unique)
-	valid []bool
+	tags  []uint64 // block number, or invalidTag
 	dirty []bool
-	stamp []uint64 // LRU timestamps
+	stamp []uint64 // LRU timestamps; 0 marks an invalid way
 
 	clock uint64
 	stats Stats
 }
+
+// invalidTag marks an empty way. Real block numbers stay far below it:
+// addresses top out near 2^50 (spaces are 1 TiB apart) and blocks are
+// addresses divided by the block size.
+const invalidTag = ^uint64(0)
 
 // AccessResult describes the outcome of one block access.
 type AccessResult struct {
@@ -95,16 +106,19 @@ func New(name string, sizeBytes, blockBytes int64, assoc int) *Cache {
 	}
 	sets := int(sizeBytes / (blockBytes * int64(assoc)))
 	n := sets * assoc
-	return &Cache{
+	c := &Cache{
 		name:       name,
 		blockBytes: blockBytes,
 		sets:       sets,
 		assoc:      assoc,
 		tags:       make([]uint64, n),
-		valid:      make([]bool, n),
 		dirty:      make([]bool, n),
 		stamp:      make([]uint64, n),
 	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	return c
 }
 
 // Name returns the cache's diagnostic name.
@@ -131,7 +145,7 @@ func (c *Cache) setOf(block uint64) int { return int(block % uint64(c.sets)) }
 func (c *Cache) probe(block uint64) int {
 	base := c.setOf(block) * c.assoc
 	for w := 0; w < c.assoc; w++ {
-		if c.valid[base+w] && c.tags[base+w] == block {
+		if c.tags[base+w] == block {
 			return base + w
 		}
 	}
@@ -150,47 +164,44 @@ func (c *Cache) ContainsDirty(block uint64) bool {
 // Access performs a read or write of one block, allocating on miss and
 // evicting LRU as needed. Coherence with other caches is the caller's job
 // (see internal/hw); Access only manages this cache's arrays and stats.
+// One pass over the set finds both the hit way and the eviction victim.
 func (c *Cache) Access(block uint64, write bool) AccessResult {
 	c.clock++
 	c.stats.Accesses++
-	if i := c.probe(block); i >= 0 {
-		c.stats.Hits++
-		res := AccessResult{Hit: true}
-		if write {
-			res.WasDirtyHit = c.dirty[i]
-			c.dirty[i] = true
+	base := c.setOf(block) * c.assoc
+	tags, stamps := c.tags, c.stamp
+	victim := base
+	minStamp := stamps[base]
+	for i := base; i < base+c.assoc; i++ {
+		if tags[i] == block {
+			c.stats.Hits++
+			res := AccessResult{Hit: true}
+			if write {
+				res.WasDirtyHit = c.dirty[i]
+				c.dirty[i] = true
+			}
+			stamps[i] = c.clock
+			return res
 		}
-		c.stamp[i] = c.clock
-		return res
+		if stamps[i] < minStamp {
+			minStamp, victim = stamps[i], i
+		}
 	}
 
 	c.stats.Misses++
 	c.stats.FillBytes += c.blockBytes
-	base := c.setOf(block) * c.assoc
-	victim := base
-	for w := 0; w < c.assoc; w++ {
-		i := base + w
-		if !c.valid[i] {
-			victim = i
-			break
-		}
-		if c.stamp[i] < c.stamp[victim] {
-			victim = i
-		}
-	}
 	res := AccessResult{}
-	if c.valid[victim] {
+	if tags[victim] != invalidTag {
 		res.Evicted = true
-		res.EvictedBlock = c.tags[victim]
+		res.EvictedBlock = tags[victim]
 		if c.dirty[victim] {
 			res.EvictedDirty = true
 			c.stats.WriteBackBytes += c.blockBytes
 		}
 	}
-	c.tags[victim] = block
-	c.valid[victim] = true
+	tags[victim] = block
 	c.dirty[victim] = write
-	c.stamp[victim] = c.clock
+	stamps[victim] = c.clock
 	return res
 }
 
@@ -206,7 +217,8 @@ func (c *Cache) Invalidate(block uint64) (present, wasDirty bool) {
 		c.stats.WriteBackBytes += c.blockBytes
 		wasDirty = true
 	}
-	c.valid[i] = false
+	c.tags[i] = invalidTag
+	c.stamp[i] = 0
 	c.dirty[i] = false
 	return true, wasDirty
 }
@@ -247,15 +259,27 @@ func (c *Cache) ResidentBytes(addr uint64, n int64) int64 {
 	return resident
 }
 
+// ForEachResident calls fn for every resident block, in way order. It is
+// how the machine layer rebuilds its coherence directory when switching
+// coherence implementations mid-run.
+func (c *Cache) ForEachResident(fn func(block uint64, dirty bool)) {
+	for i, tag := range c.tags {
+		if tag != invalidTag {
+			fn(tag, c.dirty[i])
+		}
+	}
+}
+
 // Flush invalidates every block (bulk coherence reset between experiment
 // repetitions); dirty blocks count writebacks.
 func (c *Cache) Flush() {
-	for i := range c.valid {
-		if c.valid[i] {
+	for i := range c.tags {
+		if c.tags[i] != invalidTag {
 			if c.dirty[i] {
 				c.stats.WriteBackBytes += c.blockBytes
 			}
-			c.valid[i] = false
+			c.tags[i] = invalidTag
+			c.stamp[i] = 0
 			c.dirty[i] = false
 		}
 	}

@@ -1,0 +1,135 @@
+package cache
+
+// Directory is a machine-wide coherence directory: for every block it
+// tracks which cache domains hold a copy (a presence bitmask) and which
+// domain, if any, holds the block modified. The machine layer (internal/hw)
+// is the single mutator of the caches and keeps the directory in sync on
+// every Access, Invalidate, Downgrade and Flush; coherent accesses can then
+// consult the directory instead of probing every remote cache, making the
+// overwhelmingly common no-remote-copy case O(1).
+//
+// Entries are stored in fixed-size pages keyed by the high block bits, with
+// a one-page lookup cache: bulk copies stream through consecutive blocks,
+// so almost every access resolves without a map operation.
+//
+// Pages are only reclaimed by Reset (hw.FlushCaches), not when their
+// entries empty out: live tracking would put a counter update on every
+// presence-bit mutation to save ~1.6% of the touched address span (one
+// 8 KiB page per 512 KiB ever cached). Directory footprint therefore grows
+// with the addresses a Machine touches and is released when the Machine
+// (one per simulated stack) is dropped.
+type Directory struct {
+	domains int
+	pages   map[uint64]*dirPage
+
+	// Two-slot page cache. One slot serves streaming accesses; the
+	// second keeps the map out of the loop when evictions (which touch
+	// the victim block's page) interleave with the streamed range.
+	lastKey  uint64
+	lastPage *dirPage
+	prevKey  uint64
+	prevPage *dirPage
+}
+
+// DirEntry is the directory's knowledge of one block. The zero value means
+// "cached nowhere, clean".
+type DirEntry struct {
+	mask  uint64
+	owner int16 // 1+domain of the modified copy; 0 = no modified copy
+}
+
+// Mask returns the presence bitmask (bit d set: domain d holds a copy).
+func (e *DirEntry) Mask() uint64 { return e.mask }
+
+// Owner returns the domain holding the modified copy, or -1.
+func (e *DirEntry) Owner() int { return int(e.owner) - 1 }
+
+// SetPresent records a (clean) copy in domain dom.
+func (e *DirEntry) SetPresent(dom int) { e.mask |= 1 << uint(dom) }
+
+// SetOwner records a modified copy in domain dom (implies presence).
+func (e *DirEntry) SetOwner(dom int) {
+	e.mask |= 1 << uint(dom)
+	e.owner = int16(dom) + 1
+}
+
+// ClearOwner downgrades the modified copy to clean (presence is kept).
+func (e *DirEntry) ClearOwner() { e.owner = 0 }
+
+// ClearPresent removes domain dom's copy, dropping ownership if dom held it.
+func (e *DirEntry) ClearPresent(dom int) {
+	e.mask &^= 1 << uint(dom)
+	if int(e.owner) == dom+1 {
+		e.owner = 0
+	}
+}
+
+const (
+	dirPageShift  = 9
+	dirPageBlocks = 1 << dirPageShift
+)
+
+type dirPage [dirPageBlocks]DirEntry
+
+// NewDirectory returns an empty directory over the given number of cache
+// domains (at most 64, the presence-mask width).
+func NewDirectory(domains int) *Directory {
+	if domains < 1 || domains > 64 {
+		panic("cache: directory needs 1..64 domains")
+	}
+	return &Directory{domains: domains, pages: make(map[uint64]*dirPage)}
+}
+
+// Domains returns the number of cache domains the directory covers.
+func (d *Directory) Domains() int { return d.domains }
+
+// Entry returns the mutable entry for block, allocating its page on first
+// touch.
+func (d *Directory) Entry(block uint64) *DirEntry {
+	key := block >> dirPageShift
+	if pg := d.lastPage; pg != nil && d.lastKey == key {
+		return &pg[block&(dirPageBlocks-1)]
+	}
+	return &d.entrySlow(key, true)[block&(dirPageBlocks-1)]
+}
+
+// Lookup returns a copy of block's entry without allocating anything:
+// blocks never cached report the zero entry.
+func (d *Directory) Lookup(block uint64) DirEntry {
+	key := block >> dirPageShift
+	if pg := d.lastPage; pg != nil && d.lastKey == key {
+		return pg[block&(dirPageBlocks-1)]
+	}
+	pg := d.entrySlow(key, false)
+	if pg == nil {
+		return DirEntry{}
+	}
+	return pg[block&(dirPageBlocks-1)]
+}
+
+// entrySlow resolves key through the second cache slot, then the map
+// (creating the page if asked), promoting the result to the first slot.
+func (d *Directory) entrySlow(key uint64, create bool) *dirPage {
+	pg := d.prevPage
+	if pg == nil || d.prevKey != key {
+		var ok bool
+		pg, ok = d.pages[key]
+		if !ok {
+			if !create {
+				return nil
+			}
+			pg = new(dirPage)
+			d.pages[key] = pg
+		}
+	}
+	d.prevKey, d.prevPage = d.lastKey, d.lastPage
+	d.lastKey, d.lastPage = key, pg
+	return pg
+}
+
+// Reset forgets everything (bulk coherence reset after flushing all caches).
+func (d *Directory) Reset() {
+	d.pages = make(map[uint64]*dirPage)
+	d.lastPage = nil
+	d.prevPage = nil
+}

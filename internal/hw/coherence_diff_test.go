@@ -1,0 +1,156 @@
+package hw
+
+import (
+	"math/rand"
+	"testing"
+
+	"knemesis/internal/cache"
+	"knemesis/internal/mem"
+	"knemesis/internal/topo"
+	"knemesis/internal/units"
+)
+
+// The differential tests drive the directory-based coherence fast path and
+// the brute-force snoop reference over identical randomized access traces
+// and require bit-identical traffic and cache statistics. This is the proof
+// that the directory is a pure optimization: same model, fewer probes.
+
+// diffMachines returns two identical machines, the first on the directory
+// path, the second on the snoop reference.
+func diffMachines() (dir, snoop *Machine) {
+	dir = New(topo.XeonE5345()) // 4 L2 domains
+	snoop = New(topo.XeonE5345())
+	snoop.SetSnoopCoherence(true)
+	return dir, snoop
+}
+
+// traceOp is one step of a randomized coherence trace.
+type traceOp struct {
+	kind  int // 0 touch-read, 1 touch-write, 2 copy, 3 dma-snoop, 4 dma-inval, 5 flush
+	core  topo.CoreID
+	off   int64
+	n     int64
+	off2  int64 // copy source offset
+	remap bool  // mid-trace coherence-mode flip (exercises the rebuild)
+}
+
+// randTrace builds a trace over a footprint of footprint bytes. Offsets are
+// block-unaligned on purpose; lengths span one block to several hundred.
+func randTrace(rng *rand.Rand, steps int, footprint int64) []traceOp {
+	ops := make([]traceOp, steps)
+	for i := range ops {
+		n := int64(rng.Intn(256*1024) + 1)
+		off := rng.Int63n(footprint - n)
+		op := traceOp{
+			kind: rng.Intn(6),
+			core: topo.CoreID(rng.Intn(8)),
+			off:  off,
+			n:    n,
+		}
+		if op.kind == 2 {
+			op.off2 = rng.Int63n(footprint - n)
+		}
+		// Rare flush; rare mode flip on the machine under test.
+		if op.kind == 5 && rng.Intn(4) != 0 {
+			op.kind = rng.Intn(2)
+		}
+		op.remap = rng.Intn(64) == 0
+		ops[i] = op
+	}
+	return ops
+}
+
+// apply runs one op on a machine and returns a comparable outcome triple.
+func apply(m *Machine, buf, buf2 *mem.Buffer, op traceOp) (a, b, c int64) {
+	switch op.kind {
+	case 0, 1:
+		tr := m.TouchRange(nil, op.core, buf.Addr()+uint64(op.off), op.n, op.kind == 1, true)
+		return tr.BusBytes, tr.SrcMissBytes + tr.DstMissBytes, tr.DirtyMissBytes
+	case 2:
+		tr := m.CopyRange(nil, op.core,
+			mem.Region{Buf: buf2, Off: op.off, Len: op.n},
+			mem.Region{Buf: buf, Off: op.off2, Len: op.n},
+			CopyOpts{Kernel: true, NoTime: true})
+		return tr.BusBytes, tr.SrcMissBytes + tr.DstMissBytes, tr.DirtyMissBytes
+	case 3:
+		return m.DMASnoopSource(buf.Addr()+uint64(op.off), op.n), 0, 0
+	case 4:
+		return m.DMAInvalidateDest(buf.Addr()+uint64(op.off), op.n), 0, 0
+	case 5:
+		m.FlushCaches()
+		return 0, 0, 0
+	}
+	return 0, 0, 0
+}
+
+func statsOf(m *Machine) []cache.Stats {
+	out := make([]cache.Stats, len(m.L2s))
+	for i, c := range m.L2s {
+		out[i] = c.Stats()
+	}
+	return out
+}
+
+// runDiff drives both machines through a trace, failing on the first
+// divergence in per-op traffic or per-cache statistics.
+func runDiff(t *testing.T, rng *rand.Rand, steps int) {
+	t.Helper()
+	md, ms := diffMachines()
+	const footprint = 6 * units.MiB // bigger than one 4 MiB L2: evictions happen
+	bufD := md.Mem.NewSharedSpace("shm").Alloc(2 * footprint)
+	bufS := ms.Mem.NewSharedSpace("shm").Alloc(2 * footprint)
+	dstD := bufD.Slice(footprint, footprint)
+	dstS := bufS.Slice(footprint, footprint)
+
+	for i, op := range randTrace(rng, steps, footprint) {
+		if op.remap {
+			// Flip the machine under test to snoop and back: the
+			// directory must rebuild losslessly from cache contents.
+			md.SetSnoopCoherence(true)
+			md.SetSnoopCoherence(false)
+		}
+		da, db, dc := apply(md, bufD, dstD, op)
+		sa, sb, sc := apply(ms, bufS, dstS, op)
+		if da != sa || db != sb || dc != sc {
+			t.Fatalf("op %d %+v: directory (%d,%d,%d) != snoop (%d,%d,%d)",
+				i, op, da, db, dc, sa, sb, sc)
+		}
+		if res, want := md.ResidentBytes(op.core, bufD.Addr()+uint64(op.off), op.n),
+			ms.L2OfCore(op.core).ResidentBytes(bufS.Addr()+uint64(op.off), op.n); res != want {
+			t.Fatalf("op %d %+v: ResidentBytes %d != %d", i, op, res, want)
+		}
+	}
+	sd, ss := statsOf(md), statsOf(ms)
+	for d := range sd {
+		if sd[d] != ss[d] {
+			t.Fatalf("L2.%d stats diverged:\ndirectory %+v\nsnoop     %+v", d, sd[d], ss[d])
+		}
+	}
+}
+
+// TestCoherenceDirectoryMatchesSnoop is the main differential property test:
+// many seeds, interleaved reads/writes/copies/DMA walks/flushes across all
+// 4 L2 domains of the E5345 topology.
+func TestCoherenceDirectoryMatchesSnoop(t *testing.T) {
+	steps := 400
+	seeds := 8
+	if testing.Short() {
+		steps, seeds = 150, 3
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			runDiff(t, rand.New(rand.NewSource(int64(seed)*7919+1)), steps)
+		})
+	}
+}
+
+// FuzzCoherenceEquivalence lets the fuzzer hunt for trace shapes the seeded
+// property test missed.
+func FuzzCoherenceEquivalence(f *testing.F) {
+	f.Add(int64(1), uint(64))
+	f.Add(int64(42), uint(200))
+	f.Fuzz(func(t *testing.T, seed int64, steps uint) {
+		runDiff(t, rand.New(rand.NewSource(seed)), int(steps%256)+1)
+	})
+}

@@ -35,6 +35,17 @@ type Machine struct {
 	L2s []*cache.Cache
 
 	coreL2 []int // core -> L2 domain index
+
+	// dir is the machine-wide coherence directory: per block, a presence
+	// bitmask over the L2 domains plus the dirty owner. Every cache
+	// mutation made by this package keeps it in sync, so coherent
+	// accesses need not probe remote caches.
+	dir *cache.Directory
+
+	// snoop selects the brute-force probe-every-cache coherence path,
+	// kept as the reference implementation the directory is verified
+	// against (see SetSnoopCoherence and the differential tests).
+	snoop bool
 }
 
 // Core is one CPU core's runtime state.
@@ -71,7 +82,31 @@ func New(t *topo.Machine) *Machine {
 	for i := 0; i < t.Cores; i++ {
 		m.coreL2[i] = t.L2Of(topo.CoreID(i))
 	}
+	m.dir = cache.NewDirectory(len(t.L2Domains))
 	return m
+}
+
+// SetSnoopCoherence selects the coherence implementation: true switches to
+// the brute-force snoop path that probes every cache (the reference
+// implementation), false returns to the default directory fast path,
+// rebuilding the directory from current cache contents so the mode may be
+// flipped mid-run. Both produce identical traffic and statistics.
+func (m *Machine) SetSnoopCoherence(snoop bool) {
+	if m.snoop && !snoop {
+		m.dir.Reset()
+		for d, c := range m.L2s {
+			dom := d
+			c.ForEachResident(func(block uint64, dirty bool) {
+				e := m.dir.Entry(block)
+				if dirty {
+					e.SetOwner(dom)
+				} else {
+					e.SetPresent(dom)
+				}
+			})
+		}
+	}
+	m.snoop = snoop
 }
 
 // Core returns the runtime core for id.
@@ -104,6 +139,7 @@ func (m *Machine) FlushCaches() {
 	for _, c := range m.L2s {
 		c.Flush()
 	}
+	m.dir.Reset()
 }
 
 // Busy charges d of CPU time to the core under processor sharing: if other
@@ -196,8 +232,62 @@ func (t *Traffic) Add(other Traffic) {
 
 // accessBlock performs one coherent block access by a core and returns the
 // bus bytes it generated, whether it hit in the local L2, and whether a
-// remote modified copy had to service it.
+// remote modified copy had to service it. The default implementation
+// consults the coherence directory; accessBlockSnoop is the brute-force
+// reference it must stay equivalent to.
 func (m *Machine) accessBlock(coreID topo.CoreID, block uint64, write bool) (busBytes int64, hit, dirtyRemote bool) {
+	if m.snoop {
+		return m.accessBlockSnoop(coreID, block, write)
+	}
+	p := &m.Topo.Params
+	local := m.coreL2[coreID]
+	return m.accessBlockDir(m.L2s[local], local, block, write,
+		int64(float64(p.BlockBytes)*p.DirtyTransferFactor), p.BlockBytes)
+}
+
+// accessBlockDir is the per-block directory-coherence transition shared by
+// accessBlock and classifyRange's bulk loop (which hoists the arguments
+// once per range): resolve remote copies, access the local cache, keep the
+// directory in sync with the fill and any eviction, and account bus bytes.
+// dirtyFill is the modified-line FSB transfer cost (a stale hit with a
+// remote dirty copy pays it too).
+func (m *Machine) accessBlockDir(l2 *cache.Cache, local int, block uint64, write bool, dirtyFill, blockBytes int64) (busBytes int64, hit, dirtyRemote bool) {
+	e := m.dir.Entry(block)
+	if remote := e.Mask() &^ (1 << uint(local)); remote != 0 {
+		dirtyRemote = m.serviceRemote(e, block, remote, local, write)
+	}
+
+	res := l2.Access(block, write)
+	if res.Evicted {
+		m.dir.Entry(res.EvictedBlock).ClearPresent(local)
+	}
+	if write {
+		e.SetOwner(local)
+	} else {
+		e.SetPresent(local)
+	}
+
+	if res.Hit {
+		if dirtyRemote {
+			busBytes = dirtyFill
+		}
+		return busBytes, true, dirtyRemote
+	}
+	if dirtyRemote {
+		busBytes = dirtyFill
+	} else {
+		busBytes = blockBytes
+	}
+	if res.EvictedDirty {
+		busBytes += blockBytes
+	}
+	return busBytes, false, dirtyRemote
+}
+
+// accessBlockSnoop is the pre-directory coherence implementation: every
+// remote cache is probed on every access. It is kept verbatim as the
+// reference the directory path is differentially tested against.
+func (m *Machine) accessBlockSnoop(coreID topo.CoreID, block uint64, write bool) (busBytes int64, hit, dirtyRemote bool) {
 	p := &m.Topo.Params
 	local := m.coreL2[coreID]
 	l2 := m.L2s[local]
@@ -251,33 +341,124 @@ func (m *Machine) accessBlock(coreID topo.CoreID, block uint64, write bool) (bus
 // classifyRange runs the coherence/cache state machine over [addr, addr+n)
 // for a core, returning bus bytes, missed payload bytes, and the subset of
 // missed bytes serviced by remote modified lines. It does not advance
-// simulated time.
+// simulated time. The bulk loop hoists the parameter loads, the core's
+// cache/domain resolution and the dirty-transfer cost out of the per-block
+// path, and only does boundary math on the (at most two) partial blocks at
+// the range edges; the per-block coherence transition is the same one
+// accessBlock performs.
 func (m *Machine) classifyRange(coreID topo.CoreID, addr uint64, n int64, write bool) (busBytes, missBytes, dirtyMissBytes int64) {
 	if n <= 0 {
 		return 0, 0, 0
 	}
-	bs := uint64(m.Topo.Params.BlockBytes)
+	p := &m.Topo.Params
+	bs := uint64(p.BlockBytes)
 	first := addr / bs
 	last := (addr + uint64(n) - 1) / bs
+	end := addr + uint64(n)
+	if m.snoop {
+		for b := first; b <= last; b++ {
+			bb, hit, dirtyRemote := m.accessBlockSnoop(coreID, b, write)
+			busBytes += bb
+			if !hit {
+				span := partialSpan(b, bs, addr, end)
+				missBytes += span
+				if dirtyRemote {
+					dirtyMissBytes += span
+				}
+			}
+		}
+		return busBytes, missBytes, dirtyMissBytes
+	}
+
+	local := m.coreL2[coreID]
+	l2 := m.L2s[local]
+	dirtyFill := int64(float64(p.BlockBytes) * p.DirtyTransferFactor)
 	for b := first; b <= last; b++ {
-		bb, hit, dirtyRemote := m.accessBlock(coreID, b, write)
+		bb, hit, dirtyRemote := m.accessBlockDir(l2, local, b, write, dirtyFill, p.BlockBytes)
 		busBytes += bb
 		if !hit {
-			lo := b * bs
-			hi := lo + bs
-			if lo < addr {
-				lo = addr
+			span := int64(bs)
+			if b == first || b == last {
+				span = partialSpan(b, bs, addr, end)
 			}
-			if hi > addr+uint64(n) {
-				hi = addr + uint64(n)
-			}
-			missBytes += int64(hi - lo)
+			missBytes += span
 			if dirtyRemote {
-				dirtyMissBytes += int64(hi - lo)
+				dirtyMissBytes += span
 			}
 		}
 	}
 	return busBytes, missBytes, dirtyMissBytes
+}
+
+// partialSpan returns how many bytes of [addr, end) fall into block b
+// (full blocks short-circuit in the callers; this handles the range edges).
+func partialSpan(b, bs uint64, addr, end uint64) int64 {
+	lo := b * bs
+	hi := lo + bs
+	if lo < addr {
+		lo = addr
+	}
+	if hi > end {
+		hi = end
+	}
+	return int64(hi - lo)
+}
+
+// serviceRemote resolves remote copies of block before a local access:
+// writes invalidate every remote copy, reads downgrade the dirty owner.
+// Returns whether a remote modified copy had to service the access.
+func (m *Machine) serviceRemote(e *cache.DirEntry, block uint64, remote uint64, local int, write bool) (dirtyRemote bool) {
+	if write {
+		for d := 0; remote != 0; d++ {
+			bit := uint64(1) << uint(d)
+			if remote&bit == 0 {
+				continue
+			}
+			remote &^= bit
+			if present, wasDirty := m.L2s[d].Invalidate(block); present && wasDirty {
+				dirtyRemote = true
+			}
+			e.ClearPresent(d)
+		}
+		return dirtyRemote
+	}
+	if owner := e.Owner(); owner >= 0 && owner != local {
+		m.L2s[owner].Downgrade(block)
+		e.ClearOwner()
+		return true
+	}
+	return false
+}
+
+// ResidentBytes reports how many bytes of [addr, addr+n) are resident in
+// core coreID's L2. The directory path walks only directory-known blocks
+// instead of probing the cache's ways per block.
+func (m *Machine) ResidentBytes(coreID topo.CoreID, addr uint64, n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	local := m.coreL2[coreID]
+	if m.snoop {
+		return m.L2s[local].ResidentBytes(addr, n)
+	}
+	bs := uint64(m.Topo.Params.BlockBytes)
+	first := addr / bs
+	last := (addr + uint64(n) - 1) / bs
+	end := addr + uint64(n)
+	bit := uint64(1) << uint(local)
+	var resident int64
+	for b := first; b <= last; b++ {
+		e := m.dir.Lookup(b)
+		if e.Mask()&bit == 0 {
+			continue
+		}
+		span := int64(bs)
+		if b == first || b == last {
+			span = partialSpan(b, bs, addr, end)
+		}
+		resident += span
+	}
+	return resident
 }
 
 // missStallPerByte converts missed bytes into extra CPU seconds such that a

@@ -34,18 +34,12 @@ func (m *Machine) CopyRange(p *sim.Proc, coreID topo.CoreID, dst, src mem.Region
 	if !opts.Kernel {
 		// User space cannot touch another process's private memory: a
 		// single user-mode copy may involve at most one private space
-		// (its own); everything else must be shared memory.
-		var priv *mem.Space
-		for _, r := range []mem.Region{dst, src} {
-			sp := r.Buf.Space()
-			if sp.Shared() {
-				continue
-			}
-			if priv == nil {
-				priv = sp
-			} else if priv != sp {
-				panic("hw: user-mode copy across two private address spaces (needs kernel assist)")
-			}
+		// (its own); everything else must be shared memory. Checked
+		// without materializing a region slice — CopyRange is called
+		// once per chunk on the hot path.
+		dsp, ssp := dst.Buf.Space(), src.Buf.Space()
+		if dsp != ssp && !dsp.Shared() && !ssp.Shared() {
+			panic("hw: user-mode copy across two private address spaces (needs kernel assist)")
 		}
 	}
 	n := src.Len
@@ -120,6 +114,9 @@ func (m *Machine) DMAInvalidateDest(addr uint64, n int64) int64 {
 	return m.dmaWalk(addr, n, true)
 }
 
+// dmaWalk prepares [addr, addr+n) for a cache-bypassing DMA access. The
+// directory path touches only blocks known to be cached somewhere; the
+// snoop path probes every cache for every block (reference implementation).
 func (m *Machine) dmaWalk(addr uint64, n int64, invalidate bool) int64 {
 	if n <= 0 {
 		return 0
@@ -129,16 +126,44 @@ func (m *Machine) dmaWalk(addr uint64, n int64, invalidate bool) int64 {
 	first := addr / bs
 	last := (addr + uint64(n) - 1) / bs
 	var busBytes int64
-	for b := first; b <= last; b++ {
-		for _, c := range m.L2s {
-			if invalidate {
-				if present, wasDirty := c.Invalidate(b); present && wasDirty {
+	if m.snoop {
+		for b := first; b <= last; b++ {
+			for _, c := range m.L2s {
+				if invalidate {
+					if present, wasDirty := c.Invalidate(b); present && wasDirty {
+						busBytes += par.BlockBytes
+					}
+				} else if c.ContainsDirty(b) {
+					c.Downgrade(b)
 					busBytes += par.BlockBytes
 				}
-			} else if c.ContainsDirty(b) {
-				c.Downgrade(b)
-				busBytes += par.BlockBytes
 			}
+		}
+		return busBytes
+	}
+	for b := first; b <= last; b++ {
+		e := m.dir.Lookup(b)
+		mask := e.Mask()
+		if mask == 0 {
+			continue
+		}
+		if invalidate {
+			ent := m.dir.Entry(b)
+			for d := 0; mask != 0; d++ {
+				bit := uint64(1) << uint(d)
+				if mask&bit == 0 {
+					continue
+				}
+				mask &^= bit
+				if present, wasDirty := m.L2s[d].Invalidate(b); present && wasDirty {
+					busBytes += par.BlockBytes
+				}
+				ent.ClearPresent(d)
+			}
+		} else if owner := e.Owner(); owner >= 0 {
+			m.L2s[owner].Downgrade(b)
+			m.dir.Entry(b).ClearOwner()
+			busBytes += par.BlockBytes
 		}
 	}
 	return busBytes

@@ -59,9 +59,11 @@ func PingPong(st *core.Stack, sizes []int64) (Result, error) {
 	var durs []sim.Time
 
 	_, err := w.Run(func(c *Comm) {
-		send := c.Alloc(maxSize)
-		recv := c.Alloc(maxSize)
-		send.FillPattern(uint64(c.Rank()) + 1)
+		// Phantom buffers: identical simulated addresses (so cache, bus
+		// and timing behaviour match real allocations bit-for-bit) with
+		// no payload movement — the sweep never verifies content.
+		send := c.AllocPhantom(maxSize)
+		recv := c.AllocPhantom(maxSize)
 		for _, size := range sizes {
 			iters := Iterations(size)
 			sv := mem.IOVec{{Buf: send, Off: 0, Len: size}}
@@ -127,9 +129,9 @@ func Alltoall(st *core.Stack, sizes []int64) (Result, error) {
 	var durs []sim.Time
 
 	_, err := w.Run(func(c *Comm) {
-		send := c.Alloc(maxSize * n)
-		recv := c.Alloc(maxSize * n)
-		send.FillPattern(uint64(c.Rank()) + 100)
+		// Phantom for the same reason as PingPong: content-free sweep.
+		send := c.AllocPhantom(maxSize * n)
+		recv := c.AllocPhantom(maxSize * n)
 		for _, size := range sizes {
 			iters := Iterations(size)
 			c.Barrier()

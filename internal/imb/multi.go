@@ -97,12 +97,11 @@ func concurrentSweep(st *core.Stack, bench string, sizes []int64, body func(c *m
 }
 
 // pairBuffers allocates a rank's send and receive buffers (the receive
-// buffer scaled by recvFactor) and fills the send side with a rank-specific
-// pattern, as IMB does.
+// buffer scaled by recvFactor). Phantom-backed: the concurrent sweeps are
+// content-free, so the simulated addresses do all the modelling work and
+// no payload bytes need to move.
 func pairBuffers(c *mpi.Comm, maxSize, recvFactor int64) (send, recv *mem.Buffer) {
-	send, recv = c.Alloc(maxSize), c.Alloc(recvFactor*maxSize)
-	send.FillPattern(uint64(c.Rank()) + 1)
-	return send, recv
+	return c.AllocPhantom(maxSize), c.AllocPhantom(recvFactor * maxSize)
 }
 
 // MultiPingPong measures N independent PingPong pairs running concurrently:

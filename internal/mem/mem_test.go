@@ -214,3 +214,36 @@ func TestPages(t *testing.T) {
 		t.Fatalf("0B buffer pages = %d, want 0", got)
 	}
 }
+
+// TestFillPatternMatchesByteReference pins the word-wise FillPattern to the
+// original byte-at-a-time definition: integrity tests depend on two fills
+// with the same seed producing the same bytes across versions.
+func TestFillPatternMatchesByteReference(t *testing.T) {
+	ref := func(data []byte, seed uint64) {
+		x := seed*2654435761 + 0x9e3779b97f4a7c15
+		for i := range data {
+			if i%8 == 0 {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+			}
+			data[i] = byte(x >> (8 * (uint(i) % 8)))
+		}
+	}
+	w := NewWorld(4096)
+	s := w.NewSpace("p")
+	for _, n := range []int64{1, 7, 8, 9, 100, 4096, 12345} {
+		for _, seed := range []uint64{0, 1, 42, 1 << 40} {
+			b := s.Alloc(n)
+			b.FillPattern(seed)
+			want := make([]byte, n)
+			ref(want, seed)
+			for i := range want {
+				if b.Bytes()[i] != want[i] {
+					t.Fatalf("n=%d seed=%d: byte %d = %#x, reference %#x",
+						n, seed, i, b.Bytes()[i], want[i])
+				}
+			}
+		}
+	}
+}

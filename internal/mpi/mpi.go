@@ -76,6 +76,12 @@ func (c *Comm) Now() sim.Time { return c.p.Now() }
 // Alloc allocates rank-private memory.
 func (c *Comm) Alloc(n int64) *mem.Buffer { return c.ep.Space.Alloc(n) }
 
+// AllocPhantom allocates rank-private memory with real simulated addresses
+// but no real backing storage: cache and bus modelling is exact while
+// copies skip payload movement. For benchmark sweeps whose content is never
+// verified (content operations on the result panic, see mem.Buffer).
+func (c *Comm) AllocPhantom(n int64) *mem.Buffer { return c.ep.Space.AllocPhantom(n) }
+
 // Space returns the rank's private address space.
 func (c *Comm) Space() *mem.Space { return c.ep.Space }
 

@@ -1,0 +1,50 @@
+// Package profiling wires the standard pprof file profiles into the CLIs,
+// so performance work on the simulator can measure instead of guess:
+//
+//	knemsim -experiment thresholds -cpuprofile cpu.prof -memprofile mem.prof
+//	go tool pprof cpu.prof
+package profiling
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins a CPU profile to cpuPath (empty = disabled) and returns a
+// stop function that ends it and, when memPath is non-empty, writes a heap
+// profile of the final live set. Call the returned function once on the
+// normal exit path; error exits that skip it simply lose the profile.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}

@@ -12,12 +12,13 @@ import "fmt"
 // flow's time-varying fair share. Completions are recomputed whenever the
 // flow set changes.
 type Fluid struct {
-	eng      *Engine
-	name     string
-	capacity float64 // units per second
-	flows    []*Flow
-	last     Time   // time of last remaining-work update
-	gen      uint64 // invalidates stale completion events
+	eng        *Engine
+	name       string
+	parkReason string  // precomputed "fluid <name>", shared by all waiters
+	capacity   float64 // units per second
+	flows      []*Flow
+	last       Time   // time of last remaining-work update
+	gen        uint64 // invalidates stale completion events
 
 	// Served accumulates the total units completed (for utilization stats).
 	Served float64
@@ -37,7 +38,7 @@ func NewFluid(e *Engine, name string, capacity float64) *Fluid {
 	if capacity <= 0 {
 		panic("sim: fluid capacity must be positive")
 	}
-	return &Fluid{eng: e, name: name, capacity: capacity}
+	return &Fluid{eng: e, name: name, parkReason: "fluid " + name, capacity: capacity}
 }
 
 // Capacity returns the configured capacity in units per second.
@@ -76,7 +77,7 @@ func (f *Fluid) Consume(p *Proc, amount float64) {
 func (fl *Flow) Wait(p *Proc) {
 	for !fl.done {
 		fl.waiters = append(fl.waiters, p)
-		p.park("fluid " + fl.fluid.name)
+		p.park(fl.fluid.parkReason)
 	}
 }
 
@@ -101,7 +102,7 @@ func (f *Fluid) update() {
 			fl.done = true
 			f.Served += fl.amount
 			for _, w := range fl.waiters {
-				f.eng.Schedule(now, w.wake)
+				f.eng.Schedule(now, w.wakeFn)
 			}
 			fl.waiters = nil
 		} else {

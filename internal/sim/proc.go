@@ -1,7 +1,5 @@
 package sim
 
-import "fmt"
-
 // Proc is a simulated process: a goroutine that advances simulated time by
 // blocking on the engine. All Proc methods must be called from the process's
 // own goroutine (that is, from within the function passed to Spawn).
@@ -15,6 +13,11 @@ type Proc struct {
 	done      bool
 	daemon    bool
 	blockedOn string // human-readable reason, for deadlock reports
+
+	// wakeFn is the method value p.wake, captured once at spawn so that
+	// wakers (Sleep, fluids, condition variables) schedule it without
+	// allocating a fresh closure per wakeup.
+	wakeFn func()
 }
 
 // SpawnAt creates a process that will begin executing fn at simulated time
@@ -25,6 +28,7 @@ func (e *Engine) SpawnAt(start Time, name string, fn func(*Proc)) *Proc {
 
 func (e *Engine) spawn(start Time, name string, daemon bool, fn func(*Proc)) *Proc {
 	p := &Proc{eng: e, name: name, pid: e.nextPID, daemon: daemon, resume: make(chan struct{})}
+	p.wakeFn = p.wake
 	e.nextPID++
 	e.procs = append(e.procs, p)
 	if !daemon {
@@ -92,8 +96,8 @@ func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		d = 0
 	}
-	p.eng.Schedule(p.eng.now+d, p.wake)
-	p.park(fmt.Sprintf("sleep %v", d))
+	p.eng.Schedule(p.eng.now+d, p.wakeFn)
+	p.park("sleep")
 }
 
 // Yield reschedules the process at the current time behind pending events.

@@ -6,21 +6,22 @@ package sim
 // must re-check their predicate in a loop, because another process may run
 // between the signal and the wakeup.
 type Cond struct {
-	eng     *Engine
-	waiters []*Proc
-	label   string
+	eng        *Engine
+	waiters    []*Proc
+	label      string
+	parkReason string // precomputed "cond <label>", shared by all waiters
 }
 
 // NewCond returns a condition variable bound to engine e. The label appears
 // in deadlock reports.
 func NewCond(e *Engine, label string) *Cond {
-	return &Cond{eng: e, label: label}
+	return &Cond{eng: e, label: label, parkReason: "cond " + label}
 }
 
 // Wait blocks p until Signal or Broadcast wakes it.
 func (c *Cond) Wait(p *Proc) {
 	c.waiters = append(c.waiters, p)
-	p.park("cond " + c.label)
+	p.park(c.parkReason)
 }
 
 // Signal wakes the longest-waiting process, if any. The wakeup is delivered
@@ -31,13 +32,13 @@ func (c *Cond) Signal() {
 	}
 	w := c.waiters[0]
 	c.waiters = c.waiters[1:]
-	c.eng.Schedule(c.eng.now, w.wake)
+	c.eng.Schedule(c.eng.now, w.wakeFn)
 }
 
 // Broadcast wakes all waiting processes in FIFO order.
 func (c *Cond) Broadcast() {
 	for _, w := range c.waiters {
-		c.eng.Schedule(c.eng.now, w.wake)
+		c.eng.Schedule(c.eng.now, w.wakeFn)
 	}
 	c.waiters = c.waiters[:0]
 }
