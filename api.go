@@ -2,25 +2,33 @@
 // MPI Communication with MPICH2-Nemesis" (Buntinas, Goglin, Goodell,
 // Mercier, Moreaud — ICPP 2009) as a Go library.
 //
-// Two engines are provided:
+// The public API is built around one engine-neutral communication
+// interface (Peer/Job, see internal/comm): every workload — the IMB
+// benchmark drivers, the NAS proxy kernels, the conformance tests — is
+// written once against it and runs on every registered engine. Two engines
+// ship today:
 //
-//   - A deterministic discrete-event simulator of the paper's testbed
-//     (multicore Xeon with shared-L2 pairs, FSB bandwidth, I/OAT DMA
-//     engine, Linux pipes and the KNEM kernel module) running a Nemesis
-//     channel with the paper's four Large Message Transfer backends, an MPI
-//     layer, the IMB benchmarks and NAS-proxy workloads. Every figure and
-//     table of the paper's evaluation regenerates from this engine (see
-//     Experiments, cmd/knemsim, and EXPERIMENTS.md).
+//   - "sim": a deterministic discrete-event simulator of the paper's
+//     testbed (multicore Xeon with shared-L2 pairs, FSB bandwidth, I/OAT
+//     DMA engine, Linux pipes and the KNEM kernel module) running a
+//     Nemesis channel with the paper's four Large Message Transfer
+//     backends. Every figure and table of the paper's evaluation
+//     regenerates from this engine (see Experiments, cmd/knemsim, and
+//     EXPERIMENTS.md).
 //
-//   - A real goroutine runtime (RT) with Nemesis-style lock-free queues
-//     where single-copy rendezvous is natively possible; its benchmarks
-//     measure the paper's eager-vs-single-copy trade-off for real.
+//   - "rt": a real goroutine runtime with Nemesis-style lock-free queues
+//     where single-copy rendezvous is natively possible; the same
+//     benchmarks measure the paper's eager-vs-single-copy trade-off for
+//     real, in wall-clock time (the "rt" experiment feeds those rows
+//     through the same artefact pipeline).
 //
 // This facade re-exports the stable entry points; the implementation lives
-// under internal/ (see DESIGN.md for the package map).
+// under internal/ (see DESIGN.md for the package map and "How to add an
+// engine").
 package knemesis
 
 import (
+	"knemesis/internal/comm"
 	"knemesis/internal/core"
 	"knemesis/internal/experiments"
 	"knemesis/internal/imb"
@@ -29,6 +37,72 @@ import (
 	"knemesis/internal/nemesis"
 	"knemesis/internal/rt"
 	"knemesis/internal/topo"
+)
+
+// The engine-neutral communication surface: workloads are written against
+// Peer (one rank) and Job (one communicator world), and engines are
+// resolved by name through the registry.
+type (
+	// Peer is one rank's engine-neutral communication handle.
+	Peer = comm.Peer
+	// Job is one runnable communicator world on some engine.
+	Job = comm.Job
+	// JobSpec describes a job; engines read the fields they understand.
+	JobSpec = comm.JobSpec
+	// Engine is one entry of the engine registry ("sim", "rt").
+	Engine = comm.Engine
+	// Buf is an engine-neutral buffer handle.
+	Buf = comm.Buf
+	// BufRange is a contiguous view into a Buf (a message body).
+	BufRange = comm.Range
+	// CommStatus describes a completed receive.
+	CommStatus = comm.Status
+	// CommRequest is a nonblocking operation handle.
+	CommRequest = comm.Request
+	// Usage is an engine-neutral machine-utilization snapshot.
+	Usage = comm.Usage
+)
+
+// Engine registry access and job construction.
+var (
+	// NewJob builds a job on the named engine ("sim", "rt").
+	NewJob = comm.NewJob
+	// Engines lists every registered engine in presentation order.
+	Engines = comm.Engines
+	// EngineNames lists the registered engine names.
+	EngineNames = comm.EngineNames
+	// LookupEngine resolves an engine name with a listing error.
+	LookupEngine = comm.LookupEngine
+	// NewSimJob wraps an already-built simulated stack as a job.
+	NewSimJob = mpi.NewSimJob
+
+	// R and WholeBuf build message ranges over a Buf.
+	R        = comm.R
+	WholeBuf = comm.Whole
+)
+
+// Matching wildcards for Peer receives.
+const (
+	AnySource = comm.AnySource
+	AnyTag    = comm.AnyTag
+)
+
+// Engine-neutral benchmark drivers: one source per workload, every engine.
+var (
+	// RunPingPong measures ranks 0<->1 of any job across sizes.
+	RunPingPong = imb.RunPingPong
+	// RunAlltoall measures an all-ranks alltoall on any job.
+	RunAlltoall = imb.RunAlltoall
+	// RunMultiPingPong measures N concurrent PingPong pairs (ranks 2i,
+	// 2i+1) contending inside one job.
+	RunMultiPingPong = imb.RunMultiPingPong
+	// RunSendrecv measures the IMB periodic-chain Sendrecv pattern.
+	RunSendrecv = imb.RunSendrecv
+	// RunExchange measures the IMB both-neighbour Exchange pattern.
+	RunExchange = imb.RunExchange
+	// RunBcast and RunAllreduce measure those collectives.
+	RunBcast     = imb.RunBcast
+	RunAllreduce = imb.RunAllreduce
 )
 
 // Re-exported machine topology types and presets.
@@ -106,7 +180,8 @@ func NewStack(m *Machine, cores []CoreID, opt LMTOptions, cfg ChannelConfig) *St
 // (default, vmsplice, KNEM kernel copy, KNEM + auto I/OAT).
 func StandardLMTOptions() []LMTOptions { return core.StandardOptions() }
 
-// MPI layer over a Stack.
+// MPI layer over a Stack (the sim engine's native surface; the
+// engine-neutral Peer wraps it).
 type (
 	// World is an MPI job on a simulated node.
 	World = mpi.World
@@ -131,19 +206,31 @@ type (
 // Benchmarks and experiments.
 var (
 	// PingPong runs the IMB PingPong sweep on a stack.
+	//
+	// Deprecated: build a Job and use RunPingPong (one source, any engine).
 	PingPong = imb.PingPong
 	// Alltoall runs the IMB Alltoall sweep on a stack.
+	//
+	// Deprecated: build a Job and use RunAlltoall.
 	Alltoall = imb.Alltoall
-	// MultiPingPong runs N concurrent PingPong pairs (ranks 2i, 2i+1) so
-	// they contend for the shared bus and caches; see topo pair placements.
+	// MultiPingPong runs N concurrent PingPong pairs on a stack.
+	//
+	// Deprecated: build a Job and use RunMultiPingPong.
 	MultiPingPong = imb.MultiPingPong
-	// Sendrecv runs the IMB periodic-chain Sendrecv pattern.
+	// Sendrecv runs the IMB periodic-chain Sendrecv pattern on a stack.
+	//
+	// Deprecated: build a Job and use RunSendrecv.
 	Sendrecv = imb.Sendrecv
-	// Exchange runs the IMB both-neighbour Exchange pattern.
+	// Exchange runs the IMB both-neighbour Exchange pattern on a stack.
+	//
+	// Deprecated: build a Job and use RunExchange.
 	Exchange = imb.Exchange
 	// Multipair runs the N-pair contention sweep over every registered
 	// backend and placement (the "multipair" experiment).
 	Multipair = experiments.Multipair
+	// RTBenchRows runs the real-runtime sweep (the "rt" experiment) and
+	// returns its typed rows.
+	RTBenchRows = experiments.RTRows
 
 	// Experiment registry access.
 	Experiments   = experiments.Experiments
@@ -167,7 +254,8 @@ var (
 	NASKernels = nas.Kernels
 )
 
-// RT is the real goroutine runtime (non-simulated).
+// RT is the real goroutine runtime (non-simulated). The engine-neutral way
+// to use it is NewJob("rt", ...); these re-exports remain for direct use.
 type (
 	// RTWorld is a job of concurrently running rank goroutines.
 	RTWorld = rt.World
@@ -182,6 +270,12 @@ const (
 	RTEager      = rt.Eager
 	RTSingleCopy = rt.SingleCopy
 	RTOffload    = rt.Offload
+)
+
+// RT mode helpers (the rt engine's -rtmode values).
+var (
+	RTModeNames = rt.ModeNames
+	ParseRTMode = rt.ParseMode
 )
 
 // NewRTWorld creates a real runtime of n rank goroutines.

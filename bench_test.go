@@ -11,6 +11,7 @@ import (
 	"knemesis/internal/experiments"
 	"knemesis/internal/imb"
 	"knemesis/internal/knem"
+	"knemesis/internal/mpi"
 	"knemesis/internal/nas"
 	"knemesis/internal/nemesis"
 	"knemesis/internal/topo"
@@ -33,7 +34,7 @@ func benchPingPong(b *testing.B, opt core.Options, shared bool) {
 	var last imb.Result
 	for i := 0; i < b.N; i++ {
 		st := core.NewStack(m, []topo.CoreID{c0, c1}, opt, nemesis.Config{})
-		res, err := imb.PingPong(st, benchPingSizes)
+		res, err := imb.RunPingPong(mpi.NewSimJob(st), benchPingSizes)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -128,7 +129,7 @@ func BenchmarkFig7(b *testing.B) {
 			var last imb.Result
 			for i := 0; i < b.N; i++ {
 				st := core.NewStack(m, m.AllCores(), cs.opt, cs.cfg)
-				res, err := imb.Alltoall(st, sizes)
+				res, err := imb.RunAlltoall(mpi.NewSimJob(st), sizes)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -1,16 +1,22 @@
-// Command imb runs a single IMB-style benchmark on the simulator under one
-// LMT configuration — the interactive counterpart of the figure sweeps in
-// cmd/knemsim. Besides PingPong and Alltoall it drives the concurrent
+// Command imb runs a single IMB-style benchmark under one configuration —
+// the interactive counterpart of the figure sweeps in cmd/knemsim. Every
+// benchmark is written once against the engine-neutral comm interface, so
+// -engine switches the same workload between the deterministic simulator
+// (simulated time, modelled caches) and the real goroutine runtime
+// (wall-clock time). Besides PingPong and Alltoall it drives the concurrent
 // patterns (Multi-PingPong via -multi, Sendrecv, Exchange), which report bus
-// utilization and CPU busy seconds alongside throughput. The -lmt value set,
-// help text and validation are generated from the core backend registry.
+// utilization and CPU busy seconds alongside throughput on the simulator.
+// The -engine/-lmt/-bench value sets, help text and validation are all
+// generated from the registries; unknown values exit non-zero with the
+// registered names.
 //
 // Usage:
 //
 //	imb -bench pingpong -lmt knem -placement cross -min 64KiB -max 4MiB
+//	imb -engine rt -bench pingpong -rtmode eager      # same workload, real runtime
 //	imb -bench pingpong -multi 4 -placement cross     # 4 contending pairs
 //	imb -bench sendrecv -lmt cma -ranks 8             # periodic-chain exchange
-//	imb -bench exchange -ranks 8                      # both-neighbour exchange
+//	imb -engine rt -bench exchange -ranks 8           # both-neighbour, goroutines
 //	imb -bench alltoall -lmt knem-ioat -ranks 8
 //	imb -lmt list        # describe every registered backend preset
 package main
@@ -19,22 +25,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"strings"
 
+	"knemesis/internal/comm"
 	"knemesis/internal/core"
 	"knemesis/internal/imb"
-	"knemesis/internal/nemesis"
 	"knemesis/internal/profiling"
+	"knemesis/internal/rt"
 	"knemesis/internal/topo"
 	"knemesis/internal/units"
 )
 
+// benchNames lists the drivers in help order (pingpong/alltoall render the
+// single-stream table, sendrecv/exchange the concurrent bus/CPU table).
+var benchNames = []string{"pingpong", "sendrecv", "exchange", "alltoall"}
+
 func main() {
 	var (
-		bench      = flag.String("bench", "pingpong", "pingpong|sendrecv|exchange|alltoall")
-		lmt        = flag.String("lmt", "default", strings.Join(core.SpecNames(), "|")+"|list")
-		placement  = flag.String("placement", "cross", "shared|cross (pingpong only)")
-		machine    = flag.String("machine", "e5345", "e5345|x5460|nehalem")
+		engine     = flag.String("engine", "sim", strings.Join(comm.EngineNames(), "|"))
+		bench      = flag.String("bench", "pingpong", strings.Join(benchNames, "|"))
+		lmt        = flag.String("lmt", "default", strings.Join(core.SpecNames(), "|")+"|list (sim engine)")
+		rtmode     = flag.String("rtmode", "single-copy", strings.Join(rt.ModeNames(), "|")+" (rt engine)")
+		placement  = flag.String("placement", "cross", "shared|cross (pingpong on sim only)")
+		machine    = flag.String("machine", "e5345", "e5345|x5460|nehalem (sim only)")
 		ranks      = flag.Int("ranks", 8, "rank count (sendrecv/exchange/alltoall)")
 		multi      = flag.Int("multi", 1, "concurrent PingPong pairs (pingpong only)")
 		minSize    = flag.String("min", "64KiB", "smallest message size")
@@ -60,9 +74,28 @@ func main() {
 		return
 	}
 
+	// Validate every registry-backed flag up front: unknown values exit
+	// non-zero with the registered names, nothing falls through silently.
+	if _, err := comm.LookupEngine(*engine); err != nil {
+		usageErr("unknown engine %q (have %s)", *engine, strings.Join(comm.EngineNames(), "|"))
+	}
+	if !slices.Contains(benchNames, *bench) {
+		usageErr("unknown bench %q (have %s)", *bench, strings.Join(benchNames, "|"))
+	}
+	if _, err := core.ParseSpec(*lmt); err != nil {
+		usageErr("unknown -lmt %q (have %s|list)", *lmt, strings.Join(core.SpecNames(), "|"))
+	}
+	if _, err := rt.ParseMode(*rtmode); err != nil {
+		usageErr("unknown -rtmode %q (have %s)", *rtmode, strings.Join(rt.ModeNames(), "|"))
+	}
+	if *placement != "shared" && *placement != "cross" {
+		usageErr("unknown -placement %q (have shared|cross)", *placement)
+	}
+	if *multi < 1 {
+		usageErr("-multi %d: need at least 1 pair", *multi)
+	}
+
 	m, err := machineByName(*machine)
-	check(err)
-	opt, err := core.ParseSpec(*lmt)
 	check(err)
 	lo, err := units.ParseSize(*minSize)
 	check(err)
@@ -70,60 +103,70 @@ func main() {
 	check(err)
 	sizes := units.Pow2Sizes(lo, hi)
 
-	var cfg nemesis.Config
+	spec := comm.JobSpec{Machine: m, LMT: *lmt, RTMode: *rtmode}
 	if *eagerMax != "" {
 		v, err := units.ParseSize(*eagerMax)
 		check(err)
-		cfg.EagerMax = v
+		spec.EagerMax = v
 	}
+
 	// -ranks only applies to the chain/collective benches; pingpong sizes
-	// itself from -multi and the placement helpers.
+	// itself from -multi (and, on sim, the placement helpers).
 	checkRanks := func() {
 		if *ranks < 2 {
-			check(fmt.Errorf("-ranks %d: need at least 2", *ranks))
+			usageErr("-ranks %d: need at least 2", *ranks)
 		}
-		if *ranks > m.Cores {
-			check(fmt.Errorf("machine has %d cores, requested %d ranks", m.Cores, *ranks))
+		if *engine == "sim" && *ranks > m.Cores {
+			usageErr("machine has %d cores, requested %d ranks", m.Cores, *ranks)
 		}
+	}
+
+	newJob := func() comm.Job {
+		j, err := comm.NewJob(*engine, spec)
+		check(err)
+		return j
 	}
 
 	switch *bench {
 	case "pingpong":
-		if *multi > 1 {
+		spec.Ranks = 2 * *multi
+		if *engine == "sim" {
 			cores, err := pairPlacement(m, *placement, *multi)
 			check(err)
-			st := core.NewStack(m, cores, opt, cfg)
-			res, err := imb.MultiPingPong(st, sizes)
+			spec.Cores = cores
+		}
+		if *multi > 1 {
+			j := newJob()
+			res, err := imb.RunMultiPingPong(j, sizes)
 			check(err)
-			printMulti(res, st, m)
+			printMulti(res, *engine, j)
 			return
 		}
-		cores, err := pairPlacement(m, *placement, 1)
+		j := newJob()
+		res, err := imb.RunPingPong(j, sizes)
 		check(err)
-		st := core.NewStack(m, cores, opt, cfg)
-		res, err := imb.PingPong(st, sizes)
-		check(err)
-		printSolo(res, st, m)
+		printSolo(res, *engine, j)
 	case "sendrecv":
 		checkRanks()
-		st := core.NewStack(m, m.AllCores()[:*ranks], opt, cfg)
-		res, err := imb.Sendrecv(st, sizes)
+		spec.Ranks = *ranks
+		j := newJob()
+		res, err := imb.RunSendrecv(j, sizes)
 		check(err)
-		printMulti(res, st, m)
+		printMulti(res, *engine, j)
 	case "exchange":
 		checkRanks()
-		st := core.NewStack(m, m.AllCores()[:*ranks], opt, cfg)
-		res, err := imb.Exchange(st, sizes)
+		spec.Ranks = *ranks
+		j := newJob()
+		res, err := imb.RunExchange(j, sizes)
 		check(err)
-		printMulti(res, st, m)
+		printMulti(res, *engine, j)
 	case "alltoall":
 		checkRanks()
-		st := core.NewStack(m, m.AllCores()[:*ranks], opt, cfg)
-		res, err := imb.Alltoall(st, sizes)
+		spec.Ranks = *ranks
+		j := newJob()
+		res, err := imb.RunAlltoall(j, sizes)
 		check(err)
-		printSolo(res, st, m)
-	default:
-		check(fmt.Errorf("unknown bench %q", *bench))
+		printSolo(res, *engine, j)
 	}
 }
 
@@ -145,8 +188,8 @@ func pairPlacement(m *topo.Machine, placement string, n int) ([]topo.CoreID, err
 	return topo.PairCores(pairs), nil
 }
 
-func printSolo(res imb.Result, st *core.Stack, m *topo.Machine) {
-	fmt.Printf("# %s, %s LMT (backend %s), machine %s\n", res.Bench, res.Label, st.Ch.BackendName(), m.Name)
+func printSolo(res imb.Result, engine string, j comm.Job) {
+	fmt.Printf("# %s, engine %s, %s\n", res.Bench, engine, j.Describe())
 	fmt.Printf("%-10s %14s %14s %14s\n", "size", "time(us)", "MiB/s", "L2miss/op")
 	for _, pt := range res.Points {
 		fmt.Printf("%-10s %14.2f %14.0f %14d\n",
@@ -154,9 +197,8 @@ func printSolo(res imb.Result, st *core.Stack, m *topo.Machine) {
 	}
 }
 
-func printMulti(res imb.MultiResult, st *core.Stack, m *topo.Machine) {
-	fmt.Printf("# %s, %d ranks, %s LMT (backend %s), machine %s\n",
-		res.Bench, res.Ranks, res.Label, st.Ch.BackendName(), m.Name)
+func printMulti(res imb.MultiResult, engine string, j comm.Job) {
+	fmt.Printf("# %s, %d ranks, engine %s, %s\n", res.Bench, res.Ranks, engine, j.Describe())
 	fmt.Printf("%-10s %14s %14s %10s %14s\n", "size", "time(us)", "agg MiB/s", "bus util", "cpu busy(s)")
 	for _, pt := range res.Points {
 		fmt.Printf("%-10s %14.2f %14.0f %10.2f %14.4f\n",
@@ -173,8 +215,16 @@ func machineByName(name string) (*topo.Machine, error) {
 	case "nehalem":
 		return topo.NehalemStyle(), nil
 	default:
-		return nil, fmt.Errorf("unknown machine %q", name)
+		return nil, fmt.Errorf("unknown machine %q (e5345|x5460|nehalem)", name)
 	}
+}
+
+// usageErr reports an invalid flag value with the registered alternatives
+// and exits non-zero.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "imb: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func check(err error) {

@@ -27,6 +27,7 @@ import (
 	"knemesis/internal/experiments"
 	"knemesis/internal/imb"
 	"knemesis/internal/knem"
+	"knemesis/internal/mpi"
 	"knemesis/internal/nemesis"
 	"knemesis/internal/topo"
 	"knemesis/internal/units"
@@ -275,7 +276,7 @@ func pingPong(opt core.Options, shared bool) (map[string]float64, error) {
 		c0, c1 = m.PairDifferentDies()
 	}
 	st := core.NewStack(m, []topo.CoreID{c0, c1}, opt, nemesis.Config{})
-	res, err := imb.PingPong(st, pingSizes)
+	res, err := imb.RunPingPong(mpi.NewSimJob(st), pingSizes)
 	if err != nil {
 		return nil, err
 	}
@@ -289,7 +290,7 @@ func pingPong(opt core.Options, shared bool) (map[string]float64, error) {
 func alltoall(opt core.Options, cfg nemesis.Config) (map[string]float64, error) {
 	m := topo.XeonE5345()
 	st := core.NewStack(m, m.AllCores(), opt, cfg)
-	res, err := imb.Alltoall(st, []int64{32 * units.KiB, 256 * units.KiB})
+	res, err := imb.RunAlltoall(mpi.NewSimJob(st), []int64{32 * units.KiB, 256 * units.KiB})
 	if err != nil {
 		return nil, err
 	}

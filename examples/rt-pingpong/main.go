@@ -1,76 +1,52 @@
-// RT ping-pong: the paper's design in *real* Go concurrency. Two rank
-// goroutines exchange messages through Nemesis-style lock-free queues;
-// large messages either go eagerly (two copies, the double-buffering
-// analogue), by single-copy rendezvous (what KNEM needs a kernel module
-// for, free here because goroutines share an address space), or offloaded
-// to a copier pool (the kernel-thread / I/OAT analogue). Prints measured
-// wall-clock throughput per strategy and size.
+// RT ping-pong: the paper's design in *real* Go concurrency, driven
+// through the engine-neutral interface. Two rank goroutines exchange
+// messages through Nemesis-style lock-free queues; large messages either
+// go eagerly (two copies, the double-buffering analogue), by single-copy
+// rendezvous (what KNEM needs a kernel module for, free here because
+// goroutines share an address space), or offloaded to a copier pool (the
+// kernel-thread / I/OAT analogue). The sweep itself is the same IMB
+// PingPong driver the simulator figures use — only the engine differs.
 package main
 
 import (
 	"fmt"
-	"sync"
-	"time"
 
 	"knemesis"
+	"knemesis/internal/units"
 )
 
 func main() {
-	sizes := []int{4 << 10, 64 << 10, 1 << 20, 4 << 20}
-	modes := []knemesis.RTConfig{
-		{Large: knemesis.RTEager},
-		{Large: knemesis.RTSingleCopy},
-		{Large: knemesis.RTOffload},
+	sizes := []int64{4 * units.KiB, 64 * units.KiB, 1 * units.MiB, 4 * units.MiB}
+	modes := knemesis.RTModeNames()
+
+	results := make(map[string][]float64, len(modes))
+	for _, mode := range modes {
+		job, err := knemesis.NewJob("rt", knemesis.JobSpec{Ranks: 2, RTMode: mode})
+		if err != nil {
+			panic(err)
+		}
+		res, err := knemesis.RunPingPong(job, sizes)
+		if err != nil {
+			panic(err)
+		}
+		for _, pt := range res.Points {
+			results[mode] = append(results[mode], pt.Throughput)
+		}
 	}
 
 	fmt.Printf("%-12s", "size")
-	for _, cfg := range modes {
-		fmt.Printf(" %14s", cfg.Large)
+	for _, mode := range modes {
+		fmt.Printf(" %14s", mode)
 	}
-	fmt.Println("   (real MB/s, one direction)")
-
-	for _, size := range sizes {
-		fmt.Printf("%-12d", size)
-		for _, cfg := range modes {
-			fmt.Printf(" %14.0f", measure(size, cfg))
+	fmt.Println("   (real MiB/s, one direction)")
+	for i, size := range sizes {
+		fmt.Printf("%-12s", units.FormatSize(size))
+		for _, mode := range modes {
+			fmt.Printf(" %14.0f", results[mode][i])
 		}
 		fmt.Println()
 	}
+
 	fmt.Println("\nThe single-copy rendezvous dominates for large messages — the")
 	fmt.Println("paper's core claim, reproduced natively between goroutines.")
-}
-
-// measure returns MB/s for a ping-pong of the given size and strategy.
-func measure(size int, cfg knemesis.RTConfig) float64 {
-	iters := 64
-	if size >= 1<<20 {
-		iters = 16
-	}
-	w := knemesis.NewRTWorld(2, cfg)
-	defer w.Close()
-	buf0 := make([]byte, size)
-	buf1 := make([]byte, size)
-
-	var wg sync.WaitGroup
-	wg.Add(2)
-	start := time.Now()
-	go func() {
-		defer wg.Done()
-		r := w.Rank(0)
-		for i := 0; i < iters; i++ {
-			r.Send(1, 0, buf0)
-			r.Recv(1, 0, buf0)
-		}
-	}()
-	go func() {
-		defer wg.Done()
-		r := w.Rank(1)
-		for i := 0; i < iters; i++ {
-			r.Recv(0, 0, buf1)
-			r.Send(0, 0, buf1)
-		}
-	}()
-	wg.Wait()
-	elapsed := time.Since(start).Seconds()
-	return float64(size) * float64(2*iters) / elapsed / 1e6
 }

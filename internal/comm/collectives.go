@@ -1,0 +1,227 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Generic collective algorithms over Peer, for engines that have no native
+// (cost-modelled) collectives: the real runtime builds its Barrier, Bcast,
+// Allreduce, Alltoall and Alltoallv from these. Engines that model memory
+// and cache cost (the simulator) provide native implementations instead,
+// because these generics move content without charging modelled time.
+//
+// Tags live in the negative space so they never collide with user tags
+// (which must be >= 0). Every rank must invoke collectives in the same
+// order, as MPI requires, so the per-rank sequence counters agree.
+
+// Operation ids for the collective tag space.
+const (
+	opBarrier = iota
+	opBcast
+	opReduce
+	opAllreduce
+	opAlltoall
+	opAlltoallv
+)
+
+// collTag draws the next tag for one collective operation of kind op.
+func collTag(seq *int, op int) int {
+	*seq++
+	return -(op*1_000_000 + *seq%1_000_000 + 1)
+}
+
+// GenericBarrier synchronizes all ranks (dissemination, log2(n) rounds).
+func GenericBarrier(p Peer, seq *int) {
+	n := p.Size()
+	tag := collTag(seq, opBarrier)
+	if n == 1 {
+		return
+	}
+	var empty Range
+	for k := 1; k < n; k <<= 1 {
+		to := (p.Rank() + k) % n
+		from := (p.Rank() - k + n) % n
+		p.Sendrecv(to, tag, empty, from, tag, empty)
+	}
+}
+
+// GenericBcast broadcasts root's range to every rank (binomial tree).
+func GenericBcast(p Peer, seq *int, root int, r Range) {
+	n := p.Size()
+	tag := collTag(seq, opBcast)
+	if n == 1 {
+		return
+	}
+	rel := (p.Rank() - root + n) % n
+	if rel != 0 {
+		mask := 1
+		for mask < n && rel&mask == 0 {
+			mask <<= 1
+		}
+		p.Recv((rel-mask+root+n)%n, tag, r)
+	}
+	mask := 1
+	for mask < n && rel&mask == 0 {
+		mask <<= 1
+	}
+	for child := mask >> 1; child >= 1; child >>= 1 {
+		if rel+child < n {
+			p.Send((rel+child+root)%n, tag, r)
+		}
+	}
+}
+
+// GenericReduce combines every rank's range into root's (binomial tree).
+func GenericReduce(p Peer, seq *int, root int, r Range, op ReduceOp) {
+	n := p.Size()
+	tag := collTag(seq, opReduce)
+	if n == 1 {
+		return
+	}
+	rel := (p.Rank() - root + n) % n
+	tmp := p.Alloc(r.Len)
+	mask := 1
+	for mask < n {
+		if rel&mask == 0 {
+			peer := rel | mask
+			if peer < n {
+				p.Recv((peer+root)%n, tag, Whole(tmp))
+				op(r.bytes(), tmp.Bytes())
+			}
+		} else {
+			p.Send((rel-mask+root+n)%n, tag, r)
+			break
+		}
+		mask <<= 1
+	}
+}
+
+// GenericAllreduce combines every rank's range with op; all ranks end with
+// the result. Recursive doubling for power-of-two sizes, otherwise
+// reduce-to-0 plus broadcast.
+func GenericAllreduce(p Peer, seq *int, r Range, op ReduceOp) {
+	n := p.Size()
+	if n == 1 {
+		collTag(seq, opAllreduce)
+		return
+	}
+	if n&(n-1) == 0 {
+		tag := collTag(seq, opAllreduce)
+		tmp := p.Alloc(r.Len)
+		for mask := 1; mask < n; mask <<= 1 {
+			partner := p.Rank() ^ mask
+			p.Sendrecv(partner, tag, r, partner, tag, Whole(tmp))
+			op(r.bytes(), tmp.Bytes())
+		}
+		return
+	}
+	collTag(seq, opAllreduce)
+	GenericReduce(p, seq, 0, r, op)
+	GenericBcast(p, seq, 0, r)
+}
+
+// GenericAlltoall exchanges equal blocks: send and recv hold Size() blocks
+// of block bytes each (pairwise exchange: XOR partners for power-of-two
+// rank counts, rotation otherwise). A 1-rank world and zero-byte blocks
+// degenerate cleanly.
+func GenericAlltoall(p Peer, seq *int, send, recv Buf, block int64) {
+	n := p.Size()
+	if block < 0 {
+		panic(fmt.Sprintf("comm: Alltoall negative block size %d", block))
+	}
+	if send.Len() < block*int64(n) || recv.Len() < block*int64(n) {
+		panic(fmt.Sprintf("comm: Alltoall buffers too small for %d x %d", n, block))
+	}
+	tag := collTag(seq, opAlltoall)
+	me := p.Rank()
+	copyRange(R(recv, int64(me)*block, block), R(send, int64(me)*block, block))
+	pow2 := n&(n-1) == 0
+	for step := 1; step < n; step++ {
+		var to, from int
+		if pow2 {
+			to = me ^ step
+			from = to
+		} else {
+			to = (me + step) % n
+			from = (me - step + n) % n
+		}
+		p.Sendrecv(to, tag, R(send, int64(to)*block, block),
+			from, tag, R(recv, int64(from)*block, block))
+	}
+}
+
+// GenericAlltoallv is the irregular variant: per-partner byte counts and
+// offsets, rotation schedule.
+func GenericAlltoallv(p Peer, seq *int, send Buf, sendCounts, sendDispls []int64,
+	recv Buf, recvCounts, recvDispls []int64) {
+	n := p.Size()
+	if len(sendCounts) != n || len(recvCounts) != n ||
+		len(sendDispls) != n || len(recvDispls) != n {
+		panic("comm: Alltoallv count/displ arrays must have Size() entries")
+	}
+	tag := collTag(seq, opAlltoallv)
+	me := p.Rank()
+	if sendCounts[me] != recvCounts[me] {
+		panic("comm: Alltoallv self counts disagree")
+	}
+	if cnt := sendCounts[me]; cnt > 0 {
+		copyRange(R(recv, recvDispls[me], cnt), R(send, sendDispls[me], cnt))
+	}
+	for step := 1; step < n; step++ {
+		to := (me + step) % n
+		from := (me - step + n) % n
+		var sv, rv Range
+		if sendCounts[to] > 0 {
+			sv = R(send, sendDispls[to], sendCounts[to])
+		}
+		if recvCounts[from] > 0 {
+			rv = R(recv, recvDispls[from], recvCounts[from])
+		}
+		p.Sendrecv(to, tag, sv, from, tag, rv)
+	}
+}
+
+// copyRange moves a rank's own block locally (content only, no modelled
+// cost — generic collectives run on engines without a memory model).
+func copyRange(dst, src Range) {
+	if dst.Len != src.Len {
+		panic(fmt.Sprintf("comm: local copy length mismatch %d != %d", dst.Len, src.Len))
+	}
+	if dst.Len == 0 {
+		return
+	}
+	copy(dst.bytes(), src.bytes())
+}
+
+// Reduce operations shared by the workloads (elementwise, little-endian).
+
+// SumFloat64 adds float64 elements.
+func SumFloat64(dst, src []byte) {
+	for i := 0; i+8 <= len(dst); i += 8 {
+		d := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:]))
+		s := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+		binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(d+s))
+	}
+}
+
+// SumInt64 adds int64 elements.
+func SumInt64(dst, src []byte) {
+	for i := 0; i+8 <= len(dst); i += 8 {
+		d := int64(binary.LittleEndian.Uint64(dst[i:]))
+		s := int64(binary.LittleEndian.Uint64(src[i:]))
+		binary.LittleEndian.PutUint64(dst[i:], uint64(d+s))
+	}
+}
+
+// MaxFloat64 keeps the elementwise maximum.
+func MaxFloat64(dst, src []byte) {
+	for i := 0; i+8 <= len(dst); i += 8 {
+		d := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:]))
+		s := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+		if s > d {
+			binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(s))
+		}
+	}
+}

@@ -1,0 +1,353 @@
+package comm_test
+
+import (
+	"bytes"
+	"testing"
+
+	"knemesis/internal/comm"
+	"knemesis/internal/core"
+	"knemesis/internal/rt"
+
+	// Register the sim engine (rt registers via the direct import above).
+	_ "knemesis/internal/mpi"
+)
+
+// Cross-engine conformance: one table of message-passing semantics, each
+// case asserted identically against every registered engine through the
+// engine-neutral interface. This is the contract a new engine must meet to
+// inherit the workload suite (see DESIGN.md, "How to add an engine").
+//
+// The rendezvous threshold is lowered to 8 KiB so the 64 KiB payloads
+// exercise each engine's large-message path and the 1 KiB payloads its
+// eager path.
+
+const (
+	confEagerMax  = 8 * 1024
+	eagerBytes    = 1024      // below the threshold on every engine
+	rendezvousLen = 64 * 1024 // above it on every engine
+)
+
+// confCase is one semantic of the message-passing contract.
+type confCase struct {
+	name  string
+	ranks int
+	app   func(t *testing.T, c comm.Peer)
+}
+
+func conformanceCases() []confCase {
+	return []confCase{
+		{"zero-byte-message", 2, zeroByteMessage},
+		{"tag-selective-matching", 2, tagSelectiveMatching},
+		{"fifo-order-per-pair", 2, fifoOrderPerPair},
+		{"wildcard-source-and-tag", 4, wildcardSourceAndTag},
+		{"sendrecv-ring-no-deadlock", 4, sendrecvRingNoDeadlock},
+		{"waitall-out-of-order-completion", 2, waitallOutOfOrder},
+		{"unexpected-before-post", 2, unexpectedBeforePost},
+	}
+}
+
+// realEngines are the shipped engines; the registry unit tests add fake
+// entries to the shared registry, so the conformance suite names its
+// targets explicitly.
+var realEngines = []string{"sim", "rt"}
+
+func TestConformanceAcrossEngines(t *testing.T) {
+	for _, engine := range realEngines {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			for _, tc := range conformanceCases() {
+				tc := tc
+				t.Run(tc.name, func(t *testing.T) {
+					job, err := comm.NewJob(engine, comm.JobSpec{
+						Ranks:    tc.ranks,
+						EagerMax: confEagerMax,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := job.Run(func(c comm.Peer) { tc.app(t, c) }); err != nil {
+						t.Fatalf("job failed: %v", err)
+					}
+				})
+			}
+		})
+	}
+}
+
+// pattern fills a deterministic byte stream for content verification.
+func pattern(seed, n int) []byte {
+	b := make([]byte, n)
+	x := uint64(seed)*2654435761 + 0x9e3779b9
+	for i := range b {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		b[i] = byte(x)
+	}
+	return b
+}
+
+// fill / verify move content through the engine-neutral Buf handle.
+func fill(b comm.Buf, seed int) { copy(b.Bytes(), pattern(seed, int(b.Len()))) }
+
+func verify(t *testing.T, b comm.Buf, off, n int64, seed int) {
+	t.Helper()
+	if !bytes.Equal(b.Bytes()[off:off+n], pattern(seed, int(n))) {
+		t.Errorf("payload [%d,%d) does not match pattern %d", off, off+n, seed)
+	}
+}
+
+// Zero-byte messages match like any other and complete with Bytes == 0,
+// for both a zero Range and a zero-length view of a real buffer.
+func zeroByteMessage(t *testing.T, c comm.Peer) {
+	buf := c.Alloc(16)
+	switch c.Rank() {
+	case 0:
+		c.Send(1, 5, comm.Range{})
+		c.Send(1, 6, comm.R(buf, 8, 0))
+	case 1:
+		st := c.Recv(0, 5, comm.Range{})
+		if st.Source != 0 || st.Tag != 5 || st.Bytes != 0 {
+			t.Errorf("zero-byte status = %+v", st)
+		}
+		st = c.Recv(0, 6, comm.R(buf, 0, 0))
+		if st.Bytes != 0 || st.Tag != 6 {
+			t.Errorf("zero-view status = %+v", st)
+		}
+	}
+}
+
+// Receives match on tags, not arrival order: two messages sent tag 1 then
+// tag 2 are received tag 2 first, each landing the payload of its tag.
+// (The sends are nonblocking: a blocking rendezvous send may legitimately
+// stall until its receive is posted, so receiving out of order against two
+// blocking sends would not be deadlock-free MPI.)
+func tagSelectiveMatching(t *testing.T, c comm.Peer) {
+	for _, n := range []int64{eagerBytes, rendezvousLen} {
+		switch c.Rank() {
+		case 0:
+			a, b := c.Alloc(n), c.Alloc(n)
+			fill(a, 1)
+			fill(b, 2)
+			c.Waitall(c.Isend(1, 1, comm.Whole(a)), c.Isend(1, 2, comm.Whole(b)))
+		case 1:
+			got2, got1 := c.Alloc(n), c.Alloc(n)
+			st := c.Recv(0, 2, comm.Whole(got2))
+			if st.Tag != 2 {
+				t.Errorf("tag-2 receive completed with tag %d", st.Tag)
+			}
+			verify(t, got2, 0, n, 2)
+			st = c.Recv(0, 1, comm.Whole(got1))
+			if st.Tag != 1 {
+				t.Errorf("tag-1 receive completed with tag %d", st.Tag)
+			}
+			verify(t, got1, 0, n, 1)
+		}
+	}
+}
+
+// Same-pair, same-tag messages arrive in send order, across a mix of eager
+// and rendezvous sizes.
+func fifoOrderPerPair(t *testing.T, c comm.Peer) {
+	const msgs = 24
+	sizeOf := func(i int) int64 {
+		if i%3 == 0 {
+			return rendezvousLen
+		}
+		return eagerBytes
+	}
+	switch c.Rank() {
+	case 0:
+		for i := 0; i < msgs; i++ {
+			buf := c.Alloc(sizeOf(i))
+			fill(buf, i)
+			c.Send(1, 7, comm.Whole(buf))
+		}
+	case 1:
+		for i := 0; i < msgs; i++ {
+			buf := c.Alloc(rendezvousLen)
+			st := c.Recv(0, 7, comm.R(buf, 0, rendezvousLen))
+			if st.Bytes != sizeOf(i) {
+				t.Errorf("message %d: %d bytes, want %d (out of order?)", i, st.Bytes, sizeOf(i))
+				return
+			}
+			verify(t, buf, 0, st.Bytes, i)
+		}
+	}
+}
+
+// AnySource/AnyTag wildcards match every sender, and the status reports the
+// actual source and tag.
+func wildcardSourceAndTag(t *testing.T, c comm.Peer) {
+	if c.Rank() == 0 {
+		seen := map[int]bool{}
+		for i := 0; i < c.Size()-1; i++ {
+			buf := c.Alloc(eagerBytes)
+			st := c.Recv(comm.AnySource, comm.AnyTag, comm.Whole(buf))
+			if seen[st.Source] {
+				t.Errorf("source %d matched twice", st.Source)
+			}
+			seen[st.Source] = true
+			if st.Tag != 10+st.Source {
+				t.Errorf("source %d arrived with tag %d", st.Source, st.Tag)
+			}
+			verify(t, buf, 0, eagerBytes, st.Source)
+		}
+	} else {
+		buf := c.Alloc(eagerBytes)
+		fill(buf, c.Rank())
+		c.Send(0, 10+c.Rank(), comm.Whole(buf))
+	}
+}
+
+// Sendrecv is deadlock-free even when every rank "sends first": a full
+// ring exchange at rendezvous size completes on every engine.
+func sendrecvRingNoDeadlock(t *testing.T, c comm.Peer) {
+	n := c.Size()
+	right := (c.Rank() + 1) % n
+	left := (c.Rank() - 1 + n) % n
+	send, recv := c.Alloc(rendezvousLen), c.Alloc(rendezvousLen)
+	for round := 0; round < 3; round++ {
+		fill(send, 100*round+c.Rank())
+		st := c.Sendrecv(right, 20+round, comm.Whole(send), left, 20+round, comm.Whole(recv))
+		if st.Source != left || st.Bytes != rendezvousLen {
+			t.Errorf("round %d: status %+v", round, st)
+		}
+		verify(t, recv, 0, rendezvousLen, 100*round+left)
+	}
+}
+
+// Waitall completes requests regardless of posting or completion order:
+// receives posted before the matching sends exist, sends waited first.
+func waitallOutOfOrder(t *testing.T, c comm.Peer) {
+	const msgs = 4
+	other := 1 - c.Rank()
+	recvs := make([]comm.Buf, msgs)
+	reqs := make([]comm.Request, 0, 2*msgs)
+	// Post all receives (reverse tag order), then all sends.
+	for i := msgs - 1; i >= 0; i-- {
+		recvs[i] = c.Alloc(rendezvousLen)
+		reqs = append(reqs, c.Irecv(other, 30+i, comm.Whole(recvs[i])))
+	}
+	sends := make([]comm.Buf, msgs)
+	for i := 0; i < msgs; i++ {
+		sends[i] = c.Alloc(rendezvousLen)
+		fill(sends[i], 1000*c.Rank()+i)
+		reqs = append(reqs, c.Isend(other, 30+i, comm.Whole(sends[i])))
+	}
+	c.Waitall(reqs...)
+	for _, r := range reqs {
+		if !r.Done() {
+			t.Error("request not done after Waitall")
+		}
+	}
+	for i := 0; i < msgs; i++ {
+		verify(t, recvs[i], 0, rendezvousLen, 1000*other+i)
+	}
+}
+
+// Messages arriving before a receive is posted (the unexpected queue) are
+// delivered intact once it is, at eager and rendezvous sizes.
+func unexpectedBeforePost(t *testing.T, c comm.Peer) {
+	sizes := []int64{eagerBytes, rendezvousLen}
+	switch c.Rank() {
+	case 0:
+		var reqs []comm.Request
+		for i, n := range sizes {
+			buf := c.Alloc(n)
+			fill(buf, 40+i)
+			reqs = append(reqs, c.Isend(1, 40+i, comm.Whole(buf)))
+		}
+		// Handshake once the sends are in flight (nonblocking, so the
+		// rendezvous cannot deadlock against the unposted receives).
+		c.Send(1, 99, comm.Range{})
+		c.Waitall(reqs...)
+	case 1:
+		// Wait for the handshake first so the payloads are already queued
+		// (or at least in flight) as unexpected messages.
+		c.Recv(0, 99, comm.Range{})
+		for i := len(sizes) - 1; i >= 0; i-- {
+			buf := c.Alloc(sizes[i])
+			st := c.Recv(0, 40+i, comm.Whole(buf))
+			if st.Bytes != sizes[i] {
+				t.Errorf("unexpected message %d: %d bytes, want %d", i, st.Bytes, sizes[i])
+			}
+			verify(t, buf, 0, sizes[i], 40+i)
+		}
+	}
+}
+
+// Concurrent same-pair rendezvous transfers must not interleave through a
+// backend's shared per-connection staging (shm copy ring, vmsplice pipe):
+// a regression test for the stageGate serialization, content-verified
+// against every registered sim backend preset and every rt mode.
+func TestConcurrentSamePairTransfersEveryBackend(t *testing.T) {
+	type variant struct{ engine, lmt, rtmode string }
+	var variants []variant
+	for _, name := range core.SpecNames() {
+		variants = append(variants, variant{engine: "sim", lmt: name})
+	}
+	for _, mode := range rt.ModeNames() {
+		variants = append(variants, variant{engine: "rt", rtmode: mode})
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.engine+"/"+v.lmt+v.rtmode, func(t *testing.T) {
+			job, err := comm.NewJob(v.engine, comm.JobSpec{
+				Ranks: 2, EagerMax: confEagerMax, LMT: v.lmt, RTMode: v.rtmode,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := job.Run(func(c comm.Peer) { waitallOutOfOrder(t, c) }); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// The registry surfaces both engines with stable names and help text.
+func TestEngineRegistrySurface(t *testing.T) {
+	names := comm.EngineNames()
+	if len(names) < 2 || names[0] != "sim" || names[1] != "rt" {
+		t.Fatalf("EngineNames() = %v, want [sim rt ...]", names)
+	}
+	for _, want := range realEngines {
+		e, err := comm.LookupEngine(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Help == "" {
+			t.Errorf("engine %q has no help text", e.Name)
+		}
+	}
+	if _, err := comm.LookupEngine("no-such-engine"); err == nil {
+		t.Fatal("LookupEngine of unknown engine did not error")
+	} else {
+		for _, want := range realEngines {
+			if !bytes.Contains([]byte(err.Error()), []byte(want)) {
+				t.Fatalf("lookup error %q does not list engine %q", err, want)
+			}
+		}
+	}
+}
+
+// Both engines honour JobSpec.EagerMax as the rendezvous threshold and
+// reject impossible specs.
+func TestJobSpecValidation(t *testing.T) {
+	if _, err := comm.NewJob("sim", comm.JobSpec{Ranks: 0}); err == nil {
+		t.Error("0-rank sim job accepted")
+	}
+	if _, err := comm.NewJob("rt", comm.JobSpec{Ranks: -3}); err == nil {
+		t.Error("negative-rank rt job accepted")
+	}
+	if _, err := comm.NewJob("sim", comm.JobSpec{Ranks: 99}); err == nil {
+		t.Error("sim job with more ranks than cores accepted")
+	}
+	if _, err := comm.NewJob("sim", comm.JobSpec{Ranks: 2, LMT: "bogus"}); err == nil {
+		t.Error("sim job with unknown LMT accepted")
+	}
+	if _, err := comm.NewJob("rt", comm.JobSpec{Ranks: 2, RTMode: "bogus"}); err == nil {
+		t.Error("rt job with unknown mode accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"knemesis/internal/topo"
+)
+
+// JobSpec is the engine-neutral job description. Engines read the fields
+// they understand and ignore the rest, so one spec drives every engine:
+// the simulator consumes Machine/Cores/LMT, the real runtime consumes
+// RTMode, and both honour Ranks and EagerMax.
+type JobSpec struct {
+	// Ranks is the job size (required, >= 1).
+	Ranks int
+
+	// EagerMax overrides the eager/rendezvous switch in bytes (0 keeps
+	// the engine default, 64 KiB on both current engines).
+	EagerMax int64
+
+	// Machine is the simulated host (simulator only; nil = XeonE5345).
+	Machine *topo.Machine
+	// Cores pins one rank per entry (simulator only; empty = the first
+	// Ranks cores of Machine).
+	Cores []topo.CoreID
+	// LMT names a backend preset from the core registry, e.g. "default",
+	// "knem-ioat-auto", "cma" (simulator only; "" = "default").
+	LMT string
+
+	// RTMode selects the real runtime's large-message strategy: "eager",
+	// "single-copy" or "offload" (rt only; "" = "single-copy").
+	RTMode string
+}
+
+// Engine is one entry of the engine registry: a named factory turning a
+// JobSpec into a runnable Job.
+type Engine struct {
+	// Name is the registry key (the CLIs' -engine flag value).
+	Name string
+	// Help is one line for flag help text.
+	Help string
+	// Order positions the engine in Engines().
+	Order int
+	// NewJob builds a single-use job for the spec.
+	NewJob func(spec JobSpec) (Job, error)
+}
+
+var engRegistry = map[string]Engine{}
+
+// RegisterEngine adds an engine; duplicate or incomplete registrations are
+// init-time programmer errors.
+func RegisterEngine(e Engine) {
+	if e.Name == "" {
+		panic("comm: RegisterEngine with empty name")
+	}
+	if e.NewJob == nil {
+		panic(fmt.Sprintf("comm: RegisterEngine(%q) with nil NewJob", e.Name))
+	}
+	if _, dup := engRegistry[e.Name]; dup {
+		panic(fmt.Sprintf("comm: engine %q registered twice", e.Name))
+	}
+	engRegistry[e.Name] = e
+}
+
+// LookupEngine returns the engine registered under name; the error lists
+// the registered names.
+func LookupEngine(name string) (Engine, error) {
+	e, ok := engRegistry[name]
+	if !ok {
+		return Engine{}, fmt.Errorf("comm: unknown engine %q (have %s)",
+			name, strings.Join(EngineNames(), "|"))
+	}
+	return e, nil
+}
+
+// Engines returns every registered engine in presentation order.
+func Engines() []Engine {
+	out := make([]Engine, 0, len(engRegistry))
+	for _, e := range engRegistry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Order != out[j].Order {
+			return out[i].Order < out[j].Order
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// EngineNames returns the registered names in presentation order, for flag
+// help text and validation.
+func EngineNames() []string {
+	engs := Engines()
+	out := make([]string, len(engs))
+	for i, e := range engs {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// NewJob builds a job on the named engine.
+func NewJob(engine string, spec JobSpec) (Job, error) {
+	e, err := LookupEngine(engine)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Ranks < 1 {
+		return nil, fmt.Errorf("comm: job needs at least 1 rank, got %d", spec.Ranks)
+	}
+	return e.NewJob(spec)
+}

@@ -33,6 +33,7 @@ func init() {
 // with a cache-line control transfer publishing each slot-state flip.
 type copyRing struct {
 	m      *hw.Machine
+	gate   *stageGate // one active transfer per connection ring
 	slots  [shmSlots]*mem.Buffer
 	full   [shmSlots]bool
 	filled [shmSlots]int64 // valid bytes in a full slot
@@ -108,14 +109,17 @@ func (l *shmLMT) Flags() (wantsCTS, finCompletes bool) { return true, false }
 
 func (l *shmLMT) InitiateSend(p *sim.Proc, t *nemesis.Transfer) any { return nil }
 
-// PrepareCTS returns the (lazily created, per-ordered-pair) copy ring, reset
-// for this transfer.
+// PrepareCTS returns the (lazily created, per-ordered-pair) copy ring,
+// claimed and reset for this transfer. Claiming may block until an earlier
+// transfer through the same ring drains (one active transfer per
+// connection copy buffer, as in MPICH's shm LMT).
 func (l *shmLMT) PrepareCTS(p *sim.Proc, t *nemesis.Transfer) any {
 	key := [2]int{t.SrcRank, t.DstRank}
 	r, ok := l.rings[key]
 	if !ok {
 		r = &copyRing{
 			m:    l.ch.M,
+			gate: newStageGate(l.ch.M.Eng, fmt.Sprintf("ring-gate%d-%d", t.SrcRank, t.DstRank)),
 			cond: sim.NewCond(l.ch.M.Eng, fmt.Sprintf("ring%d-%d", t.SrcRank, t.DstRank)),
 		}
 		for i := range r.slots {
@@ -123,6 +127,7 @@ func (l *shmLMT) PrepareCTS(p *sim.Proc, t *nemesis.Transfer) any {
 		}
 		l.rings[key] = r
 	}
+	r.gate.acquire(p)
 	for i := range r.full {
 		r.full[i] = false
 	}
@@ -136,8 +141,11 @@ func (l *shmLMT) HandleCTS(p *sim.Proc, t *nemesis.Transfer, info any) {
 	pumpSend(p, info.(*copyRing), t)
 }
 
-// Recv is the receiver's pump: drain full slots in order.
+// Recv is the receiver's pump: drain full slots in order, then hand the
+// ring to the next queued transfer.
 func (l *shmLMT) Recv(p *sim.Proc, t *nemesis.Transfer, cookie any) {
 	// The ring was created in PrepareCTS on this same endpoint.
-	pumpRecv(p, l.rings[[2]int{t.SrcRank, t.DstRank}], t)
+	r := l.rings[[2]int{t.SrcRank, t.DstRank}]
+	pumpRecv(p, r, t)
+	r.gate.release()
 }

@@ -38,11 +38,19 @@ func init() {
 type vmspliceLMT struct {
 	ch        *nemesis.Channel
 	useWritev bool
-	pipes     map[[2]int]*kernel.Pipe
+	pipes     map[[2]int]*lmtPipe
+}
+
+// lmtPipe couples a connection's kernel pipe with its admission gate (one
+// active transfer per pipe: interleaving two transfers' windows through
+// one FIFO would corrupt both).
+type lmtPipe struct {
+	pp   *kernel.Pipe
+	gate *stageGate
 }
 
 func newVmspliceLMT(ch *nemesis.Channel, useWritev bool) *vmspliceLMT {
-	return &vmspliceLMT{ch: ch, useWritev: useWritev, pipes: make(map[[2]int]*kernel.Pipe)}
+	return &vmspliceLMT{ch: ch, useWritev: useWritev, pipes: make(map[[2]int]*lmtPipe)}
 }
 
 func (l *vmspliceLMT) Name() string {
@@ -80,15 +88,20 @@ func (s pipeStage) Pull(p *sim.Proc, core topo.CoreID, rest mem.IOVec) int64 {
 }
 
 // PrepareCTS returns the per-ordered-pair pipe ("the sending and receiving
-// processes open the same UNIX pipe").
+// processes open the same UNIX pipe"), claimed for this transfer; claiming
+// may block until an earlier transfer through the same pipe drains.
 func (l *vmspliceLMT) PrepareCTS(p *sim.Proc, t *nemesis.Transfer) any {
 	key := [2]int{t.SrcRank, t.DstRank}
-	pp, ok := l.pipes[key]
+	lp, ok := l.pipes[key]
 	if !ok {
-		pp = l.ch.OS.NewPipe(fmt.Sprintf("lmt%d-%d", t.SrcRank, t.DstRank))
-		l.pipes[key] = pp
+		lp = &lmtPipe{
+			pp:   l.ch.OS.NewPipe(fmt.Sprintf("lmt%d-%d", t.SrcRank, t.DstRank)),
+			gate: newStageGate(l.ch.M.Eng, fmt.Sprintf("pipe-gate%d-%d", t.SrcRank, t.DstRank)),
+		}
+		l.pipes[key] = lp
 	}
-	return pp
+	lp.gate.acquire(p)
+	return lp.pp
 }
 
 // HandleCTS is the sender pump: splice (or write) the source vector into
@@ -97,7 +110,10 @@ func (l *vmspliceLMT) HandleCTS(p *sim.Proc, t *nemesis.Transfer, info any) {
 	pumpSend(p, pipeStage{pp: info.(*kernel.Pipe), useWritev: l.useWritev}, t)
 }
 
-// Recv is the receiver pump: readv into each destination region in turn.
+// Recv is the receiver pump: readv into each destination region in turn,
+// then hand the pipe to the next queued transfer.
 func (l *vmspliceLMT) Recv(p *sim.Proc, t *nemesis.Transfer, cookie any) {
-	pumpRecv(p, pipeStage{pp: l.pipes[[2]int{t.SrcRank, t.DstRank}]}, t)
+	lp := l.pipes[[2]int{t.SrcRank, t.DstRank}]
+	pumpRecv(p, pipeStage{pp: lp.pp}, t)
+	lp.gate.release()
 }

@@ -44,3 +44,34 @@ func pumpRecv(p *sim.Proc, pipe stagedPipe, t *nemesis.Transfer) {
 		off += pipe.Pull(p, core, t.DstVec.Slice(off, t.Size-off))
 	}
 }
+
+// stageGate admits one transfer at a time to a shared per-connection
+// staging resource (the shm copy ring, the vmsplice pipe). MPICH's staged
+// LMTs likewise run one active transfer per connection copy buffer;
+// without the gate, two concurrent rendezvous transfers between the same
+// ordered rank pair would interleave windows through the shared stage and
+// corrupt both payloads (the cross-engine conformance suite catches this).
+type stageGate struct {
+	busy bool
+	cond *sim.Cond
+}
+
+func newStageGate(eng *sim.Engine, name string) *stageGate {
+	return &stageGate{cond: sim.NewCond(eng, name)}
+}
+
+// acquire blocks (progressing the simulation) until the stage is free and
+// claims it. It runs in the receiver's per-transfer protocol process, so
+// waiting here stalls only the queued transfer, never channel progress.
+func (g *stageGate) acquire(p *sim.Proc) {
+	for g.busy {
+		g.cond.Wait(p)
+	}
+	g.busy = true
+}
+
+// release frees the stage and wakes queued transfers.
+func (g *stageGate) release() {
+	g.busy = false
+	g.cond.Broadcast()
+}

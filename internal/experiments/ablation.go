@@ -6,6 +6,7 @@ import (
 
 	"knemesis/internal/core"
 	"knemesis/internal/imb"
+	"knemesis/internal/mpi"
 	"knemesis/internal/nemesis"
 	"knemesis/internal/topo"
 	"knemesis/internal/units"
@@ -106,7 +107,7 @@ func modelAblation(base *topo.Machine, workers int) (AblationSet, error) {
 	measure := func(m *topo.Machine, opt core.Options) (float64, error) {
 		c0, c1 := m.PairDifferentDies()
 		st := core.NewStack(m, []topo.CoreID{c0, c1}, opt, nemesis.Config{})
-		res, err := imb.PingPong(st, []int64{size})
+		res, err := imb.RunPingPong(mpi.NewSimJob(st), []int64{size})
 		if err != nil {
 			return 0, err
 		}
@@ -170,7 +171,7 @@ func collectiveAwareStudy(m *topo.Machine, sizes []int64, workers int) (Figure, 
 	err := forEach(workers, len(cases), func(i int) error {
 		cs := cases[i]
 		st := core.NewStack(m, m.AllCores(), cs.opt, cfg)
-		res, err := imb.Alltoall(st, sizes)
+		res, err := imb.RunAlltoall(mpi.NewSimJob(st), sizes)
 		if err != nil {
 			return fmt.Errorf("%s: %w", cs.label, err)
 		}

@@ -21,6 +21,7 @@ import (
 	"knemesis/internal/core"
 	"knemesis/internal/imb"
 	"knemesis/internal/knem"
+	"knemesis/internal/mpi"
 	"knemesis/internal/nas"
 	"knemesis/internal/nemesis"
 	"knemesis/internal/topo"
@@ -113,7 +114,7 @@ func init() {
 // pingPongSeries runs one PingPong sweep on a fresh stack.
 func pingPongSeries(t *topo.Machine, cores []topo.CoreID, opt core.Options, label string, sizes []int64) (Series, error) {
 	st := core.NewStack(t, cores, opt, nemesis.Config{})
-	res, err := imb.PingPong(st, sizes)
+	res, err := imb.RunPingPong(mpi.NewSimJob(st), sizes)
 	if err != nil {
 		return Series{}, fmt.Errorf("%s: %w", label, err)
 	}
@@ -245,7 +246,7 @@ func fig7(env Env) (Figure, error) {
 	err := forEach(env.workers(), len(cases), func(i int) error {
 		cs := cases[i]
 		st := core.NewStack(t, t.AllCores(), cs.opt, cs.cfg)
-		res, err := imb.Alltoall(st, env.A2ASizes)
+		res, err := imb.RunAlltoall(mpi.NewSimJob(st), env.A2ASizes)
 		if err != nil {
 			return fmt.Errorf("%s: %w", cs.label, err)
 		}
@@ -320,7 +321,7 @@ func table2(env Env) (Table, error) {
 	ppByOpt := make([][]int64, len(opts)) // [opt][sizeIdx]
 	if err := forEach(env.workers(), len(opts), func(i int) error {
 		st := core.NewStack(t, []topo.CoreID{d0, d1}, opts[i], nemesis.Config{})
-		res, err := imb.PingPong(st, ppSizes)
+		res, err := imb.RunPingPong(mpi.NewSimJob(st), ppSizes)
 		if err != nil {
 			return err
 		}
@@ -343,7 +344,7 @@ func table2(env Env) (Table, error) {
 			cfg.EagerMax = 4 * units.KiB
 		}
 		st := core.NewStack(t, t.AllCores(), opts[i], cfg)
-		res, err := imb.Alltoall(st, a2aSizes)
+		res, err := imb.RunAlltoall(mpi.NewSimJob(st), a2aSizes)
 		if err != nil {
 			return err
 		}

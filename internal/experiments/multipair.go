@@ -5,6 +5,7 @@ import (
 
 	"knemesis/internal/core"
 	"knemesis/internal/imb"
+	"knemesis/internal/mpi"
 	"knemesis/internal/nemesis"
 	"knemesis/internal/topo"
 	"knemesis/internal/units"
@@ -131,7 +132,7 @@ func multipair(env Env) (multipairResult, error) {
 	err := forEach(env.workers(), len(cases), func(i int) error {
 		cs := cases[i]
 		st := core.NewStack(env.Machine, cs.cores, core.Options{Kind: cs.kind}, nemesis.Config{})
-		r, err := imb.MultiPingPong(st, sizes)
+		r, err := imb.RunMultiPingPong(mpi.NewSimJob(st), sizes)
 		if err != nil {
 			return fmt.Errorf("%s/%s/%d pairs: %w", cs.kind, cs.placement, cs.pairs, err)
 		}

@@ -18,6 +18,7 @@ type Env struct {
 	PingSizes  []int64
 	A2ASizes   []int64
 	MultiSizes []int64 // multipair contention sweep (empty = defaults)
+	RTSizes    []int64 // real-runtime wall-clock sweep (empty = defaults)
 	Kernels    []nas.Kernel
 	ISKernel   nas.Kernel
 
@@ -35,6 +36,7 @@ func DefaultEnv(m *topo.Machine) Env {
 		PingSizes:  DefaultPingPongSizes(),
 		A2ASizes:   DefaultAlltoallSizes(),
 		MultiSizes: DefaultMultiPairSizes(),
+		RTSizes:    DefaultRTSizes(),
 		Kernels:    nas.Kernels(),
 		ISKernel:   nas.IS(),
 	}

@@ -6,6 +6,7 @@ import (
 
 	"knemesis/internal/core"
 	"knemesis/internal/imb"
+	"knemesis/internal/mpi"
 	"knemesis/internal/nemesis"
 	"knemesis/internal/topo"
 	"knemesis/internal/units"
@@ -99,7 +100,7 @@ func measureCrossover(m *topo.Machine, cores []topo.CoreID) (int64, error) {
 	}
 	run := func(opt core.Options) ([]imb.Point, error) {
 		st := core.NewStack(m, cores, opt, nemesis.Config{})
-		res, err := imb.PingPong(st, sizes)
+		res, err := imb.RunPingPong(mpi.NewSimJob(st), sizes)
 		if err != nil {
 			return nil, err
 		}

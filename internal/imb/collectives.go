@@ -3,46 +3,46 @@ package imb
 import (
 	"fmt"
 
+	"knemesis/internal/comm"
 	"knemesis/internal/core"
 	"knemesis/internal/mem"
 	"knemesis/internal/mpi"
-	"knemesis/internal/sim"
 	"knemesis/internal/units"
 )
 
-// Bcast measures a binomial broadcast from rank 0 across message sizes
+// RunBcast measures a binomial broadcast from rank 0 across message sizes
 // (the paper notes "similar behavior for several operations" beyond the
 // Alltoall it shows; these sweeps cover two more).
-func Bcast(st *core.Stack, sizes []int64) (Result, error) {
-	res := Result{Bench: "Bcast", Label: st.Ch.LMTName()}
-	w := mpi.NewWorld(st)
-	if w.Size < 2 {
+func RunBcast(j comm.Job, sizes []int64) (Result, error) {
+	res := Result{Bench: "Bcast", Label: j.Label()}
+	n := j.Size()
+	if n < 2 {
 		return Result{}, fmt.Errorf("imb: Bcast needs >= 2 ranks")
 	}
 	maxSize := sizes[len(sizes)-1]
-	var durs []sim.Time
+	var durs []comm.Time
 	var missStart, missEnd []int64
 
-	_, err := w.Run(func(c *mpi.Comm) {
+	err := j.Run(func(c comm.Peer) {
 		buf := c.Alloc(maxSize)
 		if c.Rank() == 0 {
-			buf.FillPattern(7)
+			fillPattern(buf, 7)
 		}
 		for _, size := range sizes {
 			iters := Iterations(size)
-			vec := mem.IOVec{{Buf: buf, Off: 0, Len: size}}
+			r := comm.R(buf, 0, size)
 			c.Barrier()
 			if c.Rank() == 0 {
-				missStart = append(missStart, st.M.L2MissLines())
+				missStart = append(missStart, j.MissLines())
 			}
-			t0 := c.Now()
+			t0 := c.Elapsed()
 			for i := 0; i < iters; i++ {
-				c.Bcast(0, vec)
+				c.Bcast(0, r)
 			}
 			c.Barrier()
 			if c.Rank() == 0 {
-				durs = append(durs, (c.Now()-t0)/sim.Time(iters))
-				missEnd = append(missEnd, st.M.L2MissLines())
+				durs = append(durs, (c.Elapsed()-t0)/comm.Time(iters))
+				missEnd = append(missEnd, j.MissLines())
 			}
 		}
 	})
@@ -52,7 +52,7 @@ func Bcast(st *core.Stack, sizes []int64) (Result, error) {
 	for i, size := range sizes {
 		iters := Iterations(size)
 		// Aggregated: every non-root rank receives size bytes.
-		moved := size * int64(w.Size-1)
+		moved := size * int64(n-1)
 		res.Points = append(res.Points, Point{
 			Size:       size,
 			Time:       durs[i],
@@ -63,29 +63,28 @@ func Bcast(st *core.Stack, sizes []int64) (Result, error) {
 	return res, nil
 }
 
-// Allreduce measures a summing allreduce across vector sizes.
-func Allreduce(st *core.Stack, sizes []int64) (Result, error) {
-	res := Result{Bench: "Allreduce", Label: st.Ch.LMTName()}
-	w := mpi.NewWorld(st)
-	if w.Size < 2 {
+// RunAllreduce measures a summing allreduce across vector sizes.
+func RunAllreduce(j comm.Job, sizes []int64) (Result, error) {
+	res := Result{Bench: "Allreduce", Label: j.Label()}
+	if j.Size() < 2 {
 		return Result{}, fmt.Errorf("imb: Allreduce needs >= 2 ranks")
 	}
 	maxSize := sizes[len(sizes)-1]
-	var durs []sim.Time
+	var durs []comm.Time
 
-	_, err := w.Run(func(c *mpi.Comm) {
+	err := j.Run(func(c comm.Peer) {
 		buf := c.Alloc(maxSize)
 		for _, size := range sizes {
 			iters := Iterations(size)
-			work := buf.Slice(0, size)
+			work := comm.R(buf, 0, size)
 			c.Barrier()
-			t0 := c.Now()
+			t0 := c.Elapsed()
 			for i := 0; i < iters; i++ {
-				c.Allreduce(work, mpi.SumFloat64)
+				c.Allreduce(work, comm.SumFloat64)
 			}
 			c.Barrier()
 			if c.Rank() == 0 {
-				durs = append(durs, (c.Now()-t0)/sim.Time(iters))
+				durs = append(durs, (c.Elapsed()-t0)/comm.Time(iters))
 			}
 		}
 	})
@@ -100,4 +99,25 @@ func Allreduce(st *core.Stack, sizes []int64) (Result, error) {
 		})
 	}
 	return res, nil
+}
+
+// fillPattern writes the repository's deterministic pattern stream into a
+// content-addressable buffer (the engine-neutral analogue of
+// mem.Buffer.FillPattern, sharing its definition).
+func fillPattern(b comm.Buf, seed uint64) { mem.FillPatternBytes(b.Bytes(), seed) }
+
+// Bcast runs the sweep on a simulated stack.
+//
+// Deprecated: build a job (mpi.NewSimJob, or comm.NewJob for any engine)
+// and use RunBcast.
+func Bcast(st *core.Stack, sizes []int64) (Result, error) {
+	return RunBcast(mpi.NewSimJob(st), sizes)
+}
+
+// Allreduce runs the sweep on a simulated stack.
+//
+// Deprecated: build a job (mpi.NewSimJob, or comm.NewJob for any engine)
+// and use RunAllreduce.
+func Allreduce(st *core.Stack, sizes []int64) (Result, error) {
+	return RunAllreduce(mpi.NewSimJob(st), sizes)
 }

@@ -1,15 +1,22 @@
 // Package imb reimplements the measurement loops of the Intel MPI
 // Benchmarks used in the paper's evaluation: PingPong (Figures 3-5, 6) and
-// Alltoall (Figure 7). As in IMB, each rank sends from a dedicated send
-// buffer and receives into a dedicated receive buffer, a warm-up round
-// precedes measurement, and iteration counts shrink with message size.
+// Alltoall (Figure 7), plus the concurrent multi-pair patterns (multi.go).
+// As in IMB, each rank sends from a dedicated send buffer and receives into
+// a dedicated receive buffer, a warm-up round precedes measurement, and
+// iteration counts shrink with message size.
+//
+// Every driver is written once against the engine-neutral comm interface
+// and therefore runs unchanged on any registered engine: the simulator
+// reports simulated time and modelled cache misses, the real runtime
+// reports wall-clock time. The stack-based entry points (PingPong,
+// Alltoall, ...) are deprecated wrappers that bind the sim engine.
 package imb
 
 import (
 	"fmt"
 
+	"knemesis/internal/comm"
 	"knemesis/internal/core"
-	"knemesis/internal/mem"
 	"knemesis/internal/mpi"
 	"knemesis/internal/sim"
 	"knemesis/internal/units"
@@ -23,7 +30,7 @@ type Point struct {
 	L2Misses   int64    // machine-wide L2 misses per operation, 64B lines
 }
 
-// Result is one benchmark sweep under one LMT configuration.
+// Result is one benchmark sweep under one transfer configuration.
 type Result struct {
 	Bench  string
 	Label  string
@@ -44,44 +51,44 @@ func Iterations(size int64) int {
 	}
 }
 
-// PingPong measures ranks 0<->1 of the stack across sizes and returns one
+// RunPingPong measures ranks 0<->1 of the job across sizes and returns one
 // point per size. The reported time is the half round trip; misses are per
 // one-way transfer.
-func PingPong(st *core.Stack, sizes []int64) (Result, error) {
-	if len(st.Ch.Endpoints) < 2 {
-		return Result{}, fmt.Errorf("imb: PingPong needs 2 ranks, have %d", len(st.Ch.Endpoints))
+func RunPingPong(j comm.Job, sizes []int64) (Result, error) {
+	if j.Size() < 2 {
+		return Result{}, fmt.Errorf("imb: PingPong needs 2 ranks, have %d", j.Size())
 	}
-	res := Result{Bench: "PingPong", Label: st.Ch.LMTName()}
-	w := mpi.NewWorld(st)
+	res := Result{Bench: "PingPong", Label: j.Label()}
 
 	maxSize := sizes[len(sizes)-1]
 	var missStart, missEnd []int64
-	var durs []sim.Time
+	var durs []comm.Time
 
-	_, err := w.Run(func(c *Comm) {
-		// Phantom buffers: identical simulated addresses (so cache, bus
-		// and timing behaviour match real allocations bit-for-bit) with
-		// no payload movement — the sweep never verifies content.
-		send := c.AllocPhantom(maxSize)
-		recv := c.AllocPhantom(maxSize)
+	err := j.Run(func(c comm.Peer) {
+		// Bench buffers: on the simulator these have real simulated
+		// addresses (so cache, bus and timing behaviour match real
+		// allocations bit-for-bit) but no payload storage — the sweep
+		// never verifies content.
+		send := c.AllocBench(maxSize)
+		recv := c.AllocBench(maxSize)
 		for _, size := range sizes {
 			iters := Iterations(size)
-			sv := mem.IOVec{{Buf: send, Off: 0, Len: size}}
-			rv := mem.IOVec{{Buf: recv, Off: 0, Len: size}}
+			sv := comm.R(send, 0, size)
+			rv := comm.R(recv, 0, size)
 			c.Barrier()
 			if c.Rank() == 0 {
 				// Warm-up round, then measure; the miss window covers
 				// exactly the measured iterations.
 				c.Send(1, 0, sv)
 				c.Recv(1, 0, rv)
-				missStart = append(missStart, st.M.L2MissLines())
-				t0 := c.Now()
+				missStart = append(missStart, j.MissLines())
+				t0 := c.Elapsed()
 				for i := 0; i < iters; i++ {
 					c.Send(1, 0, sv)
 					c.Recv(1, 0, rv)
 				}
-				durs = append(durs, (c.Now()-t0)/sim.Time(2*iters))
-				missEnd = append(missEnd, st.M.L2MissLines())
+				durs = append(durs, (c.Elapsed()-t0)/comm.Time(2*iters))
+				missEnd = append(missEnd, j.MissLines())
 			} else if c.Rank() == 1 {
 				for i := 0; i < iters+1; i++ {
 					c.Recv(0, 0, rv)
@@ -110,35 +117,31 @@ func PingPong(st *core.Stack, sizes []int64) (Result, error) {
 	return res, nil
 }
 
-// Comm aliases the MPI handle for brevity in closures.
-type Comm = mpi.Comm
-
-// Alltoall measures an all-ranks alltoall across per-partner block sizes.
-// The reported throughput is aggregated: all payload bytes moved by the
-// operation (P*(P-1)*size) divided by the operation time, matching the
+// RunAlltoall measures an all-ranks alltoall across per-partner block
+// sizes. The reported throughput is aggregated: all payload bytes moved by
+// the operation (P*(P-1)*size) divided by the operation time, matching the
 // paper's "Aggregated Throughput" axis in Figure 7.
-func Alltoall(st *core.Stack, sizes []int64) (Result, error) {
-	res := Result{Bench: "Alltoall", Label: st.Ch.LMTName()}
-	w := mpi.NewWorld(st)
-	n := int64(len(st.Ch.Endpoints))
+func RunAlltoall(j comm.Job, sizes []int64) (Result, error) {
+	res := Result{Bench: "Alltoall", Label: j.Label()}
+	n := int64(j.Size())
 	if n < 2 {
 		return Result{}, fmt.Errorf("imb: Alltoall needs >= 2 ranks")
 	}
 	maxSize := sizes[len(sizes)-1]
 	var missStart, missEnd []int64
-	var durs []sim.Time
+	var durs []comm.Time
 
-	_, err := w.Run(func(c *Comm) {
-		// Phantom for the same reason as PingPong: content-free sweep.
-		send := c.AllocPhantom(maxSize * n)
-		recv := c.AllocPhantom(maxSize * n)
+	err := j.Run(func(c comm.Peer) {
+		// Bench buffers for the same reason as PingPong: content-free sweep.
+		send := c.AllocBench(maxSize * n)
+		recv := c.AllocBench(maxSize * n)
 		for _, size := range sizes {
 			iters := Iterations(size)
 			c.Barrier()
 			if c.Rank() == 0 {
-				missStart = append(missStart, st.M.L2MissLines())
+				missStart = append(missStart, j.MissLines())
 			}
-			t0 := c.Now()
+			t0 := c.Elapsed()
 			for i := 0; i < iters; i++ {
 				// One allocation serves every size (as IMB does); blocks
 				// for the current size occupy the buffer's front.
@@ -146,8 +149,8 @@ func Alltoall(st *core.Stack, sizes []int64) (Result, error) {
 			}
 			c.Barrier()
 			if c.Rank() == 0 {
-				durs = append(durs, (c.Now()-t0)/sim.Time(iters))
-				missEnd = append(missEnd, st.M.L2MissLines())
+				durs = append(durs, (c.Elapsed()-t0)/comm.Time(iters))
+				missEnd = append(missEnd, j.MissLines())
 			}
 		}
 	})
@@ -169,4 +172,20 @@ func Alltoall(st *core.Stack, sizes []int64) (Result, error) {
 		})
 	}
 	return res, nil
+}
+
+// PingPong runs the sweep on a simulated stack.
+//
+// Deprecated: build a job (mpi.NewSimJob, or comm.NewJob for any engine)
+// and use RunPingPong.
+func PingPong(st *core.Stack, sizes []int64) (Result, error) {
+	return RunPingPong(mpi.NewSimJob(st), sizes)
+}
+
+// Alltoall runs the sweep on a simulated stack.
+//
+// Deprecated: build a job (mpi.NewSimJob, or comm.NewJob for any engine)
+// and use RunAlltoall.
+func Alltoall(st *core.Stack, sizes []int64) (Result, error) {
+	return RunAlltoall(mpi.NewSimJob(st), sizes)
 }

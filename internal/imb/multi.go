@@ -1,16 +1,16 @@
 // Multi-pair and neighbour-exchange benchmarks: IMB's multi-mode
 // Multi-PingPong plus the Sendrecv and Exchange patterns. Unlike the solo
 // PingPong of imb.go, these run several transfers concurrently inside one
-// simulation, so the pairs genuinely contend for the shared bus and the L2
-// fluids — the regime where the paper's single-copy argument actually bites.
+// job, so on the simulator the pairs genuinely contend for the shared bus
+// and the L2 fluids — the regime where the paper's single-copy argument
+// actually bites — and on the real runtime they contend for actual cores.
 package imb
 
 import (
 	"fmt"
 
+	"knemesis/internal/comm"
 	"knemesis/internal/core"
-	"knemesis/internal/hw"
-	"knemesis/internal/mem"
 	"knemesis/internal/mpi"
 	"knemesis/internal/sim"
 	"knemesis/internal/units"
@@ -19,7 +19,8 @@ import (
 // MultiPoint is one measured size of a concurrent benchmark. Aggregate
 // throughput follows IMB's accounting: the per-rank (or per-pair) rates of
 // the pattern summed over all participants. Bus and CPU figures cover
-// exactly the measured iterations (warm-up excluded).
+// exactly the measured iterations (warm-up excluded); engines without a
+// hardware model report them as zero.
 type MultiPoint struct {
 	Size       int64
 	Time       sim.Time // per operation
@@ -31,7 +32,7 @@ type MultiPoint struct {
 	CoreBusySec []float64
 }
 
-// MultiResult is one concurrent benchmark sweep under one LMT configuration.
+// MultiResult is one concurrent benchmark sweep under one configuration.
 type MultiResult struct {
 	Bench  string
 	Label  string
@@ -51,13 +52,12 @@ type MultiResult struct {
 // aggregate byte count of one operation across all ranks; opsPerIter scales
 // the reported per-operation time (2 for PingPong, whose convention is the
 // half round trip).
-func concurrentSweep(st *core.Stack, bench string, sizes []int64, body func(c *mpi.Comm, maxSize int64) func(size int64), movedPerOp func(size int64) int64, opsPerIter int) (MultiResult, error) {
-	res := MultiResult{Bench: bench, Label: st.Ch.LMTName(), Ranks: len(st.Ch.Endpoints)}
-	w := mpi.NewWorld(st)
+func concurrentSweep(j comm.Job, bench string, sizes []int64, body func(c comm.Peer, maxSize int64) func(size int64), movedPerOp func(size int64) int64, opsPerIter int) (MultiResult, error) {
+	res := MultiResult{Bench: bench, Label: j.Label(), Ranks: j.Size()}
 	maxSize := sizes[len(sizes)-1]
-	var pre, post []hw.Utilization
+	var pre, post []comm.Usage
 
-	_, err := w.Run(func(c *mpi.Comm) {
+	err := j.Run(func(c comm.Peer) {
 		op := body(c, maxSize)
 		for _, size := range sizes {
 			iters := Iterations(size)
@@ -65,7 +65,7 @@ func concurrentSweep(st *core.Stack, bench string, sizes []int64, body func(c *m
 			op(size) // warm-up
 			c.Barrier()
 			if c.Rank() == 0 {
-				pre = append(pre, st.M.UtilizationReport())
+				pre = append(pre, j.Usage())
 			}
 			c.Barrier() // no measured traffic before the snapshot
 			for i := 0; i < iters; i++ {
@@ -73,7 +73,7 @@ func concurrentSweep(st *core.Stack, bench string, sizes []int64, body func(c *m
 			}
 			c.Barrier()
 			if c.Rank() == 0 {
-				post = append(post, st.M.UtilizationReport())
+				post = append(post, j.Usage())
 			}
 		}
 	})
@@ -97,31 +97,31 @@ func concurrentSweep(st *core.Stack, bench string, sizes []int64, body func(c *m
 }
 
 // pairBuffers allocates a rank's send and receive buffers (the receive
-// buffer scaled by recvFactor). Phantom-backed: the concurrent sweeps are
-// content-free, so the simulated addresses do all the modelling work and
-// no payload bytes need to move.
-func pairBuffers(c *mpi.Comm, maxSize, recvFactor int64) (send, recv *mem.Buffer) {
-	return c.AllocPhantom(maxSize), c.AllocPhantom(recvFactor * maxSize)
+// buffer scaled by recvFactor). Bench allocations: the concurrent sweeps
+// are content-free, so on the simulator the addresses do all the modelling
+// work and no payload bytes move.
+func pairBuffers(c comm.Peer, maxSize, recvFactor int64) (send, recv comm.Buf) {
+	return c.AllocBench(maxSize), c.AllocBench(recvFactor * maxSize)
 }
 
-// MultiPingPong measures N independent PingPong pairs running concurrently:
-// ranks 2i and 2i+1 form pair i (see topo.PairCores for building such
-// placements). The reported time is the half round trip averaged across
-// pairs; throughput is the aggregate across pairs, each one-way transfer
-// counted once, as in IMB's multi mode.
-func MultiPingPong(st *core.Stack, sizes []int64) (MultiResult, error) {
-	n := len(st.Ch.Endpoints)
+// RunMultiPingPong measures N independent PingPong pairs running
+// concurrently: ranks 2i and 2i+1 form pair i (see topo.PairCores for
+// building such placements on the simulator). The reported time is the half
+// round trip averaged across pairs; throughput is the aggregate across
+// pairs, each one-way transfer counted once, as in IMB's multi mode.
+func RunMultiPingPong(j comm.Job, sizes []int64) (MultiResult, error) {
+	n := j.Size()
 	if n < 2 || n%2 != 0 {
 		return MultiResult{}, fmt.Errorf("imb: Multi-PingPong needs an even rank count >= 2, have %d", n)
 	}
 	pairs := n / 2
-	res, err := concurrentSweep(st, fmt.Sprintf("Multi-PingPong(%d pairs)", pairs), sizes,
-		func(c *mpi.Comm, maxSize int64) func(size int64) {
+	return concurrentSweep(j, fmt.Sprintf("Multi-PingPong(%d pairs)", pairs), sizes,
+		func(c comm.Peer, maxSize int64) func(size int64) {
 			send, recv := pairBuffers(c, maxSize, 1)
 			peer := c.Rank() ^ 1
 			return func(size int64) {
-				sv := mem.IOVec{{Buf: send, Off: 0, Len: size}}
-				rv := mem.IOVec{{Buf: recv, Off: 0, Len: size}}
+				sv := comm.R(send, 0, size)
+				rv := comm.R(recv, 0, size)
 				if c.Rank()%2 == 0 {
 					c.Send(peer, 0, sv)
 					c.Recv(peer, 0, rv)
@@ -133,26 +133,25 @@ func MultiPingPong(st *core.Stack, sizes []int64) (MultiResult, error) {
 		},
 		func(size int64) int64 { return int64(2*pairs) * size },
 		2)
-	return res, err
 }
 
-// Sendrecv measures the IMB Sendrecv pattern: all ranks form a periodic
+// RunSendrecv measures the IMB Sendrecv pattern: all ranks form a periodic
 // chain, each rank sending to its right neighbour while receiving from its
 // left. Per IMB accounting each rank moves 2*size bytes per operation (one
 // sent, one received), so the aggregate counts 2*size*ranks.
-func Sendrecv(st *core.Stack, sizes []int64) (MultiResult, error) {
-	n := len(st.Ch.Endpoints)
+func RunSendrecv(j comm.Job, sizes []int64) (MultiResult, error) {
+	n := j.Size()
 	if n < 2 {
 		return MultiResult{}, fmt.Errorf("imb: Sendrecv needs >= 2 ranks, have %d", n)
 	}
-	return concurrentSweep(st, "Sendrecv", sizes,
-		func(c *mpi.Comm, maxSize int64) func(size int64) {
+	return concurrentSweep(j, "Sendrecv", sizes,
+		func(c comm.Peer, maxSize int64) func(size int64) {
 			send, recv := pairBuffers(c, maxSize, 1)
 			right := (c.Rank() + 1) % n
 			left := (c.Rank() - 1 + n) % n
 			return func(size int64) {
-				sv := mem.IOVec{{Buf: send, Off: 0, Len: size}}
-				rv := mem.IOVec{{Buf: recv, Off: 0, Len: size}}
+				sv := comm.R(send, 0, size)
+				rv := comm.R(recv, 0, size)
 				c.Sendrecv(right, 0, sv, left, 0, rv)
 			}
 		},
@@ -160,24 +159,24 @@ func Sendrecv(st *core.Stack, sizes []int64) (MultiResult, error) {
 		1)
 }
 
-// Exchange measures the IMB Exchange pattern: every rank exchanges with both
-// chain neighbours, posting both receives before both sends. Per IMB
+// RunExchange measures the IMB Exchange pattern: every rank exchanges with
+// both chain neighbours, posting both receives before both sends. Per IMB
 // accounting each rank moves 4*size bytes per operation (two sent, two
 // received), so the aggregate counts 4*size*ranks.
-func Exchange(st *core.Stack, sizes []int64) (MultiResult, error) {
-	n := len(st.Ch.Endpoints)
+func RunExchange(j comm.Job, sizes []int64) (MultiResult, error) {
+	n := j.Size()
 	if n < 2 {
 		return MultiResult{}, fmt.Errorf("imb: Exchange needs >= 2 ranks, have %d", n)
 	}
-	return concurrentSweep(st, "Exchange", sizes,
-		func(c *mpi.Comm, maxSize int64) func(size int64) {
+	return concurrentSweep(j, "Exchange", sizes,
+		func(c comm.Peer, maxSize int64) func(size int64) {
 			send, recv := pairBuffers(c, maxSize, 2)
 			right := (c.Rank() + 1) % n
 			left := (c.Rank() - 1 + n) % n
 			return func(size int64) {
-				sv := mem.IOVec{{Buf: send, Off: 0, Len: size}}
-				rvL := mem.IOVec{{Buf: recv, Off: 0, Len: size}}
-				rvR := mem.IOVec{{Buf: recv, Off: size, Len: size}}
+				sv := comm.R(send, 0, size)
+				rvL := comm.R(recv, 0, size)
+				rvR := comm.R(recv, size, size)
 				r1 := c.Irecv(left, 0, rvL)
 				r2 := c.Irecv(right, 0, rvR)
 				s1 := c.Isend(left, 0, sv)
@@ -187,4 +186,28 @@ func Exchange(st *core.Stack, sizes []int64) (MultiResult, error) {
 		},
 		func(size int64) int64 { return int64(4*n) * size },
 		1)
+}
+
+// MultiPingPong runs the sweep on a simulated stack.
+//
+// Deprecated: build a job (mpi.NewSimJob, or comm.NewJob for any engine)
+// and use RunMultiPingPong.
+func MultiPingPong(st *core.Stack, sizes []int64) (MultiResult, error) {
+	return RunMultiPingPong(mpi.NewSimJob(st), sizes)
+}
+
+// Sendrecv runs the sweep on a simulated stack.
+//
+// Deprecated: build a job (mpi.NewSimJob, or comm.NewJob for any engine)
+// and use RunSendrecv.
+func Sendrecv(st *core.Stack, sizes []int64) (MultiResult, error) {
+	return RunSendrecv(mpi.NewSimJob(st), sizes)
+}
+
+// Exchange runs the sweep on a simulated stack.
+//
+// Deprecated: build a job (mpi.NewSimJob, or comm.NewJob for any engine)
+// and use RunExchange.
+func Exchange(st *core.Stack, sizes []int64) (MultiResult, error) {
+	return RunExchange(mpi.NewSimJob(st), sizes)
 }

@@ -176,12 +176,17 @@ func (b *Buffer) FillPattern(seed uint64) {
 	if b.Phantom() {
 		panic("mem: FillPattern on a phantom buffer")
 	}
-	// One xorshift step yields the eight little-endian bytes of x; writing
-	// whole words keeps the pattern identical to the historical byte-at-a-
-	// time loop while filling large sweep buffers an order of magnitude
-	// faster.
+	FillPatternBytes(b.data, seed)
+}
+
+// FillPatternBytes writes the deterministic xorshift stream into any byte
+// slice — the single definition of the pattern every content check in the
+// repository compares against. One xorshift step yields the eight
+// little-endian bytes of x; writing whole words keeps the pattern
+// identical to the historical byte-at-a-time loop while filling large
+// sweep buffers an order of magnitude faster.
+func FillPatternBytes(data []byte, seed uint64) {
 	x := seed*2654435761 + 0x9e3779b97f4a7c15
-	data := b.data
 	n := len(data) &^ 7
 	for i := 0; i < n; i += 8 {
 		x ^= x << 13

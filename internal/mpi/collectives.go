@@ -1,11 +1,10 @@
 package mpi
 
 import (
-	"encoding/binary"
 	"fmt"
-	"knemesis/internal/hw"
-	"math"
 
+	"knemesis/internal/comm"
+	"knemesis/internal/hw"
 	"knemesis/internal/mem"
 )
 
@@ -76,37 +75,16 @@ func (c *Comm) Bcast(root int, vec mem.IOVec) {
 	}
 }
 
-// ReduceOp combines src into dst elementwise (len(dst) == len(src)).
-type ReduceOp func(dst, src []byte)
+// ReduceOp combines src into dst elementwise; the canonical definitions
+// and the standard operations live in the engine-neutral comm package.
+type ReduceOp = comm.ReduceOp
 
-// SumFloat64 adds float64 elements.
-func SumFloat64(dst, src []byte) {
-	for i := 0; i+8 <= len(dst); i += 8 {
-		d := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:]))
-		s := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
-		binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(d+s))
-	}
-}
-
-// SumInt64 adds int64 elements.
-func SumInt64(dst, src []byte) {
-	for i := 0; i+8 <= len(dst); i += 8 {
-		d := int64(binary.LittleEndian.Uint64(dst[i:]))
-		s := int64(binary.LittleEndian.Uint64(src[i:]))
-		binary.LittleEndian.PutUint64(dst[i:], uint64(d+s))
-	}
-}
-
-// MaxFloat64 keeps the elementwise maximum.
-func MaxFloat64(dst, src []byte) {
-	for i := 0; i+8 <= len(dst); i += 8 {
-		d := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:]))
-		s := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
-		if s > d {
-			binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(s))
-		}
-	}
-}
+// Standard reductions, re-exported from comm.
+var (
+	SumFloat64 = comm.SumFloat64
+	SumInt64   = comm.SumInt64
+	MaxFloat64 = comm.MaxFloat64
+)
 
 // Allreduce combines every rank's buf with op; all ranks end with the
 // result in buf. Recursive doubling for power-of-two sizes, otherwise

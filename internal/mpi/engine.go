@@ -1,0 +1,214 @@
+package mpi
+
+import (
+	"fmt"
+
+	"knemesis/internal/comm"
+	"knemesis/internal/core"
+	"knemesis/internal/mem"
+	"knemesis/internal/nemesis"
+	"knemesis/internal/topo"
+)
+
+// The "sim" engine: the deterministic discrete-event simulator behind every
+// paper artefact, exposed through the engine-neutral comm interface. The
+// adapter is a pass-through — every comm call maps 1:1 onto the same
+// mpi.Comm operation the pre-interface drivers issued, so simulation
+// results (and the recorded goldens) are bit-identical to the old direct
+// entry points.
+
+func init() {
+	comm.RegisterEngine(comm.Engine{
+		Name:  "sim",
+		Help:  "deterministic simulator of the paper's testbed (modelled caches, bus, KNEM, I/OAT)",
+		Order: 1,
+		NewJob: func(spec comm.JobSpec) (comm.Job, error) {
+			m := spec.Machine
+			if m == nil {
+				m = topo.XeonE5345()
+			}
+			cores := spec.Cores
+			if len(cores) == 0 {
+				if spec.Ranks > m.Cores {
+					return nil, fmt.Errorf("sim: machine %s has %d cores, requested %d ranks",
+						m.Name, m.Cores, spec.Ranks)
+				}
+				cores = m.AllCores()[:spec.Ranks]
+			}
+			if len(cores) != spec.Ranks {
+				return nil, fmt.Errorf("sim: %d cores pinned for %d ranks", len(cores), spec.Ranks)
+			}
+			lmt := spec.LMT
+			if lmt == "" {
+				lmt = string(core.DefaultLMT)
+			}
+			opt, err := core.ParseSpec(lmt)
+			if err != nil {
+				return nil, err
+			}
+			cfg := nemesis.Config{EagerMax: spec.EagerMax}
+			return NewSimJob(core.NewStack(m, cores, opt, cfg)), nil
+		},
+	})
+}
+
+// simJob adapts a wired stack to the engine-neutral Job interface.
+type simJob struct {
+	st *core.Stack
+	w  *World
+}
+
+// NewSimJob wraps an existing simulated stack as an engine-neutral job —
+// the bridge the deprecated stack-based benchmark entry points use.
+func NewSimJob(st *core.Stack) comm.Job {
+	return &simJob{st: st, w: NewWorld(st)}
+}
+
+// Stack returns the underlying simulated node (sim-only diagnostics).
+func (j *simJob) Stack() *core.Stack { return j.st }
+
+func (j *simJob) Size() int     { return j.w.Size }
+func (j *simJob) Label() string { return j.st.Ch.LMTName() }
+
+func (j *simJob) Describe() string {
+	return fmt.Sprintf("%s LMT (backend %s), machine %s, simulated time",
+		j.st.Ch.LMTName(), j.st.Ch.BackendName(), j.st.M.Topo.Name)
+}
+
+func (j *simJob) Run(app func(p comm.Peer)) error {
+	_, err := j.w.Run(func(c *Comm) { app(&simPeer{c: c}) })
+	return err
+}
+
+func (j *simJob) Usage() comm.Usage {
+	u := j.st.M.UtilizationReport()
+	return comm.Usage{
+		Elapsed:        u.Elapsed,
+		BusBytesServed: u.BusBytesServed,
+		BusCapacityBps: u.BusCapacityBps,
+		BusUtilization: u.BusUtilization,
+		CoreBusySec:    u.CoreBusySec,
+	}
+}
+
+func (j *simJob) MissLines() int64 { return j.st.M.L2MissLines() }
+
+// simPeer adapts one rank's mpi.Comm to the engine-neutral Peer.
+type simPeer struct {
+	c *Comm
+}
+
+func (p *simPeer) Rank() int          { return p.c.Rank() }
+func (p *simPeer) Size() int          { return p.c.Size() }
+func (p *simPeer) Elapsed() comm.Time { return p.c.Now() }
+func (p *simPeer) Alloc(n int64) comm.Buf {
+	return p.c.Alloc(n)
+}
+func (p *simPeer) AllocBench(n int64) comm.Buf { return p.c.AllocPhantom(n) }
+
+// simBuffer unwraps an engine-neutral handle back to simulated memory.
+func simBuffer(b comm.Buf) *mem.Buffer {
+	mb, ok := b.(*mem.Buffer)
+	if !ok {
+		panic(fmt.Sprintf("sim: buffer of type %T belongs to a different engine", b))
+	}
+	return mb
+}
+
+// vec converts a Range to the simulator's IOVec (nil for a zero Range).
+func vec(r comm.Range) mem.IOVec {
+	if r.Buf == nil {
+		return nil
+	}
+	return mem.IOVec{{Buf: simBuffer(r.Buf), Off: r.Off, Len: r.Len}}
+}
+
+// regions converts working-set ranges for Compute.
+func regions(ws []comm.Range) []mem.Region {
+	out := make([]mem.Region, 0, len(ws))
+	for _, r := range ws {
+		out = append(out, mem.Region{Buf: simBuffer(r.Buf), Off: r.Off, Len: r.Len})
+	}
+	return out
+}
+
+// mapSrc / mapTag translate the comm wildcards to the channel's sentinels.
+func mapSrc(src int) int {
+	if src == comm.AnySource {
+		return nemesis.AnySource
+	}
+	return src
+}
+
+func mapTag(tag int) int {
+	if tag == comm.AnyTag {
+		return nemesis.AnyTag
+	}
+	return tag
+}
+
+func (p *simPeer) Send(dst, tag int, r comm.Range) { p.c.Send(dst, tag, vec(r)) }
+
+func (p *simPeer) Recv(src, tag int, r comm.Range) comm.Status {
+	return status(p.c.Recv(mapSrc(src), mapTag(tag), vec(r)))
+}
+
+// simReq wraps a simulator request for the neutral interface.
+type simReq struct{ r *Request }
+
+func (q *simReq) Done() bool { return q.r.Done() }
+
+func (p *simPeer) Isend(dst, tag int, r comm.Range) comm.Request {
+	return &simReq{r: p.c.Isend(dst, tag, vec(r))}
+}
+
+func (p *simPeer) Irecv(src, tag int, r comm.Range) comm.Request {
+	return &simReq{r: p.c.Irecv(mapSrc(src), mapTag(tag), vec(r))}
+}
+
+func (p *simPeer) Wait(req comm.Request) comm.Status {
+	sr, ok := req.(*simReq)
+	if !ok {
+		panic(fmt.Sprintf("sim: waiting on a %T request from a different engine", req))
+	}
+	return status(p.c.Wait(sr.r))
+}
+
+func (p *simPeer) Waitall(reqs ...comm.Request) {
+	for _, r := range reqs {
+		p.Wait(r)
+	}
+}
+
+func (p *simPeer) Sendrecv(dst, sendTag int, s comm.Range, src, recvTag int, rv comm.Range) comm.Status {
+	return status(p.c.Sendrecv(dst, sendTag, vec(s), mapSrc(src), mapTag(recvTag), vec(rv)))
+}
+
+func status(st Status) comm.Status {
+	return comm.Status{Source: st.Source, Tag: st.Tag, Bytes: st.Bytes}
+}
+
+// Collectives delegate to the MPI layer's native, cost-modelled algorithms
+// (the generic comm algorithms would move content without charging
+// simulated time).
+
+func (p *simPeer) Barrier()                     { p.c.Barrier() }
+func (p *simPeer) Bcast(root int, r comm.Range) { p.c.Bcast(root, vec(r)) }
+
+func (p *simPeer) Allreduce(r comm.Range, op comm.ReduceOp) {
+	p.c.Allreduce(simBuffer(r.Buf).Slice(r.Off, r.Len), op)
+}
+
+func (p *simPeer) Alltoall(send, recv comm.Buf, block int64) {
+	p.c.Alltoall(simBuffer(send), simBuffer(recv), block)
+}
+
+func (p *simPeer) Alltoallv(send comm.Buf, sendCounts, sendDispls []int64,
+	recv comm.Buf, recvCounts, recvDispls []int64) {
+	p.c.Alltoallv(simBuffer(send), sendCounts, sendDispls,
+		simBuffer(recv), recvCounts, recvDispls)
+}
+
+func (p *simPeer) Compute(base comm.Time, ws ...comm.Range) {
+	p.c.Compute(base, regions(ws)...)
+}

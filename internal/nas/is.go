@@ -4,16 +4,16 @@ import (
 	"encoding/binary"
 	"fmt"
 
-	"knemesis/internal/mem"
-	"knemesis/internal/mpi"
-	"knemesis/internal/sim"
+	"knemesis/internal/comm"
 )
 
 // IS class B parameters (NPB 2.x): 2^25 keys in [0, 2^21), 10 ranking
 // iterations. The proxy is a real distributed bucket sort: keys are
 // generated deterministically, histogrammed, redistributed with Alltoallv
 // (the very large messages the paper highlights — ~2 MiB per rank pair per
-// iteration), counting-sorted locally, and globally verified.
+// iteration), counting-sorted locally, and globally verified. Because it is
+// written against comm.Peer and only touches real (content-addressable)
+// buffers, the same sort runs and verifies on every registered engine.
 const (
 	isTotalKeys = 1 << 25
 	isMaxKey    = 1 << 21
@@ -38,7 +38,7 @@ func ISSized(totalKeys, iters, procs int) Kernel {
 		Name: "is.scaled", Procs: procs, Iters: iters,
 		PaperDefaultSec: 2.34 * float64(totalKeys) / float64(isTotalKeys) * float64(iters) / float64(isIters),
 		WSBytes:         int64(totalKeys/procs) * 4,
-		Custom: func(c *mpi.Comm, computePerIter sim.Time) error {
+		Custom: func(c comm.Peer, computePerIter comm.Time) error {
 			return runISSized(c, computePerIter, totalKeys, iters)
 		},
 	}
@@ -54,12 +54,12 @@ func isKeyAt(rank int, i int) uint32 {
 }
 
 // runIS executes the full class-B benchmark on one rank.
-func runIS(c *mpi.Comm, computePerIter sim.Time) error {
+func runIS(c comm.Peer, computePerIter comm.Time) error {
 	return runISSized(c, computePerIter, isTotalKeys, isIters)
 }
 
 // runISSized is the IS implementation for an arbitrary key volume.
-func runISSized(c *mpi.Comm, computePerIter sim.Time, totalKeys, iters int) error {
+func runISSized(c comm.Peer, computePerIter comm.Time, totalKeys, iters int) error {
 	n := c.Size()
 	localKeys := totalKeys / n
 	keyBytes := int64(localKeys) * 4
@@ -77,7 +77,7 @@ func runISSized(c *mpi.Comm, computePerIter sim.Time, totalKeys, iters int) erro
 	cntSend := c.Alloc(int64(n) * 8)
 	cntRecv := c.Alloc(int64(n) * 8)
 
-	wsRegion := mem.Region{Buf: keys, Off: 0, Len: keyBytes}
+	wsRegion := comm.R(keys, 0, keyBytes)
 	var received int64
 
 	for iter := 0; iter < iters; iter++ {
@@ -171,10 +171,10 @@ func runISSized(c *mpi.Comm, computePerIter sim.Time, totalKeys, iters int) erro
 	binary.LittleEndian.PutUint32(edge.Bytes()[4:], minKey)
 	peerEdge := c.Alloc(8)
 	if c.Rank()+1 < n {
-		c.Send(c.Rank()+1, 900, mem.VecOf(edge))
+		c.Send(c.Rank()+1, 900, comm.Whole(edge))
 	}
 	if c.Rank() > 0 {
-		c.Recv(c.Rank()-1, 900, mem.VecOf(peerEdge))
+		c.Recv(c.Rank()-1, 900, comm.Whole(peerEdge))
 		leftMax := binary.LittleEndian.Uint32(peerEdge.Bytes())
 		if received > 0 && leftMax > minKey {
 			return fmt.Errorf("is: rank %d min key %d below left neighbour max %d",

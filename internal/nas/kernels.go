@@ -9,14 +9,17 @@
 // cache-modelled pass over the rank's working set. Calibration (see Run)
 // fixes each kernel's default-LMT time to the paper's default column, so
 // the other LMT columns are model predictions to compare against Table 1.
+//
+// Every kernel is written against the engine-neutral comm.Peer interface,
+// so the same source drives the simulator (Table 1) and any other
+// registered engine; only the Table 1 calibration runner (run.go) is
+// sim-specific, because it calibrates against the paper's wall times.
 package nas
 
 import (
 	"fmt"
 
-	"knemesis/internal/mem"
-	"knemesis/internal/mpi"
-	"knemesis/internal/sim"
+	"knemesis/internal/comm"
 	"knemesis/internal/units"
 )
 
@@ -29,31 +32,31 @@ type Kernel struct {
 	WSBytes         int64   // per-rank working set streamed each iteration
 
 	// Comm issues one iteration's communication. State buffers are
-	// prepared by Prepare (phantom payloads: content does not matter).
-	Prepare func(c *mpi.Comm) *RankState
-	Comm    func(c *mpi.Comm, s *RankState, iter int)
+	// prepared by Prepare (bench payloads: content does not matter).
+	Prepare func(c comm.Peer) *RankState
+	Comm    func(c comm.Peer, s *RankState, iter int)
 
 	// Custom, when set, replaces the generic skeleton loop entirely
 	// (IS uses this to run the real sort).
-	Custom func(c *mpi.Comm, computePerIter sim.Time) error
+	Custom func(c comm.Peer, computePerIter comm.Time) error
 }
 
 // RankState holds a rank's preallocated communication buffers.
 type RankState struct {
-	WS   *mem.Buffer // working set (phantom)
-	Bufs []*mem.Buffer
+	WS   comm.Buf // working set (content-free bench buffer)
+	Bufs []comm.Buf
 }
 
-// buf allocates (lazily growing the list) a phantom buffer of n bytes.
-func (s *RankState) buf(c *mpi.Comm, n int64) *mem.Buffer {
-	b := c.Space().AllocPhantom(n)
+// buf allocates (lazily growing the list) a bench buffer of n bytes.
+func (s *RankState) buf(c comm.Peer, n int64) comm.Buf {
+	b := c.AllocBench(n)
 	s.Bufs = append(s.Bufs, b)
 	return b
 }
 
 // exchange does a sendrecv of n bytes with a partner using preallocated
-// phantom buffers indexed by slot.
-func exchange(c *mpi.Comm, s *RankState, slot int, partner int, n int64, tag int) {
+// bench buffers indexed by slot.
+func exchange(c comm.Peer, s *RankState, slot int, partner int, n int64, tag int) {
 	if partner == c.Rank() || partner < 0 || partner >= c.Size() {
 		return
 	}
@@ -64,19 +67,17 @@ func exchange(c *mpi.Comm, s *RankState, slot int, partner int, n int64, tag int
 	if sb.Len() < n || rb.Len() < n {
 		panic(fmt.Sprintf("nas: slot %d buffers too small (%d < %d)", slot, sb.Len(), n))
 	}
-	c.Sendrecv(partner, tag, mem.IOVec{{Buf: sb, Off: 0, Len: n}},
-		partner, tag, mem.IOVec{{Buf: rb, Off: 0, Len: n}})
+	c.Sendrecv(partner, tag, comm.R(sb, 0, n), partner, tag, comm.R(rb, 0, n))
 }
 
 // prepareSlots preallocates exchange slots of the given byte sizes.
-func prepareSlots(c *mpi.Comm, ws int64, sizes ...int64) *RankState {
+func prepareSlots(c comm.Peer, ws int64, sizes ...int64) *RankState {
 	s := &RankState{}
-	sp := c.Space()
 	if ws > 0 {
-		s.WS = sp.AllocPhantom(ws)
+		s.WS = c.AllocBench(ws)
 	}
 	for _, n := range sizes {
-		s.Bufs = append(s.Bufs, sp.AllocPhantom(n), sp.AllocPhantom(n))
+		s.Bufs = append(s.Bufs, c.AllocBench(n), c.AllocBench(n))
 	}
 	return s
 }
@@ -103,10 +104,10 @@ func BT() Kernel {
 	return Kernel{
 		Name: "bt.B.4", Procs: 4, Iters: 200, PaperDefaultSec: 454.3,
 		WSBytes: 3 * units.MiB,
-		Prepare: func(c *mpi.Comm) *RankState {
+		Prepare: func(c comm.Peer) *RankState {
 			return prepareSlots(c, 3*units.MiB, face, face, face)
 		},
-		Comm: func(c *mpi.Comm, s *RankState, iter int) {
+		Comm: func(c comm.Peer, s *RankState, iter int) {
 			for dim := 0; dim < 3; dim++ {
 				partner := c.Rank() ^ (1 + dim%2)
 				exchange(c, s, dim, partner%c.Size(), face, 100+dim)
@@ -123,18 +124,18 @@ func CG() Kernel {
 	return Kernel{
 		Name: "cg.B.8", Procs: 8, Iters: 75, PaperDefaultSec: 60.26,
 		WSBytes: 4 * units.MiB,
-		Prepare: func(c *mpi.Comm) *RankState {
+		Prepare: func(c comm.Peer) *RankState {
 			s := prepareSlots(c, 4*units.MiB, row, row, row, row)
 			s.Bufs = append(s.Bufs, c.Alloc(16)) // allreduce scratch (real)
 			return s
 		},
-		Comm: func(c *mpi.Comm, s *RankState, iter int) {
+		Comm: func(c comm.Peer, s *RankState, iter int) {
 			for inner := 0; inner < 4; inner++ {
 				exchange(c, s, inner, c.Rank()^(1<<(inner%3)), row, 200+inner)
 			}
 			red := s.Bufs[len(s.Bufs)-1]
-			c.Allreduce(red, mpi.SumFloat64)
-			c.Allreduce(red, mpi.SumFloat64)
+			c.Allreduce(comm.Whole(red), comm.SumFloat64)
+			c.Allreduce(comm.Whole(red), comm.SumFloat64)
 		},
 	}
 }
@@ -144,14 +145,14 @@ func EP() Kernel {
 	return Kernel{
 		Name: "ep.B.4", Procs: 4, Iters: 10, PaperDefaultSec: 30.45,
 		WSBytes: 256 * units.KiB,
-		Prepare: func(c *mpi.Comm) *RankState {
+		Prepare: func(c comm.Peer) *RankState {
 			s := prepareSlots(c, 256*units.KiB)
 			s.Bufs = append(s.Bufs, c.Alloc(24))
 			return s
 		},
-		Comm: func(c *mpi.Comm, s *RankState, iter int) {
+		Comm: func(c comm.Peer, s *RankState, iter int) {
 			if iter == 9 { // final statistics reduction only
-				c.Allreduce(s.Bufs[len(s.Bufs)-1], mpi.SumFloat64)
+				c.Allreduce(comm.Whole(s.Bufs[len(s.Bufs)-1]), comm.SumFloat64)
 			}
 		},
 	}
@@ -165,16 +166,15 @@ func FT() Kernel {
 	return Kernel{
 		Name: "ft.B.8", Procs: 8, Iters: 20, PaperDefaultSec: 39.25,
 		WSBytes: 4 * units.MiB,
-		Prepare: func(c *mpi.Comm) *RankState {
+		Prepare: func(c comm.Peer) *RankState {
 			s := &RankState{}
-			sp := c.Space()
-			s.WS = sp.AllocPhantom(4 * units.MiB)
+			s.WS = c.AllocBench(4 * units.MiB)
 			s.Bufs = append(s.Bufs,
-				sp.AllocPhantom(block*int64(c.Size())),
-				sp.AllocPhantom(block*int64(c.Size())))
+				c.AllocBench(block*int64(c.Size())),
+				c.AllocBench(block*int64(c.Size())))
 			return s
 		},
-		Comm: func(c *mpi.Comm, s *RankState, iter int) {
+		Comm: func(c comm.Peer, s *RankState, iter int) {
 			c.Alltoall(s.Bufs[0], s.Bufs[1], block)
 		},
 	}
@@ -187,10 +187,10 @@ func LU() Kernel {
 	return Kernel{
 		Name: "lu.B.8", Procs: 8, Iters: 250, PaperDefaultSec: 85.83,
 		WSBytes: 2 * units.MiB,
-		Prepare: func(c *mpi.Comm) *RankState {
+		Prepare: func(c comm.Peer) *RankState {
 			return prepareSlots(c, 2*units.MiB, small, small, big)
 		},
-		Comm: func(c *mpi.Comm, s *RankState, iter int) {
+		Comm: func(c comm.Peer, s *RankState, iter int) {
 			for k := 0; k < 8; k++ {
 				exchange(c, s, k%2, c.Rank()^(1<<(k%3)), small, 400+k)
 			}
@@ -207,10 +207,10 @@ func MG() Kernel {
 	return Kernel{
 		Name: "mg.B.8", Procs: 8, Iters: 20, PaperDefaultSec: 7.81,
 		WSBytes: 3 * units.MiB,
-		Prepare: func(c *mpi.Comm) *RankState {
+		Prepare: func(c comm.Peer) *RankState {
 			return prepareSlots(c, 3*units.MiB, sizes...)
 		},
-		Comm: func(c *mpi.Comm, s *RankState, iter int) {
+		Comm: func(c comm.Peer, s *RankState, iter int) {
 			// Down and up the V-cycle: one exchange per level each way.
 			for lvl := len(sizes) - 1; lvl >= 0; lvl-- {
 				exchange(c, s, lvl, c.Rank()^(1<<(lvl%3)), sizes[lvl], 500+lvl)
@@ -229,10 +229,10 @@ func SP() Kernel {
 	return Kernel{
 		Name: "sp.B.8", Procs: 8, Iters: 400, PaperDefaultSec: 302.0,
 		WSBytes: 2 * units.MiB,
-		Prepare: func(c *mpi.Comm) *RankState {
+		Prepare: func(c comm.Peer) *RankState {
 			return prepareSlots(c, 2*units.MiB, face, face, face)
 		},
-		Comm: func(c *mpi.Comm, s *RankState, iter int) {
+		Comm: func(c comm.Peer, s *RankState, iter int) {
 			for dim := 0; dim < 3; dim++ {
 				exchange(c, s, dim, c.Rank()^(1<<dim), face, 600+dim)
 			}

@@ -3,8 +3,8 @@ package nas
 import (
 	"fmt"
 
+	"knemesis/internal/comm"
 	"knemesis/internal/core"
-	"knemesis/internal/mem"
 	"knemesis/internal/mpi"
 	"knemesis/internal/nemesis"
 	"knemesis/internal/sim"
@@ -33,25 +33,25 @@ func (k Kernel) Scaled(factor int) Kernel {
 	return k
 }
 
-// RunKernel executes the kernel on machine t under the LMT options with the
-// given calibrated per-iteration compute time.
-func RunKernel(k Kernel, t *topo.Machine, opt core.Options, computePerIter sim.Time) (RunResult, error) {
-	if k.Procs > t.Cores {
-		return RunResult{}, fmt.Errorf("nas: %s needs %d cores, machine has %d", k.Name, k.Procs, t.Cores)
+// RunOnJob executes the kernel once on any engine-neutral job (the job
+// must have k.Procs ranks) with the given per-iteration compute time, and
+// returns the job's elapsed time. The Table 1 pipeline wraps it with the
+// simulator and calibration; other engines can drive kernels directly.
+func RunOnJob(k Kernel, job comm.Job, computePerIter comm.Time) (RunResult, error) {
+	if job.Size() != k.Procs {
+		return RunResult{}, fmt.Errorf("nas: %s needs %d ranks, job has %d", k.Name, k.Procs, job.Size())
 	}
-	st := core.NewStack(t, t.AllCores()[:k.Procs], opt, nemesis.Config{})
-	w := mpi.NewWorld(st)
+	pre := job.Usage() // window the run: rt clocks start at world creation
 	errs := make([]error, k.Procs)
-
-	dur, err := w.Run(func(c *mpi.Comm) {
+	err := job.Run(func(c comm.Peer) {
 		if k.Custom != nil {
 			errs[c.Rank()] = k.Custom(c, computePerIter)
 			return
 		}
 		s := k.Prepare(c)
-		var ws []mem.Region
+		var ws []comm.Range
 		if s.WS != nil {
-			ws = append(ws, mem.Region{Buf: s.WS, Off: 0, Len: s.WS.Len()})
+			ws = append(ws, comm.Whole(s.WS))
 		}
 		c.Barrier()
 		for iter := 0; iter < k.Iters; iter++ {
@@ -61,14 +61,25 @@ func RunKernel(k Kernel, t *topo.Machine, opt core.Options, computePerIter sim.T
 		c.Barrier()
 	})
 	if err != nil {
-		return RunResult{}, fmt.Errorf("nas: %s (%s): %w", k.Name, opt.Label(), err)
+		return RunResult{}, fmt.Errorf("nas: %s (%s): %w", k.Name, job.Label(), err)
 	}
 	for rank, e := range errs {
 		if e != nil {
 			return RunResult{}, fmt.Errorf("nas: %s rank %d: %w", k.Name, rank, e)
 		}
 	}
-	return RunResult{Seconds: dur.Seconds(), L2MissLines: st.M.L2MissLines()}, nil
+	win := job.Usage().Sub(pre)
+	return RunResult{Seconds: win.Elapsed.Seconds(), L2MissLines: job.MissLines()}, nil
+}
+
+// RunKernel executes the kernel on machine t under the LMT options with the
+// given calibrated per-iteration compute time.
+func RunKernel(k Kernel, t *topo.Machine, opt core.Options, computePerIter sim.Time) (RunResult, error) {
+	if k.Procs > t.Cores {
+		return RunResult{}, fmt.Errorf("nas: %s needs %d cores, machine has %d", k.Name, k.Procs, t.Cores)
+	}
+	st := core.NewStack(t, t.AllCores()[:k.Procs], opt, nemesis.Config{})
+	return RunOnJob(k, mpi.NewSimJob(st), computePerIter)
 }
 
 // Calibrate determines the per-iteration compute constant such that the

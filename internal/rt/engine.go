@@ -1,0 +1,245 @@
+package rt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"knemesis/internal/comm"
+)
+
+// The "rt" engine: the real goroutine runtime exposed through the
+// engine-neutral comm interface. Buffers are ordinary byte slices, time is
+// the wall clock, and the collectives are the generic comm algorithms —
+// the engine-specific parallel implementations this package used to carry
+// were deleted in favour of them.
+
+func init() {
+	comm.RegisterEngine(comm.Engine{
+		Name:  "rt",
+		Help:  "real goroutine runtime (wall-clock time, native single-copy rendezvous)",
+		Order: 2,
+		NewJob: func(spec comm.JobSpec) (comm.Job, error) {
+			mode, err := ParseMode(spec.RTMode)
+			if err != nil {
+				return nil, err
+			}
+			cfg := Config{Large: mode, RndvThreshold: int(spec.EagerMax)}
+			if cfg.RndvThreshold > defaultCellBytes {
+				// withDefaults clamps the threshold to the cell size, so
+				// an above-default EagerMax must grow the cells with it.
+				cfg.CellBytes = cfg.RndvThreshold
+			}
+			return NewJob(NewWorld(spec.Ranks, cfg)), nil
+		},
+	})
+}
+
+// ModeNames lists the large-message strategies in definition order (the
+// CLIs' -rtmode values).
+func ModeNames() []string { return []string{"eager", "single-copy", "offload"} }
+
+// ParseMode resolves a strategy name ("" selects the SingleCopy default).
+func ParseMode(name string) (LargeMode, error) {
+	switch name {
+	case "", SingleCopy.String():
+		return SingleCopy, nil
+	case Eager.String():
+		return Eager, nil
+	case Offload.String():
+		return Offload, nil
+	default:
+		return 0, fmt.Errorf("rt: unknown mode %q (have eager|single-copy|offload)", name)
+	}
+}
+
+// rtJob adapts a World to the engine-neutral Job interface.
+type rtJob struct {
+	w *World
+}
+
+// NewJob wraps a world as an engine-neutral job. Like the world's own Run,
+// the job is single-use: Run shuts the copier pool down when it returns.
+func NewJob(w *World) comm.Job { return &rtJob{w: w} }
+
+func (j *rtJob) Size() int     { return j.w.Size() }
+func (j *rtJob) Label() string { return j.w.cfg.Large.String() }
+
+func (j *rtJob) Describe() string {
+	return fmt.Sprintf("%s mode, goroutine ranks, wall clock", j.Label())
+}
+
+func (j *rtJob) Run(app func(p comm.Peer)) error {
+	return j.w.Run(func(r *Rank) { app(r.peer()) })
+}
+
+// Usage reports wall-clock elapsed time only: the real runtime has no
+// hardware model to attribute bus or per-core figures to.
+func (j *rtJob) Usage() comm.Usage { return comm.Usage{Elapsed: j.w.elapsed()} }
+
+func (j *rtJob) MissLines() int64 { return 0 }
+
+// elapsed returns wall time since the world was created. Measurement
+// windows difference two readings, so the base is immaterial.
+func (w *World) elapsed() comm.Time { return comm.FromDuration(time.Since(w.start)) }
+
+// byteBuf is the rt buffer handle: a plain slice.
+type byteBuf []byte
+
+func (b byteBuf) Len() int64    { return int64(len(b)) }
+func (b byteBuf) Bytes() []byte { return b }
+
+// rtBytes unwraps a Range to the slice the runtime moves (nil for a zero
+// Range).
+func rtBytes(r comm.Range) []byte {
+	if r.Buf == nil {
+		return nil
+	}
+	b, ok := r.Buf.(byteBuf)
+	if !ok {
+		panic(fmt.Sprintf("rt: buffer of type %T belongs to a different engine", r.Buf))
+	}
+	return b[r.Off : r.Off+r.Len]
+}
+
+// mapSrc / mapTag translate the comm wildcards to the runtime's sentinels.
+func mapSrc(src int) int {
+	if src == comm.AnySource {
+		return AnySource
+	}
+	return src
+}
+
+func mapTag(tag int) int {
+	if tag == comm.AnyTag {
+		return AnyTag
+	}
+	return tag
+}
+
+// rtPeer adapts one Rank to the engine-neutral Peer.
+type rtPeer struct {
+	r *Rank
+}
+
+// peer returns the rank's engine-neutral handle; the deprecated collective
+// wrappers below share it (and the rank's collective tag sequence).
+func (r *Rank) peer() *rtPeer { return &rtPeer{r: r} }
+
+func (p *rtPeer) Rank() int                   { return p.r.rank }
+func (p *rtPeer) Size() int                   { return p.r.Size() }
+func (p *rtPeer) Elapsed() comm.Time          { return p.r.w.elapsed() }
+func (p *rtPeer) Alloc(n int64) comm.Buf      { return byteBuf(make([]byte, n)) }
+func (p *rtPeer) AllocBench(n int64) comm.Buf { return byteBuf(make([]byte, n)) }
+
+func (p *rtPeer) Send(dst, tag int, r comm.Range) { p.r.Send(dst, tag, rtBytes(r)) }
+
+func (p *rtPeer) Recv(src, tag int, r comm.Range) comm.Status {
+	return status(p.r.Recv(mapSrc(src), mapTag(tag), rtBytes(r)))
+}
+
+// rtReq wraps a runtime request for the neutral interface.
+type rtReq struct{ r *Request }
+
+func (q *rtReq) Done() bool { return q.r.Done() }
+
+func (p *rtPeer) Isend(dst, tag int, r comm.Range) comm.Request {
+	return &rtReq{r: p.r.Isend(dst, tag, rtBytes(r))}
+}
+
+func (p *rtPeer) Irecv(src, tag int, r comm.Range) comm.Request {
+	return &rtReq{r: p.r.Irecv(mapSrc(src), mapTag(tag), rtBytes(r))}
+}
+
+func (p *rtPeer) Wait(req comm.Request) comm.Status {
+	rr, ok := req.(*rtReq)
+	if !ok {
+		panic(fmt.Sprintf("rt: waiting on a %T request from a different engine", req))
+	}
+	return status(p.r.Wait(rr.r))
+}
+
+func (p *rtPeer) Waitall(reqs ...comm.Request) {
+	for _, r := range reqs {
+		p.Wait(r)
+	}
+}
+
+func (p *rtPeer) Sendrecv(dst, sendTag int, s comm.Range, src, recvTag int, rv comm.Range) comm.Status {
+	return status(p.r.Sendrecv(dst, sendTag, rtBytes(s), mapSrc(src), mapTag(recvTag), rtBytes(rv)))
+}
+
+func status(st Status) comm.Status {
+	return comm.Status{Source: st.Source, Tag: st.Tag, Bytes: int64(st.N)}
+}
+
+// Collectives: the generic comm algorithms, sequenced by the rank's tag
+// counter.
+
+func (p *rtPeer) Barrier() { comm.GenericBarrier(p, &p.r.collSeq) }
+
+func (p *rtPeer) Bcast(root int, r comm.Range) { comm.GenericBcast(p, &p.r.collSeq, root, r) }
+
+func (p *rtPeer) Allreduce(r comm.Range, op comm.ReduceOp) {
+	comm.GenericAllreduce(p, &p.r.collSeq, r, op)
+}
+
+func (p *rtPeer) Alltoall(send, recv comm.Buf, block int64) {
+	comm.GenericAlltoall(p, &p.r.collSeq, send, recv, block)
+}
+
+func (p *rtPeer) Alltoallv(send comm.Buf, sendCounts, sendDispls []int64,
+	recv comm.Buf, recvCounts, recvDispls []int64) {
+	comm.GenericAlltoallv(p, &p.r.collSeq, send, sendCounts, sendDispls,
+		recv, recvCounts, recvDispls)
+}
+
+// Compute is a no-op: the proxy kernels' computation is modelled, and the
+// real runtime has nothing to model it on.
+func (p *rtPeer) Compute(base comm.Time, ws ...comm.Range) {}
+
+// Deprecated direct collective entry points, kept for one release as thin
+// wrappers over the generic algorithms (the parallel implementations that
+// used to live in collectives.go are gone).
+
+// Barrier synchronizes all ranks.
+//
+// Deprecated: use the comm.Peer handle (Job.Run) instead.
+func (r *Rank) Barrier() { r.peer().Barrier() }
+
+// Bcast broadcasts root's buf to every rank.
+//
+// Deprecated: use the comm.Peer handle (Job.Run) instead.
+func (r *Rank) Bcast(root int, buf []byte) {
+	r.peer().Bcast(root, comm.Whole(byteBuf(buf)))
+}
+
+// Alltoall exchanges equal blocks: send and recv hold Size() blocks of
+// block bytes each.
+//
+// Deprecated: use the comm.Peer handle (Job.Run) instead.
+func (r *Rank) Alltoall(send, recv []byte, block int) {
+	r.peer().Alltoall(byteBuf(send), byteBuf(recv), int64(block))
+}
+
+// AllreduceF64 combines each rank's vector elementwise with combine; every
+// rank ends with the result.
+//
+// Deprecated: use the comm.Peer handle (Job.Run) instead.
+func (r *Rank) AllreduceF64(data []float64, combine func(a, b float64) float64) {
+	buf := byteBuf(make([]byte, len(data)*8))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	r.peer().Allreduce(comm.Whole(buf), func(dst, src []byte) {
+		for i := 0; i+8 <= len(dst); i += 8 {
+			a := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:]))
+			b := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+			binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(combine(a, b)))
+		}
+	})
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // LargeMode selects the large-message strategy, mirroring the paper's LMT
@@ -50,12 +51,16 @@ type Config struct {
 	CellBytes int
 }
 
+// defaultCellBytes sizes eager copy cells (and so the default rendezvous
+// threshold) when the Config leaves them zero.
+const defaultCellBytes = 64 * 1024
+
 func (c Config) withDefaults() Config {
 	if c.RndvThreshold == 0 {
-		c.RndvThreshold = 64 * 1024
+		c.RndvThreshold = defaultCellBytes
 	}
 	if c.CellBytes == 0 {
-		c.CellBytes = 64 * 1024
+		c.CellBytes = defaultCellBytes
 	}
 	if c.RndvThreshold > c.CellBytes {
 		c.RndvThreshold = c.CellBytes
@@ -73,6 +78,7 @@ func (c Config) withDefaults() Config {
 type World struct {
 	cfg   Config
 	ranks []*Rank
+	start time.Time // wall-clock base for the engine-neutral Clock
 
 	cells   sync.Pool
 	copyq   chan copyJob
@@ -97,7 +103,7 @@ func NewWorld(n int, cfg Config) *World {
 		panic("rt: world needs at least one rank")
 	}
 	cfg = cfg.withDefaults()
-	w := &World{cfg: cfg, copyq: make(chan copyJob, 128)}
+	w := &World{cfg: cfg, copyq: make(chan copyJob, 128), start: time.Now()}
 	w.cells.New = func() any { return make([]byte, cfg.CellBytes) }
 	for r := 0; r < n; r++ {
 		w.ranks = append(w.ranks, newRank(w, r))
