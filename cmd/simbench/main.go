@@ -1,18 +1,22 @@
 // Command simbench runs the repository's benchmark workloads — the Figure
-// 3-7 sweeps, the §3.5 threshold study and the multipair contention sweep —
-// outside `go test`, measures the simulator's wall-clock cost per workload,
-// and records the (deterministic) simulation results alongside in a typed
-// JSON artefact. BENCH_3.json at the repository root is the committed
-// baseline; CI re-runs the workloads and compares:
+// 3-7 sweeps, the §3.5 threshold study, the multipair contention sweep and
+// (since BENCH_5) the real-runtime fast-path workloads — outside `go test`,
+// measures wall-clock cost per workload, and records the results in a typed
+// JSON artefact. BENCH_5.json at the repository root is the committed
+// baseline (BENCH_3.json remains the sim-only artefact from the PR that
+// recorded it); CI re-runs the workloads and compares:
 //
 //   - simulation-result drift beyond the tolerance FAILS the build (the
 //     model changed; regenerate the baseline deliberately with -out),
-//   - wall-time regressions only WARN (timings are hardware-dependent).
+//   - measured rt performance (perf metrics) and wall-time regressions
+//     only WARN (they are hardware-dependent) — but an rt deadlock,
+//     panic or error still fails the run.
 //
 // Usage:
 //
-//	simbench -out BENCH_3.json       # write/refresh the committed baseline
-//	simbench -check BENCH_3.json     # compare a fresh run to the baseline
+//	simbench -out BENCH_5.json            # write/refresh the committed baseline
+//	simbench -check BENCH_5.json          # compare a fresh run to the baseline
+//	simbench -rt=false -check BENCH_3.json  # sim-only workloads vs the old artefact
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 	"knemesis/internal/knem"
 	"knemesis/internal/mpi"
 	"knemesis/internal/nemesis"
+	"knemesis/internal/profiling"
 	"knemesis/internal/topo"
 	"knemesis/internal/units"
 )
@@ -53,30 +58,51 @@ type Suite struct {
 }
 
 // Workload is one benchmark workload: its wall-clock cost on the machine
-// that wrote the file plus its deterministic simulation metrics.
+// that wrote the file plus its deterministic simulation metrics and/or its
+// measured (hardware-dependent) performance metrics.
 type Workload struct {
 	Name    string             `json:"name"`
 	WallSec float64            `json:"wall_sec"`
-	Sim     map[string]float64 `json:"sim"`
+	Sim     map[string]float64 `json:"sim,omitempty"`
+	// Perf holds measured real-runtime metrics (msgs/s, MiB/s). Unlike Sim
+	// they vary with the machine and run, so -check only warns on drift —
+	// but the workloads still run under the gate, so a deadlock, crash or
+	// collapse in the rt engine fails CI.
+	Perf map[string]float64 `json:"perf,omitempty"`
 }
 
 // simTolerance is the relative simulation-result drift that fails -check.
 const simTolerance = 0.20
+
+// perfWarnTolerance is the relative measured-performance drift (in either
+// direction) that triggers a warning; measured metrics never fail -check.
+const perfWarnTolerance = 0.5
 
 // wallWarnFactor is the total wall-time growth that triggers the warning.
 const wallWarnFactor = 1.5
 
 func main() {
 	var (
-		out   = flag.String("out", "", "write the benchmark artefact to this file")
-		check = flag.String("check", "", "run the workloads and compare against this baseline file")
+		out        = flag.String("out", "", "write the benchmark artefact to this file")
+		check      = flag.String("check", "", "run the workloads and compare against this baseline file")
+		withRT     = flag.Bool("rt", true, "include the real-runtime (rt) workloads")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if (*out == "") == (*check == "") {
 		fatal(fmt.Errorf("exactly one of -out or -check is required"))
 	}
 
-	cur := File{Schema: 1, Workloads: runWorkloads()}
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+
+	cur := File{Schema: 2, Workloads: runWorkloads(*withRT)}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "simbench: profile:", err)
+	}
 
 	if *out != "" {
 		// Preserve the hand-recorded suite section across regenerations.
@@ -117,7 +143,8 @@ func readFile(path string) (File, error) {
 	return f, nil
 }
 
-// compare fails on simulation drift and warns on wall-time growth.
+// compare fails on simulation drift and warns on wall-time growth and on
+// measured-performance (Perf) drift.
 func compare(base, cur File) error {
 	baseWl := make(map[string]Workload, len(base.Workloads))
 	for _, w := range base.Workloads {
@@ -134,6 +161,14 @@ func compare(base, cur File) error {
 		}
 		baseWall += b.WallSec
 		delete(baseWl, w.Name)
+		for _, name := range sortedKeys(w.Perf) {
+			got, want := w.Perf[name], b.Perf[name]
+			if want > 0 && !within(got, want, perfWarnTolerance) {
+				fmt.Fprintf(os.Stderr,
+					"simbench: WARNING: %s %s: %.3g, baseline %.3g (measured metric, informational only)\n",
+					w.Name, name, got, want)
+			}
+		}
 		for _, name := range sortedKeys(w.Sim) {
 			got := w.Sim[name]
 			want, ok := b.Sim[name]
@@ -205,7 +240,14 @@ func sortedKeys(m map[string]float64) []string {
 // pingSizes mirrors bench_test.go's reduced sweep.
 var pingSizes = []int64{256 * units.KiB, 1 * units.MiB, 4 * units.MiB}
 
-func runWorkloads() []Workload {
+// rt perf workload scale: fixed work so runs are comparable as seconds.
+const (
+	rtMsgRateRounds = 200_000
+	rtStreamMsgs    = 150
+	rtStreamBytes   = int(4 * units.MiB)
+)
+
+func runWorkloads(withRT bool) []Workload {
 	var out []Workload
 	add := func(name string, run func() (map[string]float64, error)) {
 		start := time.Now()
@@ -218,6 +260,42 @@ func runWorkloads() []Workload {
 			WallSec: time.Since(start).Seconds(),
 			Sim:     sim,
 		})
+	}
+	addPerf := func(name string, run func() (map[string]float64, error)) {
+		start := time.Now()
+		perf, err := run()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		out = append(out, Workload{
+			Name:    name,
+			WallSec: time.Since(start).Seconds(),
+			Perf:    perf,
+		})
+	}
+	addRT := func() {
+		// Real-runtime fast-path workloads: message rate at fastbox sizes,
+		// stream bandwidth at rendezvous sizes, per large-message mode.
+		for _, size := range []int{64, 256} {
+			size := size
+			addPerf(fmt.Sprintf("rt/msgrate/%dB", size), func() (map[string]float64, error) {
+				pt, err := experiments.RTMsgRate("single-copy", size, rtMsgRateRounds)
+				if err != nil {
+					return nil, err
+				}
+				return map[string]float64{"msgs/s": pt.MsgsPerS}, nil
+			})
+		}
+		for _, mode := range []string{"eager", "single-copy", "offload"} {
+			mode := mode
+			addPerf("rt/streambw/4MiB/"+mode, func() (map[string]float64, error) {
+				pt, err := experiments.RTStreamBW(mode, rtStreamBytes, rtStreamMsgs)
+				if err != nil {
+					return nil, err
+				}
+				return map[string]float64{"MiB/s": pt.MiBps}, nil
+			})
+		}
 	}
 
 	type ppCase struct {
@@ -264,6 +342,9 @@ func runWorkloads() []Workload {
 
 	add("thresholds", thresholds)
 	add("multipair", multipair)
+	if withRT {
+		addRT()
+	}
 	return out
 }
 

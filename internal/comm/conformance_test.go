@@ -39,7 +39,10 @@ func conformanceCases() []confCase {
 		{"zero-byte-message", 2, zeroByteMessage},
 		{"tag-selective-matching", 2, tagSelectiveMatching},
 		{"fifo-order-per-pair", 2, fifoOrderPerPair},
+		{"fifo-order-per-src-tag", 2, fifoOrderPerSrcTag},
 		{"wildcard-source-and-tag", 4, wildcardSourceAndTag},
+		{"wildcard-priority-over-later-exact", 2, wildcardPriorityOverLaterExact},
+		{"unexpected-posted-interleave", 2, unexpectedPostedInterleave},
 		{"sendrecv-ring-no-deadlock", 4, sendrecvRingNoDeadlock},
 		{"waitall-out-of-order-completion", 2, waitallOutOfOrder},
 		{"unexpected-before-post", 2, unexpectedBeforePost},
@@ -52,15 +55,28 @@ func conformanceCases() []confCase {
 var realEngines = []string{"sim", "rt"}
 
 func TestConformanceAcrossEngines(t *testing.T) {
-	for _, engine := range realEngines {
-		engine := engine
-		t.Run(engine, func(t *testing.T) {
+	// The sim engine runs the suite once; the rt engine runs it under
+	// every large-message mode, so the fastbox + hashed-matching data
+	// path is held to the contract on each of its transfer strategies.
+	type target struct{ engine, rtmode string }
+	targets := []target{{engine: "sim"}}
+	for _, mode := range rt.ModeNames() {
+		targets = append(targets, target{engine: "rt", rtmode: mode})
+	}
+	for _, tg := range targets {
+		tg := tg
+		name := tg.engine
+		if tg.rtmode != "" {
+			name += "/" + tg.rtmode
+		}
+		t.Run(name, func(t *testing.T) {
 			for _, tc := range conformanceCases() {
 				tc := tc
 				t.Run(tc.name, func(t *testing.T) {
-					job, err := comm.NewJob(engine, comm.JobSpec{
+					job, err := comm.NewJob(tg.engine, comm.JobSpec{
 						Ranks:    tc.ranks,
 						EagerMax: confEagerMax,
+						RTMode:   tg.rtmode,
 					})
 					if err != nil {
 						t.Fatal(err)
@@ -172,6 +188,128 @@ func fifoOrderPerPair(t *testing.T, c comm.Peer) {
 				return
 			}
 			verify(t, buf, 0, st.Bytes, i)
+		}
+	}
+}
+
+// Matching order is FIFO within each (source, tag) pair even when tags
+// interleave: receiving one tag's stream out of band must not disturb the
+// other's order. (Sends are nonblocking so the out-of-order receive side
+// cannot deadlock against rendezvous handshakes.)
+func fifoOrderPerSrcTag(t *testing.T, c comm.Peer) {
+	const perTag = 6
+	sizeOf := func(i int) int64 {
+		if i%2 == 0 {
+			return rendezvousLen
+		}
+		return eagerBytes
+	}
+	switch c.Rank() {
+	case 0:
+		var reqs []comm.Request
+		var bufs []comm.Buf
+		for i := 0; i < perTag; i++ {
+			for _, tag := range []int{1, 2} {
+				buf := c.Alloc(sizeOf(i))
+				fill(buf, 100*tag+i)
+				bufs = append(bufs, buf)
+				reqs = append(reqs, c.Isend(1, tag, comm.Whole(buf)))
+			}
+		}
+		c.Waitall(reqs...)
+		_ = bufs
+	case 1:
+		// Drain tag 2's stream first, then tag 1's: each must still be
+		// in its own send order.
+		for _, tag := range []int{2, 1} {
+			for i := 0; i < perTag; i++ {
+				buf := c.Alloc(rendezvousLen)
+				st := c.Recv(0, tag, comm.R(buf, 0, rendezvousLen))
+				if st.Bytes != sizeOf(i) {
+					t.Errorf("tag %d message %d: %d bytes, want %d (out of order?)",
+						tag, i, st.Bytes, sizeOf(i))
+					return
+				}
+				verify(t, buf, 0, st.Bytes, 100*tag+i)
+			}
+		}
+	}
+}
+
+// MPI matching order: an arriving message goes to the oldest satisfiable
+// posted receive. A wildcard receive posted before an exact receive must
+// win the first matching message even though the exact one names it.
+func wildcardPriorityOverLaterExact(t *testing.T, c comm.Peer) {
+	const tag = 7
+	switch c.Rank() {
+	case 0:
+		c.Recv(1, 99, comm.Range{}) // wait until both receives are posted
+		a, b := c.Alloc(eagerBytes), c.Alloc(eagerBytes)
+		fill(a, 1)
+		fill(b, 2)
+		c.Waitall(c.Isend(1, tag, comm.Whole(a)), c.Isend(1, tag, comm.Whole(b)))
+	case 1:
+		wild, exact := c.Alloc(eagerBytes), c.Alloc(eagerBytes)
+		wildReq := c.Irecv(comm.AnySource, comm.AnyTag, comm.Whole(wild))
+		exactReq := c.Irecv(0, tag, comm.Whole(exact))
+		c.Send(0, 99, comm.Range{})
+		wildSt := c.Wait(wildReq)
+		exactSt := c.Wait(exactReq)
+		if wildSt.Source != 0 || wildSt.Tag != tag {
+			t.Errorf("wildcard receive completed with %+v", wildSt)
+		}
+		if exactSt.Tag != tag {
+			t.Errorf("exact receive completed with %+v", exactSt)
+		}
+		verify(t, wild, 0, eagerBytes, 1)  // first message → older wildcard post
+		verify(t, exact, 0, eagerBytes, 2) // second message → exact post
+	}
+}
+
+// Interleaved unexpected/posted races: one phase receives messages that
+// are already queued unexpected (posting in a different order than they
+// were sent), the next posts receives before the sends exist — per-(src,
+// tag) FIFO must hold throughout, at eager and rendezvous sizes.
+func unexpectedPostedInterleave(t *testing.T, c comm.Peer) {
+	sizes := []int64{eagerBytes, rendezvousLen}
+	for _, n := range sizes {
+		switch c.Rank() {
+		case 0:
+			// Phase 1: everything lands unexpected (handshake after).
+			var reqs []comm.Request
+			for i, tag := range []int{3, 4, 3} {
+				buf := c.Alloc(n)
+				fill(buf, 10*tag+i)
+				reqs = append(reqs, c.Isend(1, tag, comm.Whole(buf)))
+			}
+			c.Send(1, 99, comm.Range{})
+			c.Waitall(reqs...)
+			// Phase 2: the receives are already posted (handshake first).
+			c.Recv(1, 98, comm.Range{})
+			for i, tag := range []int{6, 5} {
+				buf := c.Alloc(n)
+				fill(buf, 10*tag+i)
+				c.Send(1, tag, comm.Whole(buf))
+			}
+		case 1:
+			c.Recv(0, 99, comm.Range{})
+			// Tag 4 first although it arrived second; then tag 3's two
+			// messages in their own send order.
+			for _, want := range []struct{ tag, seed int }{{4, 41}, {3, 30}, {3, 32}} {
+				buf := c.Alloc(n)
+				st := c.Recv(0, want.tag, comm.Whole(buf))
+				if st.Bytes != n {
+					t.Errorf("tag %d: %d bytes, want %d", want.tag, st.Bytes, n)
+				}
+				verify(t, buf, 0, n, want.seed)
+			}
+			b5, b6 := c.Alloc(n), c.Alloc(n)
+			r5 := c.Irecv(0, 5, comm.Whole(b5))
+			r6 := c.Irecv(0, 6, comm.Whole(b6))
+			c.Send(0, 98, comm.Range{})
+			c.Waitall(r5, r6)
+			verify(t, b5, 0, n, 51)
+			verify(t, b6, 0, n, 60)
 		}
 	}
 }

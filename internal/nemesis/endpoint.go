@@ -107,17 +107,29 @@ type Endpoint struct {
 
 	sendReqs map[uint64]*SendReq
 
+	// Per-destination send sequencing (MPICH's VC send-queue semantics):
+	// sendTicket hands out positions at Isend time, sendTurn tracks how
+	// many sends to that destination have enqueued their envelope. A send
+	// may not enqueue before its turn, so matching order equals program
+	// order even when an earlier eager send stalls on cell flow control
+	// (otherwise a later RTS could overtake it and break the MPI
+	// non-overtaking rule — caught by the cross-engine conformance suite).
+	sendTicket map[int]uint64
+	sendTurn   map[int]uint64
+
 	opSeq int // names spawned protocol processes
 }
 
 func newEndpoint(ch *Channel, rank int, core topo.CoreID) *Endpoint {
 	ep := &Endpoint{
-		Ch:       ch,
-		Rank:     rank,
-		Core:     core,
-		Space:    ch.M.Mem.NewSpace(fmt.Sprintf("rank%d", rank)),
-		activity: sim.NewCond(ch.M.Eng, fmt.Sprintf("ep%d", rank)),
-		sendReqs: make(map[uint64]*SendReq),
+		Ch:         ch,
+		Rank:       rank,
+		Core:       core,
+		Space:      ch.M.Mem.NewSpace(fmt.Sprintf("rank%d", rank)),
+		activity:   sim.NewCond(ch.M.Eng, fmt.Sprintf("ep%d", rank)),
+		sendReqs:   make(map[uint64]*SendReq),
+		sendTicket: make(map[int]uint64),
+		sendTurn:   make(map[int]uint64),
 	}
 	for i := 0; i < ch.Cfg.CellsPerRank; i++ {
 		ep.freeCells = append(ep.freeCells, &cell{buf: ch.Shm.Alloc(CellBytes), owner: ep})

@@ -18,8 +18,10 @@ func (ep *Endpoint) Isend(dst, tag int, vec mem.IOVec) *SendReq {
 	}
 	ep.Ch.validRank(dst)
 	req := &SendReq{ep: ep}
+	tick := ep.sendTicket[dst]
+	ep.sendTicket[dst] = tick + 1
 	ep.Ch.M.Eng.Spawn(ep.spawnName("send"), func(p *sim.Proc) {
-		ep.runSend(p, req, dst, tag, vec)
+		ep.runSend(p, req, dst, tag, vec, tick)
 	})
 	return req
 }
@@ -67,14 +69,21 @@ func (ep *Endpoint) WaitAll(p *sim.Proc, reqs ...Waiter) {
 	}
 }
 
-// runSend executes the send protocol.
-func (ep *Endpoint) runSend(p *sim.Proc, req *SendReq, dst, tag int, vec mem.IOVec) {
+// runSend executes the send protocol. tick is the send's per-destination
+// position: the envelope may not be enqueued before every earlier send to
+// dst has enqueued its own, preserving matching order (see Endpoint).
+func (ep *Endpoint) runSend(p *sim.Proc, req *SendReq, dst, tag int, vec mem.IOVec, tick uint64) {
 	ch := ep.Ch
 	size := vec.TotalLen()
 	ch.BytesSent += size
 
+	for ep.sendTurn[dst] != tick {
+		ep.waitEvent(p)
+	}
+
 	if ch.lmt == nil || size <= ch.Cfg.EagerMax {
 		ep.eagerSend(p, dst, tag, vec)
+		ep.bumpSendTurn(dst)
 		req.done = true
 		ep.notify()
 		return
@@ -98,6 +107,7 @@ func (ep *Endpoint) runSend(p *sim.Proc, req *SendReq, dst, tag int, vec mem.IOV
 	ep.sendPacket(p, &packet{
 		typ: pktRTS, src: ep.Rank, dst: dst, tag: tag, seq: t.Seq, size: size, cookie: cookie,
 	})
+	ep.bumpSendTurn(dst)
 
 	if wantsCTS {
 		for !t.ctsSeen {
@@ -112,6 +122,13 @@ func (ep *Endpoint) runSend(p *sim.Proc, req *SendReq, dst, tag int, vec mem.IOV
 	}
 	delete(ep.sendReqs, t.Seq)
 	req.done = true
+	ep.notify()
+}
+
+// bumpSendTurn records that the current send to dst has enqueued its
+// envelope, releasing the next send in program order.
+func (ep *Endpoint) bumpSendTurn(dst int) {
+	ep.sendTurn[dst]++
 	ep.notify()
 }
 

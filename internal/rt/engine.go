@@ -139,17 +139,31 @@ func (p *rtPeer) Recv(src, tag int, r comm.Range) comm.Status {
 	return status(p.r.Recv(mapSrc(src), mapTag(tag), rtBytes(r)))
 }
 
-// rtReq wraps a runtime request for the neutral interface.
-type rtReq struct{ r *Request }
+// rtReq wraps a runtime request for the neutral interface. Requests are
+// pooled and recycled at Wait, so the wrapper snapshots the generation it
+// was issued against: a generation mismatch means the request completed,
+// was waited and has since been reused for another operation.
+type rtReq struct {
+	r   *Request
+	gen uint32
+	st  Status
+}
 
-func (q *rtReq) Done() bool { return q.r.Done() }
+func (q *rtReq) Done() bool {
+	if q.r.gen != q.gen {
+		return true // retired by Wait: it completed
+	}
+	return q.r.Done()
+}
 
 func (p *rtPeer) Isend(dst, tag int, r comm.Range) comm.Request {
-	return &rtReq{r: p.r.Isend(dst, tag, rtBytes(r))}
+	q := p.r.Isend(dst, tag, rtBytes(r))
+	return &rtReq{r: q, gen: q.gen}
 }
 
 func (p *rtPeer) Irecv(src, tag int, r comm.Range) comm.Request {
-	return &rtReq{r: p.r.Irecv(mapSrc(src), mapTag(tag), rtBytes(r))}
+	q := p.r.Irecv(mapSrc(src), mapTag(tag), rtBytes(r))
+	return &rtReq{r: q, gen: q.gen}
 }
 
 func (p *rtPeer) Wait(req comm.Request) comm.Status {
@@ -157,7 +171,11 @@ func (p *rtPeer) Wait(req comm.Request) comm.Status {
 	if !ok {
 		panic(fmt.Sprintf("rt: waiting on a %T request from a different engine", req))
 	}
-	return status(p.r.Wait(rr.r))
+	if rr.r.gen != rr.gen {
+		return status(rr.st) // already waited; report the recorded status
+	}
+	rr.st = p.r.Wait(rr.r)
+	return status(rr.st)
 }
 
 func (p *rtPeer) Waitall(reqs ...comm.Request) {

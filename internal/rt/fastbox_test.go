@@ -1,0 +1,275 @@
+package rt
+
+import (
+	"bytes"
+	"testing"
+	"time"
+	"unsafe"
+)
+
+// The fastbox padding only isolates neighbouring boxes if the struct size
+// is a whole number of cache lines — otherwise one box's state word shares
+// a line with the previous box's payload fields and two senders
+// false-share it.
+func TestFastboxLineAligned(t *testing.T) {
+	if size := unsafe.Sizeof(fastbox{}); size%64 != 0 {
+		t.Errorf("fastbox is %d bytes, not a multiple of the 64-byte cache line", size)
+	}
+}
+
+// A burst of small sends with the receiver away fills the single-slot
+// fastbox after one message; the overflow must fall back to the shared
+// queue and still be delivered in send order, interleaved correctly with
+// the message parked in the fastbox (the sequence-merged drain).
+func TestFastboxOverflowFallsBackToQueueInOrder(t *testing.T) {
+	const msgs = 64
+	w := NewWorld(2, Config{})
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			for i := 0; i < msgs; i++ {
+				r.Send(1, 0, pattern(i, 64))
+			}
+		} else {
+			// Give the burst time to overflow the fastbox before draining.
+			time.Sleep(20 * time.Millisecond)
+			buf := make([]byte, 64)
+			for i := 0; i < msgs; i++ {
+				r.Recv(0, 0, buf)
+				if !bytes.Equal(buf, pattern(i, 64)) {
+					t.Errorf("message %d out of order or corrupted", i)
+					return
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := w.FastboxMsgs.Load()
+	if fb < 1 {
+		t.Errorf("no message used the fastbox (FastboxMsgs = %d)", fb)
+	}
+	if fb >= msgs {
+		t.Errorf("all %d burst messages claim the single-slot fastbox (FastboxMsgs = %d)", msgs, fb)
+	}
+	if w.EagerMsgs.Load() != msgs {
+		t.Errorf("EagerMsgs = %d, want %d", w.EagerMsgs.Load(), msgs)
+	}
+}
+
+// With fastboxes disabled every eager message must take the shared queue;
+// with them enabled, a lock-step ping-pong should use them for every
+// message (the slot is always free when the sender arrives).
+func TestFastboxConfigKnob(t *testing.T) {
+	run := func(cfg Config) *World {
+		w := NewWorld(2, cfg)
+		err := w.Run(func(r *Rank) {
+			buf := make([]byte, 128)
+			for i := 0; i < 10; i++ {
+				if r.ID() == 0 {
+					r.Send(1, 0, buf)
+					r.Recv(1, 0, buf)
+				} else {
+					r.Recv(0, 0, buf)
+					r.Send(0, 0, buf)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	if w := run(Config{FastboxBytes: -1}); w.FastboxMsgs.Load() != 0 {
+		t.Errorf("disabled fastboxes still carried %d messages", w.FastboxMsgs.Load())
+	}
+	if w := run(Config{}); w.FastboxMsgs.Load() != 20 {
+		t.Errorf("lock-step ping-pong used the fastbox for %d of 20 messages", w.FastboxMsgs.Load())
+	}
+}
+
+// The envelope pool must only ever hold exactly-CellBytes cells: transient
+// oversized buffers (unexpected stream reassembly) are dropped at release,
+// never pooled — the fix for the seed's cell-pool pollution, enforced
+// structurally and checked here.
+func TestEnvelopePoolKeepsOnlyCellSizedBuffers(t *testing.T) {
+	const cell = 4096
+	w := NewWorld(2, Config{Large: Eager, CellBytes: cell, RndvThreshold: cell})
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 0, pattern(1, 10*cell)) // streamed oversized eager
+			r.Send(1, 1, pattern(2, 100))     // small eager
+		} else {
+			// Let both arrive unexpected (the oversized one reassembles
+			// into a transient full-size buffer), then receive them.
+			time.Sleep(10 * time.Millisecond)
+			buf := make([]byte, 10*cell)
+			st := r.Recv(0, 0, buf)
+			if st.N != 10*cell || !bytes.Equal(buf, pattern(1, 10*cell)) {
+				t.Errorf("oversized eager corrupted (status %+v)", st)
+			}
+			r.Recv(0, 1, buf)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The world is idle now; inspect every rank's pool directly.
+	for _, r := range w.ranks {
+		for m := r.freeq.Pop(); m != nil; m = r.freeq.Pop() {
+			if m.data != nil {
+				t.Errorf("rank %d pooled an envelope with live data (%d bytes)", r.rank, len(m.data))
+			}
+			if m.cell != nil && cap(m.cell) != cell {
+				t.Errorf("rank %d pooled a %d-byte cell, want exactly %d", r.rank, cap(m.cell), cell)
+			}
+		}
+	}
+}
+
+// Forced dual-copy (SenderCopy=1 regardless of GOMAXPROCS): the waiting
+// sender claims chunks alongside the receiver; the transfer must stay
+// intact for single transfers and concurrent same-pair transfers.
+func TestDualCopyRendezvousForced(t *testing.T) {
+	for _, mode := range []LargeMode{SingleCopy, Offload} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			const n = 3 * 1024 * 1024
+			w := NewWorld(2, Config{Large: mode, SenderCopy: 1, CellBytes: 64 * 1024})
+			err := w.Run(func(r *Rank) {
+				if r.ID() == 0 {
+					r.Send(1, 0, pattern(1, n))
+					a := r.Isend(1, 1, pattern(2, n))
+					b := r.Isend(1, 2, pattern(3, n))
+					r.Wait(a)
+					r.Wait(b)
+				} else {
+					buf := make([]byte, n)
+					r.Recv(0, 0, buf)
+					if !bytes.Equal(buf, pattern(1, n)) {
+						t.Error("single transfer corrupted")
+					}
+					b2, b1 := make([]byte, n), make([]byte, n)
+					rb := r.Irecv(0, 2, b2)
+					ra := r.Irecv(0, 1, b1)
+					r.Wait(ra)
+					r.Wait(rb)
+					if !bytes.Equal(b1, pattern(2, n)) || !bytes.Equal(b2, pattern(3, n)) {
+						t.Error("concurrent same-pair transfers corrupted")
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w.RndvMsgs.Load() != 3 {
+				t.Errorf("RndvMsgs = %d, want 3", w.RndvMsgs.Load())
+			}
+		})
+	}
+}
+
+// A zero-byte message on a forced-rendezvous world must still complete:
+// the chunk schedule gets one empty chunk so the last-chunk completion
+// fires (regression: nchunks == 0 never called complete and deadlocked).
+func TestZeroByteRendezvousCompletes(t *testing.T) {
+	w := NewWorld(2, Config{RndvThreshold: -1, Large: SingleCopy})
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 5, nil)
+		} else {
+			st := r.Recv(0, 5, nil)
+			if st.N != 0 || st.Tag != 5 {
+				t.Errorf("zero-byte rendezvous status %+v", st)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.RndvMsgs.Load() != 1 {
+		t.Errorf("RndvMsgs = %d, want 1 (threshold -1 forces rendezvous)", w.RndvMsgs.Load())
+	}
+}
+
+// A recycled request must not leak its previous incarnation's Status:
+// waiting on a send that reuses a pooled receive request returns the zero
+// Status, as a fresh request always did.
+func TestRecycledRequestStatusCleared(t *testing.T) {
+	w := NewWorld(2, Config{})
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			buf := make([]byte, 64)
+			r.Recv(1, 9, buf) // retires a receive request carrying a Status
+			if st := r.Wait(r.Isend(1, 0, buf)); st != (Status{}) {
+				t.Errorf("send via recycled request reported status %+v", st)
+			}
+		} else {
+			r.Send(0, 9, pattern(9, 64))
+			r.Recv(0, 0, make([]byte, 64))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Oversized eager messages that arrive unexpected reassemble fully and are
+// then matchable by exact and wildcard receives in arrival order.
+func TestOversizedEagerUnexpectedAndWildcard(t *testing.T) {
+	const cell = 8192
+	w := NewWorld(2, Config{Large: Eager, CellBytes: cell, RndvThreshold: cell})
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 7, pattern(7, 100*1024))
+			r.Send(1, 8, pattern(8, 50*1024))
+			r.Send(1, 9, nil) // handshake: everything above is in flight
+		} else {
+			r.Recv(0, 9, nil) // drains the streams into the unexpected queue
+			buf := make([]byte, 100*1024)
+			st := r.Recv(AnySource, AnyTag, buf)
+			if st.Tag != 7 || st.N != 100*1024 {
+				t.Fatalf("wildcard got %+v, want the first-arrived tag-7 stream", st)
+			}
+			if !bytes.Equal(buf[:st.N], pattern(7, st.N)) {
+				t.Error("tag-7 stream corrupted")
+			}
+			st = r.Recv(0, 8, buf[:50*1024])
+			if st.N != 50*1024 || !bytes.Equal(buf[:st.N], pattern(8, st.N)) {
+				t.Errorf("tag-8 stream corrupted (status %+v)", st)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A receive posted while an oversized stream is still arriving must take
+// over the stream mid-flight: the sender's cell window throttles it after
+// streamWindow segments, so the receiver provably matches an open stream.
+func TestOversizedEagerMatchedMidStream(t *testing.T) {
+	const cell = 4096
+	const n = 40 * cell // far beyond streamWindow cells
+	w := NewWorld(2, Config{Large: Eager, CellBytes: cell, RndvThreshold: cell})
+	err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 3, pattern(3, n))
+		} else {
+			// Arrive late: the head is already parked unexpected with the
+			// stream open (the sender is throttled on its cell window).
+			time.Sleep(20 * time.Millisecond)
+			buf := make([]byte, n)
+			st := r.Recv(0, 3, buf)
+			if st.N != n {
+				t.Fatalf("status %+v", st)
+			}
+			if !bytes.Equal(buf, pattern(3, n)) {
+				t.Error("mid-stream takeover corrupted the payload")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+package rt
+
+// Hashed matching: the posted-receive and unexpected-message queues are
+// per-(src,tag) bucket FIFOs plus wildcard side structures, replacing the
+// O(n) slice splices the first rt version used. MPI matching order is
+// preserved exactly:
+//
+//   - an arriving message must match the oldest posted receive it
+//     satisfies — that is either the head of the exact (src,tag) bucket or
+//     the first satisfiable entry of the wildcard list, whichever was
+//     posted earlier (post sequence numbers decide);
+//   - a newly posted receive must match the oldest unexpected message it
+//     satisfies — the head of the exact bucket, or for wildcard receives
+//     the first satisfiable entry of the global arrival-order list (which
+//     is necessarily its own bucket's head, so bucket unlinks stay O(1)).
+//
+// All structures are owned by the receiving rank's goroutine; no locking.
+
+// matchKey packs a concrete (src, tag) pair into one bucket key.
+func matchKey(src, tag int) uint64 {
+	return uint64(uint32(src))<<32 | uint64(uint32(tag))
+}
+
+// postBucket is one exact-(src,tag) FIFO of posted receives.
+type postBucket struct{ head, tail *Request }
+
+// postQ holds a rank's posted receives.
+type postQ struct {
+	exact        map[uint64]*postBucket
+	whead, wtail *Request // wildcard posts, in post order
+	seq          uint64
+}
+
+// add appends a posted receive, routing it by whether it carries a
+// wildcard. Buckets persist once created, so steady-state posting on a hot
+// (src,tag) pair allocates nothing.
+func (p *postQ) add(req *Request) {
+	p.seq++
+	req.pseq = p.seq
+	req.mlink = nil
+	if req.src != AnySource && req.tag != AnyTag {
+		k := matchKey(req.src, req.tag)
+		b := p.exact[k]
+		if b == nil {
+			b = &postBucket{}
+			p.exact[k] = b
+		}
+		if b.tail == nil {
+			b.head = req
+		} else {
+			b.tail.mlink = req
+		}
+		b.tail = req
+		return
+	}
+	if p.wtail == nil {
+		p.whead = req
+	} else {
+		p.wtail.mlink = req
+	}
+	p.wtail = req
+}
+
+// match removes and returns the oldest posted receive satisfied by an
+// arriving (src, tag) message, or nil.
+func (p *postQ) match(src, tag int) *Request {
+	var b *postBucket
+	if eb := p.exact[matchKey(src, tag)]; eb != nil && eb.head != nil {
+		b = eb
+	}
+	var wprev, w *Request
+	for w = p.whead; w != nil; wprev, w = w, w.mlink {
+		if (w.src == AnySource || w.src == src) && (w.tag == AnyTag || w.tag == tag) {
+			break
+		}
+	}
+	if b != nil && (w == nil || b.head.pseq < w.pseq) {
+		req := b.head
+		b.head = req.mlink
+		if b.head == nil {
+			b.tail = nil
+		}
+		req.mlink = nil
+		return req
+	}
+	if w != nil {
+		if wprev == nil {
+			p.whead = w.mlink
+		} else {
+			wprev.mlink = w.mlink
+		}
+		if p.wtail == w {
+			p.wtail = wprev
+		}
+		w.mlink = nil
+		return w
+	}
+	return nil
+}
+
+// msgBucket is one exact-(src,tag) FIFO of unexpected messages.
+type msgBucket struct{ head, tail *message }
+
+// unexpQ holds a rank's unexpected messages: exact buckets for O(1)
+// matching plus a doubly linked global arrival-order list for wildcard
+// receives and O(1) mid-list unlinks.
+type unexpQ struct {
+	exact        map[uint64]*msgBucket
+	ghead, gtail *message
+	seq          uint64
+}
+
+// add registers an arrival that matched no posted receive.
+func (u *unexpQ) add(m *message) {
+	u.seq++
+	m.aseq = u.seq
+	m.bnext = nil
+	k := matchKey(m.src, m.tag)
+	b := u.exact[k]
+	if b == nil {
+		b = &msgBucket{}
+		u.exact[k] = b
+	}
+	if b.tail == nil {
+		b.head = m
+	} else {
+		b.tail.bnext = m
+	}
+	b.tail = m
+	m.gprev = u.gtail
+	m.gnext = nil
+	if u.gtail == nil {
+		u.ghead = m
+	} else {
+		u.gtail.gnext = m
+	}
+	u.gtail = m
+}
+
+// take removes and returns the oldest unexpected message a receive for
+// (src, tag) may take, or nil.
+func (u *unexpQ) take(src, tag int) *message {
+	if src != AnySource && tag != AnyTag {
+		b := u.exact[matchKey(src, tag)]
+		if b == nil || b.head == nil {
+			return nil
+		}
+		return u.remove(b, b.head)
+	}
+	for m := u.ghead; m != nil; m = m.gnext {
+		if (src == AnySource || src == m.src) && (tag == AnyTag || tag == m.tag) {
+			return u.remove(u.exact[matchKey(m.src, m.tag)], m)
+		}
+	}
+	return nil
+}
+
+// remove unlinks m from its bucket and the global list. The global list is
+// arrival-ordered and buckets are its subsequences, so any message reached
+// oldest-first is its bucket's head.
+func (u *unexpQ) remove(b *msgBucket, m *message) *message {
+	if b.head != m {
+		panic("rt: unexpected-queue bucket out of arrival order")
+	}
+	b.head = m.bnext
+	if b.head == nil {
+		b.tail = nil
+	}
+	if m.gprev == nil {
+		u.ghead = m.gnext
+	} else {
+		m.gprev.gnext = m.gnext
+	}
+	if m.gnext == nil {
+		u.gtail = m.gprev
+	} else {
+		m.gnext.gprev = m.gprev
+	}
+	m.bnext, m.gprev, m.gnext = nil, nil, nil
+	return m
+}

@@ -1,12 +1,14 @@
 // Package rt is a real (non-simulated) message-passing runtime between
-// goroutines, built the way Nemesis is built: each rank owns a lock-free
-// multi-producer single-consumer receive queue of message envelopes; small
-// messages travel eagerly through pooled copy cells (the double-copy path);
-// large messages use a rendezvous in which the receiver — or an offload
-// worker playing the role of KNEM's kernel thread / I/OAT engine — copies
-// directly from the sender's buffer. Because goroutines share one address
-// space, the single-copy transfer needs no kernel assistance here: rt is
-// the paper's design transplanted to where Go can express it natively.
+// goroutines, built the way Nemesis is built. Tiny messages travel through
+// per-pair single-slot fastboxes that bypass the shared queue entirely;
+// small messages travel eagerly through pooled envelopes whose copy cells
+// they own (the double-copy path, allocation-free in steady state); large
+// messages use a rendezvous in which the receiver, the sender, and — under
+// Offload — workers playing the role of KNEM's kernel thread / I/OAT
+// engine claim fixed-size chunks of the transfer concurrently. Because
+// goroutines share one address space, the single-copy transfer needs no
+// kernel assistance here: rt is the paper's design transplanted to where
+// Go can express it natively.
 //
 // The package is self-contained and usable as a library; the benchmarks at
 // the repository root measure its eager-vs-single-copy crossover for real.
@@ -14,8 +16,8 @@ package rt
 
 import "sync/atomic"
 
-// qnode is a queue node. Nodes are heap-allocated per push; the Go
-// allocator stands in for Nemesis' shared-memory cell allocator.
+// qnode is a queue node of the generic queue. Nodes are heap-allocated per
+// push; the envelope path uses the intrusive msgQueue below instead.
 type qnode[T any] struct {
 	next  atomic.Pointer[qnode[T]]
 	value T
@@ -86,4 +88,65 @@ func (q *Queue[T]) Pop() (T, bool) {
 // Empty reports whether the queue appears empty to the consumer.
 func (q *Queue[T]) Empty() bool {
 	return q.tail == &q.stub && q.tail.next.Load() == nil && q.head.Load() == q.tail
+}
+
+// msgQueue is the intrusive variant of Queue specialized to message
+// envelopes: the MPSC link lives inside the message itself (message.qnext),
+// so Push allocates nothing — the property Nemesis gets from placing queue
+// links in its shared-memory cells. The same link threads a rank's envelope
+// free pool, because an envelope is never in both queues at once.
+type msgQueue struct {
+	head atomic.Pointer[message] // producers swap the head
+	tail *message                // consumer-owned
+	stub message
+}
+
+// init readies the queue (the zero value is not usable: head must point at
+// the embedded stub).
+func (q *msgQueue) init() {
+	q.head.Store(&q.stub)
+	q.tail = &q.stub
+}
+
+// Push enqueues m. Safe for concurrent producers.
+func (q *msgQueue) Push(m *message) {
+	m.qnext.Store(nil)
+	prev := q.head.Swap(m)
+	prev.qnext.Store(m)
+}
+
+// Pop dequeues the oldest envelope, or nil when the queue is observably
+// empty. Single consumer only. Unlike the generic queue, the returned node
+// leaves the queue entirely (the embedded stub is re-pushed to close the
+// tail), so the envelope is immediately reusable.
+func (q *msgQueue) Pop() *message {
+	tail := q.tail
+	next := tail.qnext.Load()
+	if tail == &q.stub {
+		if next == nil {
+			return nil
+		}
+		q.tail = next
+		tail = next
+		next = tail.qnext.Load()
+	}
+	if next != nil {
+		q.tail = next
+		return tail
+	}
+	if q.head.Load() != tail {
+		return nil // a push is in flight; try again later
+	}
+	q.Push(&q.stub)
+	next = tail.qnext.Load()
+	if next != nil {
+		q.tail = next
+		return tail
+	}
+	return nil
+}
+
+// Empty reports whether the queue appears empty to the consumer.
+func (q *msgQueue) Empty() bool {
+	return q.tail == &q.stub && q.tail.qnext.Load() == nil && q.head.Load() == q.tail
 }

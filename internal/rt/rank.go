@@ -2,6 +2,7 @@ package rt
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 )
 
@@ -11,40 +12,6 @@ const (
 	AnyTag    = -2147483648 // math.MinInt32: leaves negative tags for collectives
 )
 
-type msgKind int
-
-const (
-	mEager msgKind = iota
-	mRTS
-)
-
-// message is a receive-queue envelope.
-type message struct {
-	kind msgKind
-	src  int
-	tag  int
-	n    int
-	cell []byte      // eager payload cell (pooled), first n bytes valid
-	rv   *rendezvous // RTS payload descriptor
-}
-
-// rendezvous describes one large transfer. Because ranks share the address
-// space, the receiver (or an offload worker) copies directly from src —
-// the single-copy transfer the paper needs a kernel module for.
-type rendezvous struct {
-	src       []byte
-	world     *World
-	sender    int
-	receiver  int
-	completed atomic.Bool
-}
-
-func (rv *rendezvous) complete() {
-	rv.completed.Store(true)
-	rv.world.ranks[rv.sender].wakeUp()
-	rv.world.ranks[rv.receiver].wakeUp()
-}
-
 // Status describes a completed receive.
 type Status struct {
 	Source int
@@ -53,7 +20,10 @@ type Status struct {
 }
 
 // Request is an in-flight operation. Its methods must be called from the
-// owning rank's goroutine.
+// owning rank's goroutine. Requests are pooled per rank: Wait retires the
+// request back to the pool, so a request must be waited exactly once (Send
+// and Recv do this for you). gen counts retirements so engine adapters can
+// tell a recycled request from the operation they issued.
 type Request struct {
 	owner  *Rank
 	isSend bool
@@ -63,6 +33,10 @@ type Request struct {
 	dst    []byte // posted receive buffer
 	src    int    // posted receive matching
 	tag    int
+	gen    uint32
+
+	pseq  uint64   // post order, decides exact-vs-wildcard priority
+	mlink *Request // bucket / wildcard list link (match.go)
 }
 
 // Done reports completion without blocking (it makes one progress pass).
@@ -82,23 +56,56 @@ func (r *Request) completed() bool {
 	return false
 }
 
+// stream is the per-sender reassembly state of one cell-streamed oversized
+// eager message (see msgKind). At most one stream per sender can be open:
+// continuation segments follow their head contiguously in the pair's send
+// order, which admit replays faithfully.
+type stream struct {
+	req *Request // delivering straight into a matched receive buffer
+	m   *message // or buffering into an unexpected entry's data
+	off int
+	n   int
+}
+
 // Rank is one participant; all methods must be called from its goroutine.
 type Rank struct {
 	w    *World
 	rank int
-	q    *Queue[*message]
+
+	q     msgQueue // shared lock-free receive queue (all senders)
+	freeq msgQueue // envelope pool: anyone pushes, only this rank pops
+
+	inbox   []fastbox // inbox[src]: single-slot mailbox per sender
+	sendSeq []uint64  // next sequence number per destination
+	recvSeq []uint64  // next expected sequence number per sender
+	streams []stream
+
+	posted  postQ
+	unexp   unexpQ
+	reqFree []*Request
 
 	sleeping atomic.Bool
 	wake     chan struct{}
 
-	posted     []*Request
-	unexpected []*message
-
 	collSeq int
 }
 
-func newRank(w *World, rank int) *Rank {
-	return &Rank{w: w, rank: rank, q: NewQueue[*message](), wake: make(chan struct{}, 1)}
+func newRank(w *World, rank, n int) *Rank {
+	r := &Rank{w: w, rank: rank, wake: make(chan struct{}, 1)}
+	r.q.init()
+	r.freeq.init()
+	r.inbox = make([]fastbox, n)
+	if fb := w.cfg.FastboxBytes; fb > 0 {
+		for i := range r.inbox {
+			r.inbox[i].data = make([]byte, fb)
+		}
+	}
+	r.sendSeq = make([]uint64, n)
+	r.recvSeq = make([]uint64, n)
+	r.streams = make([]stream, n)
+	r.posted.exact = make(map[uint64]*postBucket)
+	r.unexp.exact = make(map[uint64]*msgBucket)
+	return r
 }
 
 // ID returns this rank's index.
@@ -110,6 +117,30 @@ func (r *Rank) Size() int { return len(r.w.ranks) }
 // World returns the owning world.
 func (r *Rank) World() *World { return r.w }
 
+// getReq takes a request from the rank's pool.
+func (r *Rank) getReq(isSend bool) *Request {
+	var req *Request
+	if n := len(r.reqFree); n > 0 {
+		req = r.reqFree[n-1]
+		r.reqFree = r.reqFree[:n-1]
+	} else {
+		req = &Request{owner: r}
+	}
+	req.isSend = isSend
+	return req
+}
+
+// putReq retires a completed request back to the pool.
+func (r *Rank) putReq(req *Request) {
+	req.gen++
+	req.rv = nil
+	req.dst = nil
+	req.mlink = nil
+	req.st = Status{} // a recycled send must not report its predecessor's status
+	req.ready.Store(false)
+	r.reqFree = append(r.reqFree, req)
+}
+
 // wakeUp unparks the rank's goroutine if it is (about to be) sleeping.
 func (r *Rank) wakeUp() {
 	if r.sleeping.Load() {
@@ -120,17 +151,35 @@ func (r *Rank) wakeUp() {
 	}
 }
 
-// push delivers a message to this rank (called by senders).
+// push delivers an envelope to this rank (called by senders).
 func (r *Rank) push(m *message) {
 	r.q.Push(m)
 	r.wakeUp()
 }
 
-// park blocks until something wakes the rank, re-draining first to close
-// the race between "queue looked empty" and "producer pushed".
-func (r *Rank) park() {
-	r.sleeping.Store(true)
+// hasPending reports whether the rank has unprocessed arrivals: queued
+// envelopes or a fastbox holding the next expected message of its pair.
+func (r *Rank) hasPending() bool {
 	if !r.q.Empty() {
+		return true
+	}
+	for src := range r.inbox {
+		fb := &r.inbox[src]
+		if fb.state.Load()&1 == 1 && fb.seq == r.recvSeq[src] {
+			return true
+		}
+	}
+	return false
+}
+
+// park blocks until something wakes the rank. The pre-sleep re-check
+// covers every wake source — queued envelopes, consumable fastboxes, and
+// the waited request's own completion or help work — closing the lost-wake
+// race between a completer reading sleeping=false and this rank sleeping.
+func (r *Rank) park(req *Request) {
+	r.sleeping.Store(true)
+	if r.hasPending() || req.completed() ||
+		(r.w.cfg.SenderCopy > 0 && req.rv != nil && req.isSend && req.rv.helpRemaining()) {
 		r.sleeping.Store(false)
 		return
 	}
@@ -138,30 +187,146 @@ func (r *Rank) park() {
 	r.sleeping.Store(false)
 }
 
-// drain processes every currently queued envelope.
+// drain processes every currently pending arrival: consumable fastboxes
+// and queued envelopes, interleaved until neither makes progress.
 func (r *Rank) drain() {
 	for {
-		m, ok := r.q.Pop()
-		if !ok {
+		progressed := false
+		for src := range r.inbox {
+			for r.pollFastbox(src) {
+				progressed = true
+			}
+		}
+		for {
+			m := r.q.Pop()
+			if m == nil {
+				break
+			}
+			r.admit(m)
+			progressed = true
+		}
+		if !progressed {
 			return
 		}
-		r.dispatch(m)
 	}
 }
 
-// dispatch matches one arrival against posted receives.
+// pollFastbox consumes the fastbox from src if it holds the pair's next
+// expected message. A posted match copies straight from the box into the
+// receive buffer — one copy total, the fastbox's cache win; an unexpected
+// arrival is staged into a pooled envelope.
+func (r *Rank) pollFastbox(src int) bool {
+	fb := &r.inbox[src]
+	st := fb.state.Load()
+	if st&1 == 0 || fb.seq != r.recvSeq[src] {
+		return false
+	}
+	tag, n := fb.tag, fb.n
+	r.recvSeq[src]++
+	if req := r.posted.match(src, tag); req != nil {
+		if n > len(req.dst) {
+			panic(fmt.Sprintf("rt: %d-byte message overflows %d-byte receive", n, len(req.dst)))
+		}
+		req.st = Status{Source: src, Tag: tag, N: n}
+		copy(req.dst[:n], fb.data[:n])
+		fb.state.Store(st + 1)
+		req.ready.Store(true)
+		return true
+	}
+	m := r.getMsg()
+	m.kind, m.src, m.tag, m.n, m.seg = mEager, src, tag, n, n
+	cell := m.cellBuf(r.w.cfg.CellBytes)
+	copy(cell[:n], fb.data[:n])
+	fb.state.Store(st + 1)
+	m.data = cell[:n]
+	r.unexp.add(m)
+	return true
+}
+
+// admit enforces per-pair FIFO across the two delivery channels: a queued
+// envelope may only be dispatched once every earlier message of its pair
+// has been. A sequence gap means exactly one older message is sitting in
+// the pair's fastbox (the box is single-slot and queue order is FIFO per
+// producer), and the fastbox write happened before the queue push, so it
+// is already visible.
+func (r *Rank) admit(m *message) {
+	for m.seq != r.recvSeq[m.src] {
+		if !r.pollFastbox(m.src) {
+			panic("rt: per-pair sequence gap without a consumable fastbox")
+		}
+	}
+	r.recvSeq[m.src]++
+	r.dispatch(m)
+}
+
+// dispatch routes one admitted envelope: continuation segments feed their
+// open stream, everything else goes through matching.
 func (r *Rank) dispatch(m *message) {
-	for i, req := range r.posted {
-		if (req.src == AnySource || req.src == m.src) && (req.tag == AnyTag || req.tag == m.tag) {
-			r.posted = append(r.posted[:i], r.posted[i+1:]...)
-			r.deliver(m, req)
-			return
-		}
+	if m.kind == mEagerCont {
+		r.streamSegment(m)
+		return
 	}
-	r.unexpected = append(r.unexpected, m)
+	req := r.posted.match(m.src, m.tag)
+	if req == nil {
+		r.addUnexpected(m)
+		return
+	}
+	if m.kind == mEagerHead {
+		// Stream straight into the matched buffer as segments arrive.
+		if m.n > len(req.dst) {
+			panic(fmt.Sprintf("rt: %d-byte message overflows %d-byte receive", m.n, len(req.dst)))
+		}
+		req.st = Status{Source: m.src, Tag: m.tag, N: m.n}
+		copy(req.dst[:m.seg], m.data)
+		r.streams[m.src] = stream{req: req, off: m.seg, n: m.n}
+		release(m)
+		return
+	}
+	r.deliver(m, req)
 }
 
-// deliver completes a matched receive.
+// addUnexpected registers an arrival with no posted match. An oversized
+// stream head grows a transient full-size buffer that the continuation
+// segments fill; it is dropped at delivery (release never pools it), so
+// the cell pool only ever holds exactly-CellBytes cells.
+func (r *Rank) addUnexpected(m *message) {
+	if m.kind == mEagerHead {
+		buf := make([]byte, m.n)
+		copy(buf, m.data)
+		m.data = buf
+		m.got = m.seg
+		m.open = true
+		r.streams[m.src] = stream{m: m, off: m.seg, n: m.n}
+	}
+	r.unexp.add(m)
+}
+
+// streamSegment appends one continuation segment to the open stream from
+// m.src and completes the message on the last one.
+func (r *Rank) streamSegment(m *message) {
+	s := &r.streams[m.src]
+	switch {
+	case s.req != nil:
+		copy(s.req.dst[s.off:s.off+m.seg], m.data)
+	case s.m != nil:
+		copy(s.m.data[s.off:s.off+m.seg], m.data)
+		s.m.got = s.off + m.seg
+	default:
+		panic("rt: continuation segment without an open stream")
+	}
+	s.off += m.seg
+	if s.off == s.n {
+		if s.req != nil {
+			s.req.ready.Store(true)
+		} else {
+			s.m.open = false
+		}
+		*s = stream{}
+	}
+	release(m)
+}
+
+// deliver completes a matched receive and releases the envelope.
 func (r *Rank) deliver(m *message, req *Request) {
 	if m.n > len(req.dst) {
 		panic(fmt.Sprintf("rt: %d-byte message overflows %d-byte receive", m.n, len(req.dst)))
@@ -169,21 +334,46 @@ func (r *Rank) deliver(m *message, req *Request) {
 	req.st = Status{Source: m.src, Tag: m.tag, N: m.n}
 	switch m.kind {
 	case mEager:
-		copy(req.dst[:m.n], m.cell[:m.n])
-		r.w.cells.Put(m.cell) //nolint:staticcheck // cell is a pooled []byte
+		copy(req.dst[:m.n], m.data)
 		req.ready.Store(true)
+	case mEagerHead:
+		// Matched from the unexpected queue: take over what has been
+		// buffered; if the stream is still open, redirect it to req.dst.
+		copy(req.dst[:m.got], m.data[:m.got])
+		if m.open {
+			s := &r.streams[m.src]
+			s.req, s.m = req, nil
+		} else {
+			req.ready.Store(true)
+		}
 	case mRTS:
 		rv := m.rv
 		r.w.BytesMoved.Add(int64(m.n))
+		req.rv = rv
+		rv.publishCTS(req.dst[:m.n])
 		if r.w.cfg.Large == Offload {
-			// Hand the copy to the pool; completion wakes both sides.
-			req.rv = rv
-			r.w.copyq <- copyJob{dst: req.dst[:m.n], src: rv.src, done: rv}
-			return
+			// Fan the chunk schedule out to the copier pool; completion
+			// wakes both sides, and the receiver is free to overlap.
+			jobs := int64(r.w.cfg.Copiers)
+			if jobs > rv.nchunks {
+				jobs = rv.nchunks
+			}
+			for i := int64(0); i < jobs; i++ {
+				r.w.copyq <- copyJob{rv: rv}
+			}
+		} else {
+			rv.claimCopy()
 		}
-		copy(req.dst[:m.n], rv.src)
-		rv.complete()
-		req.ready.Store(true)
+	}
+	release(m)
+}
+
+// checkTag rejects tags outside the 32-bit matching space: the hashed
+// buckets key (src, tag) as 32-bit fields, so a wider tag would silently
+// alias another bucket instead of never matching.
+func checkTag(tag int) {
+	if int(int32(tag)) != tag {
+		panic(fmt.Sprintf("rt: tag %d outside the 32-bit tag space", tag))
 	}
 }
 
@@ -192,48 +382,121 @@ func (r *Rank) Isend(dst, tag int, buf []byte) *Request {
 	if dst < 0 || dst >= len(r.w.ranks) {
 		panic(fmt.Sprintf("rt: send to invalid rank %d", dst))
 	}
+	checkTag(tag)
 	target := r.w.ranks[dst]
-	req := &Request{owner: r, isSend: true}
-	if r.w.cfg.Large == Eager || len(buf) <= r.w.cfg.RndvThreshold {
-		// Two-copy path: through a pooled cell sized for the payload.
+	req := r.getReq(true)
+	cfg := &r.w.cfg
+	if cfg.Large == Eager || len(buf) <= cfg.RndvThreshold {
 		r.w.EagerMsgs.Add(1)
-		var cell []byte
-		if len(buf) <= r.w.cfg.CellBytes {
-			cell = r.w.cells.Get().([]byte)
-		} else {
-			cell = make([]byte, len(buf)) // oversized eager (Eager mode only)
-		}
-		copy(cell[:len(buf)], buf)
-		target.push(&message{kind: mEager, src: r.rank, tag: tag, n: len(buf), cell: cell})
 		r.w.BytesMoved.Add(int64(len(buf)))
+		seq := r.sendSeq[dst]
+		if cfg.FastboxBytes > 0 && len(buf) <= cfg.FastboxBytes &&
+			target.inbox[r.rank].trySend(seq, tag, buf) {
+			r.sendSeq[dst] = seq + 1
+			r.w.FastboxMsgs.Add(1)
+			target.wakeUp()
+			req.ready.Store(true)
+			return req
+		}
+		if len(buf) <= cfg.CellBytes {
+			m := r.getMsg()
+			m.kind, m.src, m.tag, m.n, m.seg, m.seq = mEager, r.rank, tag, len(buf), len(buf), seq
+			cell := m.cellBuf(cfg.CellBytes)
+			copy(cell[:len(buf)], buf)
+			m.data = cell[:len(buf)]
+			r.sendSeq[dst] = seq + 1
+			target.push(m)
+			req.ready.Store(true)
+			return req
+		}
+		// Oversized eager (Eager mode only): pipeline through pooled
+		// cells — the paper's double-buffering — instead of one
+		// transient full-size buffer per message. The cell budget is
+		// bounded like Nemesis' finite cell pool: at most streamWindow
+		// segments may mint new envelopes; past that the sender recycles
+		// returned ones, progressing its own queue while it waits, so
+		// the pipeline's working set stays cache-resident instead of
+		// running arbitrarily far ahead of the receiver.
+		kind := mEagerHead
+		window := streamWindow
+		for off := 0; off < len(buf); {
+			seg := len(buf) - off
+			if seg > cfg.CellBytes {
+				seg = cfg.CellBytes
+			}
+			m := r.freeq.Pop()
+			if m == nil {
+				if window > 0 {
+					window--
+					m = &message{home: r}
+				} else {
+					for m == nil {
+						r.drain()
+						runtime.Gosched()
+						m = r.freeq.Pop()
+					}
+				}
+			}
+			m.kind, m.src, m.tag, m.n, m.seg = kind, r.rank, tag, len(buf), seg
+			m.seq = r.sendSeq[dst]
+			r.sendSeq[dst]++
+			cell := m.cellBuf(cfg.CellBytes)
+			copy(cell[:seg], buf[off:off+seg])
+			m.data = cell[:seg]
+			target.push(m)
+			off += seg
+			kind = mEagerCont
+		}
 		req.ready.Store(true)
 		return req
 	}
-	// Rendezvous: the buffer stays pinned (referenced) until FIN.
+	// Rendezvous: the buffer stays pinned (referenced) until the chunked
+	// copy completes.
 	r.w.RndvMsgs.Add(1)
-	rv := &rendezvous{src: buf, world: r.w, sender: r.rank, receiver: dst}
+	rv := newRendezvous(r.w, r.rank, dst, buf)
 	req.rv = rv
-	target.push(&message{kind: mRTS, src: r.rank, tag: tag, n: len(buf), rv: rv})
+	m := r.getMsg()
+	m.kind, m.src, m.tag, m.n, m.seg, m.rv = mRTS, r.rank, tag, len(buf), 0, rv
+	m.seq = r.sendSeq[dst]
+	r.sendSeq[dst]++
+	target.push(m)
 	return req
 }
 
 // Irecv posts a receive into buf.
 func (r *Rank) Irecv(src, tag int, buf []byte) *Request {
-	req := &Request{owner: r, dst: buf, src: src, tag: tag}
-	// Unexpected arrivals first (in arrival order).
-	for i, m := range r.unexpected {
-		if (src == AnySource || src == m.src) && (tag == AnyTag || tag == m.tag) {
-			r.unexpected = append(r.unexpected[:i], r.unexpected[i+1:]...)
-			r.deliver(m, req)
-			return req
-		}
+	if src != AnySource && (src < 0 || src >= len(r.w.ranks)) {
+		panic(fmt.Sprintf("rt: receive from invalid rank %d", src))
 	}
-	r.posted = append(r.posted, req)
+	checkTag(tag)
+	req := r.getReq(false)
+	req.dst, req.src, req.tag = buf, src, tag
+	if m := r.unexp.take(src, tag); m != nil {
+		r.deliver(m, req)
+		return req
+	}
+	r.posted.add(req)
 	r.drain() // give in-flight arrivals a chance to match immediately
 	return req
 }
 
-// Wait blocks until the request completes, progressing the rank meanwhile.
+// waitSpins is how many progress passes Wait makes before parking.
+const waitSpins = 64
+
+// streamWindow bounds how many in-flight cells one oversized eager send
+// may mint before it must recycle returned envelopes (the finite-cell
+// flow control Nemesis applies to its shared-memory pool). 16 cells = 1
+// MiB in flight by default: enough to amortize the sender/receiver
+// handoff, small enough to stay cache-resident.
+const streamWindow = 16
+
+// Wait blocks until the request completes, progressing the rank meanwhile
+// and retiring the request: each request must be waited exactly once. A
+// waiting rendezvous sender claims copy chunks instead of idling (the
+// dual-copy half of the pipelined transfer). The spin phase yields the
+// processor each pass — on a loaded machine the peer's progress is what
+// completes the request, so burning the core bare-spinning (as the first
+// version did) only delays it.
 func (r *Rank) Wait(req *Request) Status {
 	if req.owner != r {
 		panic("rt: waiting on another rank's request")
@@ -241,12 +504,28 @@ func (r *Rank) Wait(req *Request) Status {
 	for spins := 0; ; spins++ {
 		r.drain()
 		if req.completed() {
-			return req.st
+			st := req.st
+			r.putReq(req)
+			return st
 		}
-		if spins < 64 {
-			continue // brief spin: typical Nemesis polling behaviour
+		if rv := req.rv; rv != nil {
+			// A rendezvous waiter either claims chunks (dual-copy on)
+			// or parks outright: yield-spinning would only steal the
+			// processor from whoever is doing the copy.
+			if r.w.cfg.SenderCopy > 0 && req.isSend && rv.helpRemaining() {
+				rv.claimCopy()
+				spins = 0
+				continue
+			}
+			r.park(req)
+			continue
 		}
-		r.park()
+		if spins < waitSpins {
+			runtime.Gosched()
+			continue
+		}
+		r.park(req)
+		spins = 0
 	}
 }
 

@@ -14,14 +14,16 @@ type LargeMode int
 
 const (
 	// Eager forces every message through the two-copy cell path (the
-	// baseline double-buffering analogue).
+	// baseline double-buffering analogue); oversized messages are
+	// pipelined through CellBytes segments.
 	Eager LargeMode = iota
-	// SingleCopy performs rendezvous: the receiver copies straight from
-	// the sender's buffer (what KNEM/vmsplice achieve via the kernel).
+	// SingleCopy performs rendezvous: the receiver (helped by the waiting
+	// sender) copies straight from the sender's buffer in chunks — what
+	// KNEM/vmsplice achieve via the kernel.
 	SingleCopy
-	// Offload performs rendezvous with the copy executed by a worker
-	// from the copier pool, freeing the receiver to overlap — the
-	// asynchronous KNEM/I/OAT analogue.
+	// Offload performs rendezvous with the chunked copy executed by the
+	// copier pool, freeing the receiver to overlap — the asynchronous
+	// KNEM/I/OAT analogue.
 	Offload
 )
 
@@ -47,8 +49,19 @@ type Config struct {
 	Large LargeMode
 	// Copiers sizes the offload worker pool (default NumCPU/4, min 1).
 	Copiers int
-	// CellBytes sizes eager copy cells (default 64 KiB).
+	// CellBytes sizes eager copy cells and rendezvous copy chunks
+	// (default 64 KiB).
 	CellBytes int
+	// FastboxBytes caps the per-pair single-slot fastbox payload
+	// (default 1 KiB, clamped to CellBytes; negative disables the
+	// fastboxes so every message takes the shared queue).
+	FastboxBytes int
+	// SenderCopy controls the dual-copy half of the pipelined
+	// rendezvous — a waiting sender claiming chunks alongside the
+	// receiver: 0 resolves to 1 when GOMAXPROCS > 1 and to -1 on a
+	// single-P runtime (where the "help" is pure scheduling
+	// interference), 1 forces it on, -1 forces it off.
+	SenderCopy int
 }
 
 // defaultCellBytes sizes eager copy cells (and so the default rendezvous
@@ -65,6 +78,22 @@ func (c Config) withDefaults() Config {
 	if c.RndvThreshold > c.CellBytes {
 		c.RndvThreshold = c.CellBytes
 	}
+	switch {
+	case c.FastboxBytes == 0:
+		c.FastboxBytes = defaultFastboxBytes
+	case c.FastboxBytes < 0:
+		c.FastboxBytes = 0 // disabled
+	}
+	if c.FastboxBytes > c.CellBytes {
+		c.FastboxBytes = c.CellBytes
+	}
+	if c.SenderCopy == 0 {
+		if runtime.GOMAXPROCS(0) > 1 {
+			c.SenderCopy = 1
+		} else {
+			c.SenderCopy = -1
+		}
+	}
 	if c.Copiers == 0 {
 		c.Copiers = runtime.NumCPU() / 4
 		if c.Copiers < 1 {
@@ -80,21 +109,20 @@ type World struct {
 	ranks []*Rank
 	start time.Time // wall-clock base for the engine-neutral Clock
 
-	cells   sync.Pool
 	copyq   chan copyJob
 	copyWG  sync.WaitGroup
 	stopped atomic.Bool
 
 	// Stats (atomic; read after Run returns).
-	EagerMsgs  atomic.Int64
-	RndvMsgs   atomic.Int64
-	BytesMoved atomic.Int64
+	EagerMsgs   atomic.Int64
+	RndvMsgs    atomic.Int64
+	FastboxMsgs atomic.Int64 // eager messages that took a fastbox
+	BytesMoved  atomic.Int64
 }
 
-// copyJob is one offloaded copy with completion notification.
+// copyJob hands a rendezvous chunk schedule to an offload copier.
 type copyJob struct {
-	dst, src []byte
-	done     *rendezvous
+	rv *rendezvous
 }
 
 // NewWorld creates a world of n ranks.
@@ -104,9 +132,8 @@ func NewWorld(n int, cfg Config) *World {
 	}
 	cfg = cfg.withDefaults()
 	w := &World{cfg: cfg, copyq: make(chan copyJob, 128), start: time.Now()}
-	w.cells.New = func() any { return make([]byte, cfg.CellBytes) }
 	for r := 0; r < n; r++ {
-		w.ranks = append(w.ranks, newRank(w, r))
+		w.ranks = append(w.ranks, newRank(w, r, n))
 	}
 	for i := 0; i < cfg.Copiers; i++ {
 		w.copyWG.Add(1)
@@ -119,11 +146,12 @@ func NewWorld(n int, cfg Config) *World {
 func (w *World) Size() int { return len(w.ranks) }
 
 // copier is an offload worker: the kernel-thread / DMA-engine analogue.
+// Workers on the same rendezvous claim disjoint chunks, so the copy runs
+// as wide as the pool.
 func (w *World) copier() {
 	defer w.copyWG.Done()
 	for job := range w.copyq {
-		copy(job.dst, job.src)
-		job.done.complete()
+		job.rv.claimCopy()
 	}
 }
 
