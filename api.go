@@ -207,24 +207,14 @@ type (
 var (
 	// PingPong runs the IMB PingPong sweep on a stack.
 	//
-	// Deprecated: build a Job and use RunPingPong (one source, any engine).
-	PingPong = imb.PingPong
 	// Alltoall runs the IMB Alltoall sweep on a stack.
 	//
-	// Deprecated: build a Job and use RunAlltoall.
-	Alltoall = imb.Alltoall
 	// MultiPingPong runs N concurrent PingPong pairs on a stack.
 	//
-	// Deprecated: build a Job and use RunMultiPingPong.
-	MultiPingPong = imb.MultiPingPong
 	// Sendrecv runs the IMB periodic-chain Sendrecv pattern on a stack.
 	//
-	// Deprecated: build a Job and use RunSendrecv.
-	Sendrecv = imb.Sendrecv
 	// Exchange runs the IMB both-neighbour Exchange pattern on a stack.
 	//
-	// Deprecated: build a Job and use RunExchange.
-	Exchange = imb.Exchange
 	// Multipair runs the N-pair contention sweep over every registered
 	// backend and placement (the "multipair" experiment).
 	Multipair = experiments.Multipair

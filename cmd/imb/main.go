@@ -31,6 +31,7 @@ import (
 	"knemesis/internal/comm"
 	"knemesis/internal/core"
 	"knemesis/internal/imb"
+	_ "knemesis/internal/mpi" // registers the "sim" engine
 	"knemesis/internal/profiling"
 	"knemesis/internal/rt"
 	"knemesis/internal/topo"

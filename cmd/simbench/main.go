@@ -17,6 +17,13 @@
 //	simbench -out BENCH_5.json            # write/refresh the committed baseline
 //	simbench -check BENCH_5.json          # compare a fresh run to the baseline
 //	simbench -rt=false -check BENCH_3.json  # sim-only workloads vs the old artefact
+//	simbench -sim=false -rt=false -lanes -out BENCH_6.json  # parallel-engine workloads
+//
+// Since schema 3 the artefact records the host context (Go version,
+// GOMAXPROCS, CPU count, OS/arch) it was written on. -check compares
+// measured metrics (Perf, wall time) only like-for-like: when the baseline
+// host differs from the current one those comparisons are skipped with a
+// note, while the deterministic Sim metrics are always enforced.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -34,6 +42,7 @@ import (
 	"knemesis/internal/mpi"
 	"knemesis/internal/nemesis"
 	"knemesis/internal/profiling"
+	"knemesis/internal/sim"
 	"knemesis/internal/topo"
 	"knemesis/internal/units"
 )
@@ -41,12 +50,37 @@ import (
 // File is the typed BENCH_N.json artefact.
 type File struct {
 	Schema int `json:"schema"`
+	// Host records the machine context the artefact was written on. A zero
+	// Host (legacy schema ≤2 artefacts) means unknown; -check then falls
+	// back to comparing measured metrics unconditionally.
+	Host Host `json:"host"`
 	// Suites records suite-level wall-clock measurements (e.g. the full
 	// `go test -bench` and experiments-test runs before and after a perf
 	// PR). simbench preserves this section across -out regenerations; the
 	// numbers are filled in by the PR that measures them.
 	Suites    []Suite    `json:"suites"`
 	Workloads []Workload `json:"workloads"`
+}
+
+// Host identifies the machine and toolchain an artefact's measured metrics
+// were taken on. Sim metrics are host-independent by construction; Perf and
+// wall-time numbers are only comparable between equal Hosts.
+type Host struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+}
+
+func currentHost() Host {
+	return Host{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+	}
 }
 
 // Suite is one recorded before/after wall-time comparison.
@@ -81,11 +115,18 @@ const perfWarnTolerance = 0.5
 // wallWarnFactor is the total wall-time growth that triggers the warning.
 const wallWarnFactor = 1.5
 
+// laneSpeedupTarget is the parallel-engine wall-clock speedup the lanes
+// workloads aim for on a multi-core host. It is a measured metric, so
+// falling short only warns (a single-core host cannot reach it at all).
+const laneSpeedupTarget = 1.3
+
 func main() {
 	var (
 		out        = flag.String("out", "", "write the benchmark artefact to this file")
 		check      = flag.String("check", "", "run the workloads and compare against this baseline file")
+		withSim    = flag.Bool("sim", true, "include the simulation sweep workloads (figures, thresholds, multipair)")
 		withRT     = flag.Bool("rt", true, "include the real-runtime (rt) workloads")
+		withLanes  = flag.Bool("lanes", false, "include the parallel-simulator lane workloads")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -99,7 +140,7 @@ func main() {
 		fatal(err)
 	}
 
-	cur := File{Schema: 2, Workloads: runWorkloads(*withRT)}
+	cur := File{Schema: 3, Host: currentHost(), Workloads: runWorkloads(*withSim, *withRT, *withLanes)}
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "simbench: profile:", err)
 	}
@@ -144,8 +185,17 @@ func readFile(path string) (File, error) {
 }
 
 // compare fails on simulation drift and warns on wall-time growth and on
-// measured-performance (Perf) drift.
+// measured-performance (Perf) drift. Measured comparisons (Perf, wall time)
+// only happen like-for-like: a baseline written on a different host (or a
+// legacy artefact with no host record, treated as comparable for backwards
+// compatibility) suppresses them, never the Sim checks.
 func compare(base, cur File) error {
+	likeForLike := base.Host == (Host{}) || base.Host == cur.Host
+	if !likeForLike {
+		fmt.Fprintf(os.Stderr,
+			"simbench: note: baseline host %+v differs from current %+v; skipping measured-metric and wall-time comparisons\n",
+			base.Host, cur.Host)
+	}
 	baseWl := make(map[string]Workload, len(base.Workloads))
 	for _, w := range base.Workloads {
 		baseWl[w.Name] = w
@@ -161,12 +211,14 @@ func compare(base, cur File) error {
 		}
 		baseWall += b.WallSec
 		delete(baseWl, w.Name)
-		for _, name := range sortedKeys(w.Perf) {
-			got, want := w.Perf[name], b.Perf[name]
-			if want > 0 && !within(got, want, perfWarnTolerance) {
-				fmt.Fprintf(os.Stderr,
-					"simbench: WARNING: %s %s: %.3g, baseline %.3g (measured metric, informational only)\n",
-					w.Name, name, got, want)
+		if likeForLike {
+			for _, name := range sortedKeys(w.Perf) {
+				got, want := w.Perf[name], b.Perf[name]
+				if want > 0 && !within(got, want, perfWarnTolerance) {
+					fmt.Fprintf(os.Stderr,
+						"simbench: WARNING: %s %s: %.3g, baseline %.3g (measured metric, informational only)\n",
+						w.Name, name, got, want)
+				}
 			}
 		}
 		for _, name := range sortedKeys(w.Sim) {
@@ -199,7 +251,7 @@ func compare(base, cur File) error {
 		return fmt.Errorf("%d simulation results drifted more than %.0f%% from the baseline",
 			len(drift), simTolerance*100)
 	}
-	if baseWall > 0 && curWall > wallWarnFactor*baseWall {
+	if likeForLike && baseWall > 0 && curWall > wallWarnFactor*baseWall {
 		fmt.Fprintf(os.Stderr,
 			"simbench: WARNING: wall time %.2fs vs baseline %.2fs (>%.1fx slower; timings are informational only)\n",
 			curWall, baseWall, wallWarnFactor)
@@ -247,7 +299,15 @@ const (
 	rtStreamBytes   = int(4 * units.MiB)
 )
 
-func runWorkloads(withRT bool) []Workload {
+// lanes workload scale: enough rounds and per-phase host work that the
+// engine mode dominates the wall time, small enough to stay interactive.
+const (
+	laneReps       = 5
+	laneRounds     = 12
+	lanePhaseIters = 60_000
+)
+
+func runWorkloads(withSim, withRT, withLanes bool) []Workload {
 	var out []Workload
 	add := func(name string, run func() (map[string]float64, error)) {
 		start := time.Now()
@@ -298,6 +358,30 @@ func runWorkloads(withRT bool) []Workload {
 		}
 	}
 
+	addLanes := func() {
+		for _, ranks := range []int{4, 8} {
+			name := fmt.Sprintf("lanes/phases/%drank", ranks)
+			start := time.Now()
+			wl, err := laneWorkload(ranks)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", name, err))
+			}
+			wl.Name = name
+			wl.WallSec = time.Since(start).Seconds()
+			out = append(out, wl)
+		}
+	}
+
+	if !withSim {
+		if withRT {
+			addRT()
+		}
+		if withLanes {
+			addLanes()
+		}
+		return out
+	}
+
 	type ppCase struct {
 		name   string
 		opt    core.Options
@@ -345,7 +429,63 @@ func runWorkloads(withRT bool) []Workload {
 	if withRT {
 		addRT()
 	}
+	if withLanes {
+		addLanes()
+	}
 	return out
+}
+
+// laneWorkload benchmarks the parallel simulator core itself: the lane-phases
+// proxy workload runs laneReps times per engine mode, serial and parallel
+// interleaved in the same process so both medians see the same host
+// conditions. The simulated time must be identical across every run and both
+// modes — any divergence is a hard failure, not tolerance-gated drift. The
+// wall-clock medians and their ratio are measured (Perf) metrics; a speedup
+// below laneSpeedupTarget only warns, since a few-core host cannot reach it.
+func laneWorkload(ranks int) (Workload, error) {
+	var serialWalls, parWalls []float64
+	var simTime sim.Time
+	for rep := 0; rep < laneReps; rep++ {
+		for _, serial := range []bool{true, false} {
+			res, err := experiments.LaneBench(ranks, laneRounds, lanePhaseIters, serial)
+			if err != nil {
+				return Workload{}, err
+			}
+			if rep == 0 && serial {
+				simTime = res.SimTime
+			} else if res.SimTime != simTime {
+				return Workload{}, fmt.Errorf(
+					"simulated time diverged between engine modes: %v (serial=%v) vs reference %v",
+					res.SimTime, serial, simTime)
+			}
+			if serial {
+				serialWalls = append(serialWalls, res.Wall.Seconds())
+			} else {
+				parWalls = append(parWalls, res.Wall.Seconds())
+			}
+		}
+	}
+	serialMed, parMed := median(serialWalls), median(parWalls)
+	speedup := serialMed / parMed
+	if speedup < laneSpeedupTarget {
+		fmt.Fprintf(os.Stderr,
+			"simbench: WARNING: lanes/%drank speedup %.2fx below the %.1fx target (measured metric; expected on few-core hosts, GOMAXPROCS=%d)\n",
+			ranks, speedup, laneSpeedupTarget, runtime.GOMAXPROCS(0))
+	}
+	return Workload{
+		Sim: map[string]float64{"simtime-us": float64(simTime) / float64(sim.Microsecond)},
+		Perf: map[string]float64{
+			"serial_ms":   serialMed * 1e3,
+			"parallel_ms": parMed * 1e3,
+			"speedup":     speedup,
+		},
+	}, nil
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
 }
 
 func pingPong(opt core.Options, shared bool) (map[string]float64, error) {

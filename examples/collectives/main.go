@@ -32,7 +32,7 @@ func main() {
 			cfg.EagerMax = 4 * units.KiB
 		}
 		st := knemesis.NewStack(machine, machine.AllCores(), opt, cfg)
-		res, err := knemesis.Alltoall(st, sizes)
+		res, err := knemesis.RunAlltoall(knemesis.NewSimJob(st), sizes)
 		if err != nil {
 			panic(err)
 		}

@@ -6,6 +6,7 @@ import (
 	"knemesis/internal/kernel"
 	"knemesis/internal/knem"
 	"knemesis/internal/nemesis"
+	"knemesis/internal/sim"
 	"knemesis/internal/topo"
 )
 
@@ -34,6 +35,13 @@ func NewStack(t *topo.Machine, cores []topo.CoreID, opt Options, chCfg nemesis.C
 	chCfg.LMT = Factory(opt)
 	ch := nemesis.NewChannel(m, os, dma, km, cores, chCfg)
 	return &Stack{M: m, OS: os, DMA: dma, KNEM: km, Ch: ch, Opt: opt}
+}
+
+// MinCrossDelay reports the stack's minimum cross-rank latency — the
+// channel's declared floor on one rank affecting another — which callers
+// feed to sim.Engine.SetLookahead when sharding ranks onto event lanes.
+func (s *Stack) MinCrossDelay() sim.Time {
+	return s.Ch.MinCrossDelay()
 }
 
 // StandardOptions returns the four LMT configurations of the paper's tables

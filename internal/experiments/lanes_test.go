@@ -1,0 +1,26 @@
+package experiments
+
+import "testing"
+
+// TestLaneBenchModesAgree: the lane-phases proxy workload reports the exact
+// same simulated time on the serial reference engine and the parallel lane
+// engine — the experiment-level determinism gate behind BENCH_6.
+func TestLaneBenchModesAgree(t *testing.T) {
+	for _, ranks := range []int{2, 8} {
+		serial, err := LaneBench(ranks, 6, 2000, true)
+		if err != nil {
+			t.Fatalf("%d ranks serial: %v", ranks, err)
+		}
+		par, err := LaneBench(ranks, 6, 2000, false)
+		if err != nil {
+			t.Fatalf("%d ranks parallel: %v", ranks, err)
+		}
+		if serial.SimTime != par.SimTime {
+			t.Fatalf("%d ranks: simulated time diverged: serial %v, parallel %v",
+				ranks, serial.SimTime, par.SimTime)
+		}
+		if serial.SimTime <= 0 {
+			t.Fatalf("%d ranks: degenerate simulated time %v", ranks, serial.SimTime)
+		}
+	}
+}

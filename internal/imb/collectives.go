@@ -4,9 +4,7 @@ import (
 	"fmt"
 
 	"knemesis/internal/comm"
-	"knemesis/internal/core"
 	"knemesis/internal/mem"
-	"knemesis/internal/mpi"
 	"knemesis/internal/units"
 )
 
@@ -108,16 +106,6 @@ func fillPattern(b comm.Buf, seed uint64) { mem.FillPatternBytes(b.Bytes(), seed
 
 // Bcast runs the sweep on a simulated stack.
 //
-// Deprecated: build a job (mpi.NewSimJob, or comm.NewJob for any engine)
-// and use RunBcast.
-func Bcast(st *core.Stack, sizes []int64) (Result, error) {
-	return RunBcast(mpi.NewSimJob(st), sizes)
-}
 
 // Allreduce runs the sweep on a simulated stack.
 //
-// Deprecated: build a job (mpi.NewSimJob, or comm.NewJob for any engine)
-// and use RunAllreduce.
-func Allreduce(st *core.Stack, sizes []int64) (Result, error) {
-	return RunAllreduce(mpi.NewSimJob(st), sizes)
-}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"knemesis/internal/core"
+	"knemesis/internal/mpi"
 	"knemesis/internal/nemesis"
 	"knemesis/internal/topo"
 	"knemesis/internal/units"
@@ -12,7 +13,7 @@ import (
 func TestBcastSweep(t *testing.T) {
 	m := topo.XeonE5345()
 	st := core.NewStack(m, m.AllCores(), core.Options{Kind: core.KnemLMT}, nemesis.Config{})
-	res, err := Bcast(st, []int64{32 * units.KiB, 256 * units.KiB})
+	res, err := RunBcast(mpi.NewSimJob(st), []int64{32 * units.KiB, 256 * units.KiB})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +29,7 @@ func TestBcastKnemBeatsDefaultLargeMessages(t *testing.T) {
 	sizes := []int64{512 * units.KiB}
 	run := func(opt core.Options) float64 {
 		st := core.NewStack(m, m.AllCores(), opt, nemesis.Config{})
-		res, err := Bcast(st, sizes)
+		res, err := RunBcast(mpi.NewSimJob(st), sizes)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -44,7 +45,7 @@ func TestBcastKnemBeatsDefaultLargeMessages(t *testing.T) {
 func TestAllreduceSweep(t *testing.T) {
 	m := topo.XeonE5345()
 	st := core.NewStack(m, m.AllCores()[:4], core.Options{Kind: core.DefaultLMT}, nemesis.Config{})
-	res, err := Allreduce(st, []int64{4 * units.KiB, 64 * units.KiB})
+	res, err := RunAllreduce(mpi.NewSimJob(st), []int64{4 * units.KiB, 64 * units.KiB})
 	if err != nil {
 		t.Fatal(err)
 	}

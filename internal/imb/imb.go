@@ -16,8 +16,6 @@ import (
 	"fmt"
 
 	"knemesis/internal/comm"
-	"knemesis/internal/core"
-	"knemesis/internal/mpi"
 	"knemesis/internal/sim"
 	"knemesis/internal/units"
 )
@@ -176,16 +174,6 @@ func RunAlltoall(j comm.Job, sizes []int64) (Result, error) {
 
 // PingPong runs the sweep on a simulated stack.
 //
-// Deprecated: build a job (mpi.NewSimJob, or comm.NewJob for any engine)
-// and use RunPingPong.
-func PingPong(st *core.Stack, sizes []int64) (Result, error) {
-	return RunPingPong(mpi.NewSimJob(st), sizes)
-}
 
 // Alltoall runs the sweep on a simulated stack.
 //
-// Deprecated: build a job (mpi.NewSimJob, or comm.NewJob for any engine)
-// and use RunAlltoall.
-func Alltoall(st *core.Stack, sizes []int64) (Result, error) {
-	return RunAlltoall(mpi.NewSimJob(st), sizes)
-}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"knemesis/internal/core"
+	"knemesis/internal/mpi"
 	"knemesis/internal/nemesis"
 	"knemesis/internal/topo"
 	"knemesis/internal/units"
@@ -24,7 +25,7 @@ func TestPingPongMonotoneThroughput(t *testing.T) {
 	m := topo.XeonE5345()
 	c0, c1 := m.PairSharedCache()
 	st := core.NewStack(m, []topo.CoreID{c0, c1}, core.Options{Kind: core.KnemLMT}, nemesis.Config{})
-	res, err := PingPong(st, []int64{128 * units.KiB, 512 * units.KiB})
+	res, err := RunPingPong(mpi.NewSimJob(st), []int64{128 * units.KiB, 512 * units.KiB})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestPingPongMonotoneThroughput(t *testing.T) {
 func TestPingPongNeedsTwoRanks(t *testing.T) {
 	m := topo.XeonE5345()
 	st := core.NewStack(m, []topo.CoreID{0}, core.Options{Kind: core.DefaultLMT}, nemesis.Config{})
-	if _, err := PingPong(st, []int64{64 * units.KiB}); err == nil {
+	if _, err := RunPingPong(mpi.NewSimJob(st), []int64{64 * units.KiB}); err == nil {
 		t.Fatal("single-rank PingPong should fail")
 	}
 }
@@ -54,7 +55,7 @@ func TestPingPongNeedsTwoRanks(t *testing.T) {
 func TestAlltoallAggregatedThroughput(t *testing.T) {
 	m := topo.XeonE5345()
 	st := core.NewStack(m, m.AllCores()[:4], core.Options{Kind: core.DefaultLMT}, nemesis.Config{})
-	res, err := Alltoall(st, []int64{32 * units.KiB})
+	res, err := RunAlltoall(mpi.NewSimJob(st), []int64{32 * units.KiB})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestLabelsCarryBackend(t *testing.T) {
 	m := topo.XeonE5345()
 	c0, c1 := m.PairSharedCache()
 	st := core.NewStack(m, []topo.CoreID{c0, c1}, core.Options{Kind: core.VmspliceLMT}, nemesis.Config{})
-	res, err := PingPong(st, []int64{64 * units.KiB})
+	res, err := RunPingPong(mpi.NewSimJob(st), []int64{64 * units.KiB})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,8 +10,6 @@ import (
 	"fmt"
 
 	"knemesis/internal/comm"
-	"knemesis/internal/core"
-	"knemesis/internal/mpi"
 	"knemesis/internal/sim"
 	"knemesis/internal/units"
 )
@@ -190,24 +188,9 @@ func RunExchange(j comm.Job, sizes []int64) (MultiResult, error) {
 
 // MultiPingPong runs the sweep on a simulated stack.
 //
-// Deprecated: build a job (mpi.NewSimJob, or comm.NewJob for any engine)
-// and use RunMultiPingPong.
-func MultiPingPong(st *core.Stack, sizes []int64) (MultiResult, error) {
-	return RunMultiPingPong(mpi.NewSimJob(st), sizes)
-}
 
 // Sendrecv runs the sweep on a simulated stack.
 //
-// Deprecated: build a job (mpi.NewSimJob, or comm.NewJob for any engine)
-// and use RunSendrecv.
-func Sendrecv(st *core.Stack, sizes []int64) (MultiResult, error) {
-	return RunSendrecv(mpi.NewSimJob(st), sizes)
-}
 
 // Exchange runs the sweep on a simulated stack.
 //
-// Deprecated: build a job (mpi.NewSimJob, or comm.NewJob for any engine)
-// and use RunExchange.
-func Exchange(st *core.Stack, sizes []int64) (MultiResult, error) {
-	return RunExchange(mpi.NewSimJob(st), sizes)
-}

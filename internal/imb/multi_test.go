@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"knemesis/internal/core"
+	"knemesis/internal/mpi"
 	"knemesis/internal/nemesis"
 	"knemesis/internal/topo"
 	"knemesis/internal/units"
@@ -30,11 +31,11 @@ func multiStack(t *testing.T, kind core.Kind, pairs int, shared bool) *core.Stac
 // barrier-bounded window: the two must agree closely.
 func TestMultiPingPongMatchesSoloAtOnePair(t *testing.T) {
 	sizes := []int64{256 * units.KiB}
-	multi, err := MultiPingPong(multiStack(t, core.KnemLMT, 1, false), sizes)
+	multi, err := RunMultiPingPong(mpi.NewSimJob(multiStack(t, core.KnemLMT, 1, false)), sizes)
 	if err != nil {
 		t.Fatal(err)
 	}
-	solo, err := PingPong(multiStack(t, core.KnemLMT, 1, false), sizes)
+	solo, err := RunPingPong(mpi.NewSimJob(multiStack(t, core.KnemLMT, 1, false)), sizes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,11 +48,11 @@ func TestMultiPingPongMatchesSoloAtOnePair(t *testing.T) {
 func TestMultiPingPongNeedsEvenRanks(t *testing.T) {
 	m := topo.XeonE5345()
 	st := core.NewStack(m, []topo.CoreID{0, 2, 4}, core.Options{Kind: core.DefaultLMT}, nemesis.Config{})
-	if _, err := MultiPingPong(st, []int64{128 * units.KiB}); err == nil {
+	if _, err := RunMultiPingPong(mpi.NewSimJob(st), []int64{128 * units.KiB}); err == nil {
 		t.Fatal("odd rank count should fail")
 	}
 	st = core.NewStack(m, []topo.CoreID{0}, core.Options{Kind: core.DefaultLMT}, nemesis.Config{})
-	if _, err := MultiPingPong(st, []int64{128 * units.KiB}); err == nil {
+	if _, err := RunMultiPingPong(mpi.NewSimJob(st), []int64{128 * units.KiB}); err == nil {
 		t.Fatal("single rank should fail")
 	}
 }
@@ -61,7 +62,7 @@ func TestMultiPingPongNeedsEvenRanks(t *testing.T) {
 // total. Only the pair's two cores may be busy.
 func TestMultiPointUtilizationWindow(t *testing.T) {
 	st := multiStack(t, core.DefaultLMT, 1, false)
-	res, err := MultiPingPong(st, []int64{256 * units.KiB})
+	res, err := RunMultiPingPong(mpi.NewSimJob(st), []int64{256 * units.KiB})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,11 +103,11 @@ func TestMultiPingPongContends(t *testing.T) {
 		{core.DefaultLMT, 3.0, 1.2},
 		{core.KnemLMT, 4.1, 3.5},
 	} {
-		solo, err := MultiPingPong(multiStack(t, tc.kind, 1, false), sizes)
+		solo, err := RunMultiPingPong(mpi.NewSimJob(multiStack(t, tc.kind, 1, false)), sizes)
 		if err != nil {
 			t.Fatal(err)
 		}
-		four, err := MultiPingPong(multiStack(t, tc.kind, 4, false), sizes)
+		four, err := RunMultiPingPong(mpi.NewSimJob(multiStack(t, tc.kind, 4, false)), sizes)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,12 +122,12 @@ func TestSendrecvAndExchangeShapes(t *testing.T) {
 	m := topo.XeonE5345()
 	sizes := []int64{128 * units.KiB}
 	st := core.NewStack(m, m.AllCores()[:4], core.Options{Kind: core.CMALMT}, nemesis.Config{})
-	sr, err := Sendrecv(st, sizes)
+	sr, err := RunSendrecv(mpi.NewSimJob(st), sizes)
 	if err != nil {
 		t.Fatal(err)
 	}
 	st = core.NewStack(m, m.AllCores()[:4], core.Options{Kind: core.CMALMT}, nemesis.Config{})
-	ex, err := Exchange(st, sizes)
+	ex, err := RunExchange(mpi.NewSimJob(st), sizes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,11 +150,11 @@ func TestSendrecvAndExchangeShapes(t *testing.T) {
 func TestSendrecvNeedsTwoRanks(t *testing.T) {
 	m := topo.XeonE5345()
 	st := core.NewStack(m, []topo.CoreID{0}, core.Options{Kind: core.DefaultLMT}, nemesis.Config{})
-	if _, err := Sendrecv(st, []int64{64 * units.KiB}); err == nil {
+	if _, err := RunSendrecv(mpi.NewSimJob(st), []int64{64 * units.KiB}); err == nil {
 		t.Fatal("single-rank Sendrecv should fail")
 	}
 	st = core.NewStack(m, []topo.CoreID{0}, core.Options{Kind: core.DefaultLMT}, nemesis.Config{})
-	if _, err := Exchange(st, []int64{64 * units.KiB}); err == nil {
+	if _, err := RunExchange(mpi.NewSimJob(st), []int64{64 * units.KiB}); err == nil {
 		t.Fatal("single-rank Exchange should fail")
 	}
 }

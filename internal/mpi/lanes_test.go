@@ -1,0 +1,187 @@
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"knemesis/internal/core"
+	"knemesis/internal/mem"
+	"knemesis/internal/nemesis"
+	"knemesis/internal/sim"
+	"knemesis/internal/topo"
+	"knemesis/internal/units"
+)
+
+// laneDiffArtefacts is everything the lane differential test compares
+// between the serial reference engine and the parallel lane engine:
+// per-rank observed timestamps, final simulated time, channel message
+// accounting, cache statistics and the canonical executed-event trace.
+type laneDiffArtefacts struct {
+	obs       [][]sim.Time
+	final     sim.Time
+	eager     int64
+	rndv      int64
+	bytesSent int64
+	l2        string
+	trace     []laneTraceRec
+}
+
+type laneTraceRec struct {
+	at  sim.Time
+	seq uint64
+	dom sim.Domain
+}
+
+// runLaneDiffWorkload runs a randomized mix of point-to-point traffic,
+// collectives, machine-coupled Compute and lane-resident LanePhases.
+// mode: 0 serial, 1 parallel, 2 mid-run mode flips.
+func runLaneDiffWorkload(t *testing.T, seed int64, ranks int, mode int) laneDiffArtefacts {
+	t.Helper()
+	m := topo.XeonE5345()
+	st := core.NewStack(m, m.AllCores()[:ranks], core.Options{Kind: core.KnemLMT}, nemesis.Config{})
+	eng := st.M.Eng
+	eng.SetSerial(mode != 1)
+	w := NewWorld(st)
+	w.EnableLanes()
+
+	// Exchange sizes are a schedule shared by all ranks (sender and
+	// receiver must agree); per-rank RNGs drive everything rank-local.
+	sizeRng := rand.New(rand.NewSource(seed))
+	sizes := make([]int64, 4)
+	for i := range sizes {
+		sizes[i] = int64(sizeRng.Intn(2)*180*int(units.KiB) + 1024)
+	}
+
+	art := laneDiffArtefacts{obs: make([][]sim.Time, ranks)}
+	eng.SetTrace(func(at sim.Time, seq uint64, dom sim.Domain) {
+		art.trace = append(art.trace, laneTraceRec{at, seq, dom})
+	})
+
+	app := func(c *Comm) {
+		rng := rand.New(rand.NewSource(seed + int64(c.Rank())*104729))
+		buf := c.Alloc(192 * units.KiB)
+		rbuf := c.Alloc(192 * units.KiB)
+		note := func() { art.obs[c.Rank()] = append(art.obs[c.Rank()], c.Now()) }
+		for iter := 0; iter < 4; iter++ {
+			// Lane-resident rank-local compute phases.
+			c.LanePhases(rng.Intn(3)+1, func(i int) sim.Time {
+				return sim.Time(rng.Intn(int(20 * sim.Microsecond)))
+			})
+			note()
+			// Neighbour exchange: eager and rendezvous sized messages.
+			size := sizes[iter]
+			peer := (c.Rank() + 1) % c.Size()
+			prev := (c.Rank() - 1 + c.Size()) % c.Size()
+			c.Sendrecv(peer, iter, mem.VecOf(buf.Slice(0, size)),
+				prev, iter, mem.VecOf(rbuf.Slice(0, size)))
+			note()
+			// Machine-coupled computation (cache and bus effects).
+			c.Compute(sim.Time(rng.Intn(int(5*sim.Microsecond))),
+				mem.Region{Buf: buf, Off: 0, Len: 64 * units.KiB})
+			note()
+			// A collective to force global interleaving.
+			c.Barrier()
+			note()
+		}
+	}
+
+	if mode == 2 {
+		for rank := 0; rank < w.Size; rank++ {
+			rank := rank
+			ep := w.Stack.Ch.Endpoints[rank]
+			eng.Spawn(fmt.Sprintf("mpi-rank%d", rank), func(p *sim.Proc) {
+				app(&Comm{w: w, rank: rank, ep: ep, p: p})
+			})
+		}
+		serial := false
+		var limit sim.Time
+		for {
+			limit += 500 * sim.Microsecond
+			eng.SetSerial(serial)
+			serial = !serial
+			if err := eng.RunUntil(limit); err != nil {
+				t.Fatalf("seed %d flip: %v", seed, err)
+			}
+			if eng.Now() < limit {
+				break
+			}
+		}
+		art.final = eng.Now()
+	} else {
+		final, err := w.Run(app)
+		if err != nil {
+			t.Fatalf("seed %d mode %d: %v", seed, mode, err)
+		}
+		art.final = final
+	}
+
+	art.eager, art.rndv = st.Ch.EagerMsgs, st.Ch.RndvMsgs
+	art.bytesSent = st.Ch.BytesSent
+	art.l2 = fmt.Sprintf("%+v", st.M.TotalL2Stats())
+	sort.Slice(art.trace, func(i, j int) bool {
+		if art.trace[i].at != art.trace[j].at {
+			return art.trace[i].at < art.trace[j].at
+		}
+		return art.trace[i].seq < art.trace[j].seq
+	})
+	return art
+}
+
+// TestLaneDifferentialMPI is the product-level differential gate: full MPI
+// workloads over the Nemesis channel — eager and rendezvous traffic,
+// collectives, cache-coupled compute and lane-resident phases — must
+// produce identical artefacts on the serial reference engine, the parallel
+// lane engine, and under mid-run engine-mode flips.
+func TestLaneDifferentialMPI(t *testing.T) {
+	seeds := []int64{5, 1234}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		ref := runLaneDiffWorkload(t, seed, 4, 0)
+		for mode, name := range map[int]string{1: "parallel", 2: "flip"} {
+			got := runLaneDiffWorkload(t, seed, 4, mode)
+			if !reflect.DeepEqual(ref.trace, got.trace) {
+				t.Fatalf("seed %d: %s event trace diverged (%d vs %d events)",
+					seed, name, len(got.trace), len(ref.trace))
+			}
+			refNoTrace, gotNoTrace := ref, got
+			refNoTrace.trace, gotNoTrace.trace = nil, nil
+			if !reflect.DeepEqual(refNoTrace, gotNoTrace) {
+				t.Fatalf("seed %d: %s artefacts diverged from serial:\nserial: %+v\n%s: %+v",
+					seed, name, refNoTrace, name, gotNoTrace)
+			}
+		}
+	}
+}
+
+// TestLanePhasesSpeedShape checks the modeled-time contract: lane phases
+// cost the sum of their durations plus the Enter/Exit scheduling latency,
+// identically in both engine modes.
+func TestLanePhasesSpeedShape(t *testing.T) {
+	for _, serial := range []bool{true, false} {
+		m := topo.XeonE5345()
+		st := core.NewStack(m, m.AllCores()[:2], core.Options{}, nemesis.Config{})
+		st.M.Eng.SetSerial(serial)
+		w := NewWorld(st)
+		w.EnableLanes()
+		hop := st.MinCrossDelay()
+		var ends [2]sim.Time
+		if _, err := w.Run(func(c *Comm) {
+			start := c.Now()
+			c.LanePhases(5, func(i int) sim.Time { return 10 * sim.Microsecond })
+			ends[c.Rank()] = c.Now() - start
+		}); err != nil {
+			t.Fatal(err)
+		}
+		want := 2*hop + 50*sim.Microsecond
+		for r, d := range ends {
+			if d != want {
+				t.Errorf("serial=%v rank %d lane phases took %v, want %v", serial, r, d, want)
+			}
+		}
+	}
+}

@@ -25,6 +25,9 @@ const collTagBase = 1 << 24
 type World struct {
 	Stack *core.Stack
 	Size  int
+
+	// lanes[rank] is the rank's private event lane, set by EnableLanes.
+	lanes []sim.Domain
 }
 
 // NewWorld wraps a stack (one MPI rank per channel endpoint).
@@ -58,6 +61,27 @@ func (w *World) Run(app func(c *Comm)) (sim.Time, error) {
 	return w.Stack.M.Eng.Now(), err
 }
 
+// EnableLanes declares one event lane per rank and sets the engine's
+// conservative lookahead to the stack's minimum cross-rank delay. Under the
+// parallel simulator core, rank-local phases executed through LanePhases
+// then run concurrently across ranks; under the serial reference engine the
+// same lanes execute in strict (at, seq) order with identical results. Call
+// once, before Run. Idempotent.
+func (w *World) EnableLanes() {
+	if w.lanes != nil {
+		return
+	}
+	eng := w.Stack.M.Eng
+	w.lanes = make([]sim.Domain, w.Size)
+	for rank := range w.lanes {
+		w.lanes[rank] = eng.NewDomain(fmt.Sprintf("rank%d", rank))
+	}
+	eng.SetLookahead(w.Stack.MinCrossDelay())
+}
+
+// LanesEnabled reports whether EnableLanes has been called.
+func (w *World) LanesEnabled() bool { return w.lanes != nil }
+
 // Rank returns the calling rank.
 func (c *Comm) Rank() int { return c.rank }
 
@@ -89,6 +113,25 @@ func (c *Comm) Space() *mem.Space { return c.ep.Space }
 // given working-set regions (cache effects included).
 func (c *Comm) Compute(base sim.Time, ws ...mem.Region) {
 	c.w.Stack.M.Compute(c.p, c.ep.Core, base, ws...)
+}
+
+// LanePhases runs n rank-local compute phases on the rank's private event
+// lane: the process hops onto its lane (paying the scheduling latency
+// once each way), then for each phase calls step — on the lane's worker
+// goroutine under the parallel engine, so host-side work inside step runs
+// concurrently across ranks — and advances the lane clock by the modeled
+// duration step returns. step must not touch shared simulation state
+// (channel, machine, other ranks); the cache-aware alternative for
+// machine-coupled computation is Compute. Requires World.EnableLanes.
+func (c *Comm) LanePhases(n int, step func(i int) sim.Time) {
+	if c.w.lanes == nil {
+		panic("mpi: LanePhases requires World.EnableLanes before Run")
+	}
+	c.p.Enter(c.w.lanes[c.rank])
+	for i := 0; i < n; i++ {
+		c.p.Sleep(step(i))
+	}
+	c.p.Exit()
 }
 
 // Status describes a completed receive.

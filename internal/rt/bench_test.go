@@ -229,7 +229,7 @@ func BenchmarkRTAlltoall(b *testing.B) {
 					send := make([]byte, n*block)
 					recv := make([]byte, n*block)
 					for i := 0; i < b.N; i++ {
-						r.Alltoall(send, recv, block)
+						alltoall(r, send, recv, block)
 					}
 				}()
 			}

@@ -1,9 +1,7 @@
 package rt
 
 import (
-	"encoding/binary"
 	"fmt"
-	"math"
 	"time"
 
 	"knemesis/internal/comm"
@@ -216,48 +214,3 @@ func (p *rtPeer) Alltoallv(send comm.Buf, sendCounts, sendDispls []int64,
 // Compute is a no-op: the proxy kernels' computation is modelled, and the
 // real runtime has nothing to model it on.
 func (p *rtPeer) Compute(base comm.Time, ws ...comm.Range) {}
-
-// Deprecated direct collective entry points, kept for one release as thin
-// wrappers over the generic algorithms (the parallel implementations that
-// used to live in collectives.go are gone).
-
-// Barrier synchronizes all ranks.
-//
-// Deprecated: use the comm.Peer handle (Job.Run) instead.
-func (r *Rank) Barrier() { r.peer().Barrier() }
-
-// Bcast broadcasts root's buf to every rank.
-//
-// Deprecated: use the comm.Peer handle (Job.Run) instead.
-func (r *Rank) Bcast(root int, buf []byte) {
-	r.peer().Bcast(root, comm.Whole(byteBuf(buf)))
-}
-
-// Alltoall exchanges equal blocks: send and recv hold Size() blocks of
-// block bytes each.
-//
-// Deprecated: use the comm.Peer handle (Job.Run) instead.
-func (r *Rank) Alltoall(send, recv []byte, block int) {
-	r.peer().Alltoall(byteBuf(send), byteBuf(recv), int64(block))
-}
-
-// AllreduceF64 combines each rank's vector elementwise with combine; every
-// rank ends with the result.
-//
-// Deprecated: use the comm.Peer handle (Job.Run) instead.
-func (r *Rank) AllreduceF64(data []float64, combine func(a, b float64) float64) {
-	buf := byteBuf(make([]byte, len(data)*8))
-	for i, v := range data {
-		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
-	}
-	r.peer().Allreduce(comm.Whole(buf), func(dst, src []byte) {
-		for i := 0; i+8 <= len(dst); i += 8 {
-			a := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:]))
-			b := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
-			binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(combine(a, b)))
-		}
-	})
-	for i := range data {
-		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
-	}
-}

@@ -111,7 +111,7 @@ func TestAlltoallEdgeCases(t *testing.T) {
 		err := w.Run(func(r *Rank) {
 			send := pattern(3, 4096)
 			recv := make([]byte, 4096)
-			r.Alltoall(send, recv, 4096)
+			alltoall(r, send, recv, 4096)
 			if !bytes.Equal(recv, send) {
 				t.Error("1-rank alltoall did not copy the local block")
 			}
@@ -125,7 +125,7 @@ func TestAlltoallEdgeCases(t *testing.T) {
 		for _, n := range []int{1, 2, 5} {
 			w := NewWorld(n, Config{})
 			err := w.Run(func(r *Rank) {
-				r.Alltoall(nil, nil, 0) // must neither panic nor deadlock
+				alltoall(r, nil, nil, 0) // must neither panic nor deadlock
 			})
 			if err != nil {
 				t.Fatalf("n=%d: %v", n, err)
@@ -143,7 +143,7 @@ func TestAlltoallEdgeCases(t *testing.T) {
 					for d := 0; d < n; d++ {
 						copy(send[d*block:], pattern(r.ID()*100+d, block))
 					}
-					r.Alltoall(send, recv, block)
+					alltoall(r, send, recv, block)
 					for s := 0; s < n; s++ {
 						if !bytes.Equal(recv[s*block:(s+1)*block], pattern(s*100+r.ID(), block)) {
 							t.Errorf("n=%d block=%d rank %d: block from %d corrupted", n, block, r.ID(), s)
@@ -167,7 +167,7 @@ func TestAlltoallEdgeCases(t *testing.T) {
 				}
 				// The peer rank never participates; nothing to unwind.
 			}()
-			r.Alltoall(make([]byte, 10), make([]byte, 10), 1024)
+			alltoall(r, make([]byte, 10), make([]byte, 10), 1024)
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -73,8 +73,10 @@ func (f *Fluid) Consume(p *Proc, amount float64) {
 }
 
 // Wait blocks p until the flow completes. Multiple processes may wait on the
-// same flow.
+// same flow. Fluids are shared (machine-domain) state: a lane-homed process
+// must Exit before waiting.
 func (fl *Flow) Wait(p *Proc) {
+	p.requireMachine("Flow.Wait")
 	for !fl.done {
 		fl.waiters = append(fl.waiters, p)
 		p.park(fl.fluid.parkReason)

@@ -1,0 +1,366 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestLaneBasics: processes entering lanes, sleeping there and exiting make
+// progress under the parallel engine, and the modeled times add up (Enter
+// charges the lookahead, lane sleeps charge their durations).
+func TestLaneBasics(t *testing.T) {
+	for _, serial := range []bool{true, false} {
+		e := NewEngine()
+		e.SetSerial(serial)
+		const L = 5 * Microsecond
+		e.SetLookahead(L)
+		const ranks = 4
+		doms := make([]Domain, ranks)
+		for i := range doms {
+			doms[i] = e.NewDomain(fmt.Sprintf("rank%d", i))
+		}
+		ends := make([]Time, ranks)
+		for i := 0; i < ranks; i++ {
+			i := i
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				p.Enter(doms[i])
+				for k := 0; k < 3; k++ {
+					p.Sleep(Millisecond)
+				}
+				p.Exit()
+				ends[i] = p.Now()
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatalf("serial=%v: %v", serial, err)
+		}
+		want := 2*L + 3*Millisecond // Enter and Exit each charge the lookahead
+		for i, end := range ends {
+			if end != want {
+				t.Errorf("serial=%v rank %d finished at %v, want %v", serial, i, end, want)
+			}
+		}
+	}
+}
+
+// TestLaneGuards: shared-state primitives refuse lane-homed processes, and
+// Enter validates its domain.
+func TestLaneGuards(t *testing.T) {
+	e := NewEngine()
+	e.SetSerial(false)
+	d := e.NewDomain("lane")
+	fl := NewFluid(e, "bus", 1e9)
+	caught := make(chan string, 1)
+	e.Spawn("p", func(p *Proc) {
+		p.Enter(d)
+		func() {
+			defer func() { caught <- fmt.Sprint(recover()) }()
+			fl.Consume(p, 1e6) // must panic: fluids are machine-domain
+		}()
+		p.Exit()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if msg := <-caught; msg == "<nil>" {
+		t.Fatal("Fluid.Consume from a lane-homed process did not panic")
+	}
+
+	e2 := NewEngine()
+	caught2 := make(chan string, 1)
+	e2.Spawn("q", func(p *Proc) {
+		defer func() { caught2 <- fmt.Sprint(recover()) }()
+		p.Enter(Domain(7)) // never declared via NewDomain
+	})
+	_ = e2.Run()
+	if msg := <-caught2; msg == "<nil>" {
+		t.Error("Enter on unknown domain did not panic")
+	}
+}
+
+// traceRec collects the executed-event stream in canonical (at, seq) order.
+type traceRec struct {
+	at  Time
+	seq uint64
+	dom Domain
+}
+
+func collectTrace(e *Engine) *[]traceRec {
+	recs := &[]traceRec{}
+	e.SetTrace(func(at Time, seq uint64, dom Domain) {
+		*recs = append(*recs, traceRec{at, seq, dom})
+	})
+	return recs
+}
+
+func canonical(recs []traceRec) []traceRec {
+	out := append([]traceRec(nil), recs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].at != out[j].at {
+			return out[i].at < out[j].at
+		}
+		return out[i].seq < out[j].seq
+	})
+	return out
+}
+
+// diffWorkload drives one randomized mixed workload: ranks alternate
+// machine phases (shared fluid consumption, condition-variable rendezvous)
+// with lane phases (Enter, chained sleeps, Exit), all durations drawn from
+// a seeded PRNG. It returns per-rank observation logs plus the final clock
+// and served totals — everything the differential test compares.
+type diffResult struct {
+	obs    [][]Time
+	final  Time
+	served float64
+}
+
+// runDiffWorkload builds the workload on a fresh engine and executes it.
+// mode: 0 = serial throughout, 1 = parallel throughout, 2 = flip modes
+// between bounded run segments (exercising SetSerial's heap migration).
+func runDiffWorkload(t *testing.T, seed int64, ranks, phases int, mode int) ([]traceRec, diffResult) {
+	t.Helper()
+	e := NewEngine()
+	e.SetSerial(mode != 1)
+	e.SetLookahead(2 * Microsecond)
+	recs := collectTrace(e)
+
+	bus := NewFluid(e, "bus", 8e9)
+	gate := NewCond(e, "gate")
+	waiting := 0
+	doms := make([]Domain, ranks)
+	for i := range doms {
+		doms[i] = e.NewDomain(fmt.Sprintf("rank%d", i))
+	}
+	res := diffResult{obs: make([][]Time, ranks)}
+	for i := 0; i < ranks; i++ {
+		i := i
+		rng := rand.New(rand.NewSource(seed + int64(i)*7919))
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for ph := 0; ph < phases; ph++ {
+				// Machine phase: contend on the shared bus fluid.
+				bus.Consume(p, float64(rng.Intn(1<<16)+1))
+				res.obs[i] = append(res.obs[i], p.Now())
+				// Barrier-ish rendezvous on a condition variable every
+				// few phases, so ranks genuinely interleave.
+				if ph%3 == 2 {
+					waiting++
+					if waiting == ranks {
+						waiting = 0
+						gate.Broadcast()
+						p.Yield()
+					} else {
+						gate.Wait(p)
+					}
+					res.obs[i] = append(res.obs[i], p.Now())
+				}
+				// Lane phase: rank-local compute as chained sleeps.
+				p.Enter(doms[i])
+				for s := 0; s < rng.Intn(4)+1; s++ {
+					p.Sleep(Time(rng.Intn(int(50 * Microsecond))))
+					res.obs[i] = append(res.obs[i], p.Now())
+				}
+				p.Exit()
+				res.obs[i] = append(res.obs[i], p.Now())
+			}
+		})
+	}
+
+	if mode == 2 {
+		// Flip between serial and parallel at time boundaries mid-run.
+		limit := Time(0)
+		serial := false
+		for {
+			limit += 300 * Microsecond
+			e.SetSerial(serial)
+			serial = !serial
+			if err := e.RunUntil(limit); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if e.pendingEvents() == 0 {
+				break
+			}
+		}
+	} else if err := e.Run(); err != nil {
+		t.Fatalf("seed %d mode %d: %v", seed, mode, err)
+	}
+	res.final = e.Now()
+	res.served = bus.Served
+	return canonical(*recs), res
+}
+
+// TestDifferentialSerialParallel is the engine-level differential gate
+// (mirroring hw/coherence_diff_test.go): randomized workloads must produce
+// identical canonical event orderings, identical per-rank observed
+// timestamps and identical served totals on the serial reference engine,
+// the parallel lane engine, and under mid-run mode flips.
+func TestDifferentialSerialParallel(t *testing.T) {
+	seeds := []int64{1, 42, 7777}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		refTrace, ref := runDiffWorkload(t, seed, 6, 9, 0)
+		for mode, name := range map[int]string{1: "parallel", 2: "flip"} {
+			gotTrace, got := runDiffWorkload(t, seed, 6, 9, mode)
+			if !reflect.DeepEqual(refTrace, gotTrace) {
+				t.Fatalf("seed %d: %s event ordering diverged from serial (%d vs %d events)",
+					seed, name, len(gotTrace), len(refTrace))
+			}
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("seed %d: %s observations diverged from serial:\nserial:  %+v\n%s: %+v",
+					seed, name, ref, name, got)
+			}
+		}
+	}
+}
+
+// FuzzDifferentialSerialParallel fuzzes the same property over arbitrary
+// seeds and shapes.
+func FuzzDifferentialSerialParallel(f *testing.F) {
+	f.Add(int64(3), uint8(3), uint8(4))
+	f.Add(int64(99), uint8(8), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, ranks, phases uint8) {
+		r := int(ranks%8) + 2
+		ph := int(phases%6) + 1
+		refTrace, ref := runDiffWorkload(t, seed, r, ph, 0)
+		gotTrace, got := runDiffWorkload(t, seed, r, ph, 1)
+		if !reflect.DeepEqual(refTrace, gotTrace) || !reflect.DeepEqual(ref, got) {
+			t.Fatalf("seed %d ranks %d phases %d: parallel diverged from serial", seed, r, ph)
+		}
+	})
+}
+
+// TestRunUntilParallel: the limit cuts lane rounds exactly like the serial
+// engine, leaving the clock at the limit.
+func TestRunUntilParallel(t *testing.T) {
+	e := NewEngine()
+	e.SetSerial(false)
+	d := e.NewDomain("r0")
+	var end Time
+	e.Spawn("p", func(p *Proc) {
+		p.Enter(d)
+		for i := 0; i < 10; i++ {
+			p.Sleep(Millisecond)
+		}
+		p.Exit()
+		end = p.Now()
+	})
+	if err := e.RunUntil(3 * Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 3*Millisecond {
+		t.Fatalf("Now() = %v after bounded run, want %v", e.Now(), 3*Millisecond)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 10*Millisecond {
+		t.Fatalf("process finished at %v, want %v", end, 10*Millisecond)
+	}
+}
+
+// TestLaneHeapPoolSteadyState: a drained engine returns its lane heap
+// backings to the shared pool, so fresh engines (the experiment runner
+// creates thousands) start with recycled arrays instead of allocating
+// per-lane from initialEventCap.
+func TestLaneHeapPoolSteadyState(t *testing.T) {
+	run := func() {
+		e := NewEngine()
+		e.SetSerial(false)
+		doms := make([]Domain, 4)
+		for i := range doms {
+			doms[i] = e.NewDomain(fmt.Sprintf("r%d", i))
+		}
+		for i := 0; i < 4; i++ {
+			i := i
+			e.Spawn("p", func(p *Proc) {
+				p.Enter(doms[i])
+				for k := 0; k < 50; k++ {
+					p.Sleep(Microsecond)
+				}
+				p.Exit()
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the pool
+	allocs := testing.AllocsPerRun(20, run)
+	// Engine, procs, goroutines and channels allocate; the per-lane heap
+	// backings (4 lanes x 256 events x 40 bytes) must not. The threshold
+	// fails if even one lane heap per run came from the allocator.
+	if allocs > 150 {
+		t.Fatalf("steady-state run allocates %.0f objects; lane heaps are not being pooled", allocs)
+	}
+}
+
+// BenchmarkLaneHeapSteadyState measures allocation behaviour of repeated
+// engine lifecycles with sharded lanes (the satellite gate: pooled backing
+// arrays, no per-lane steady-state growth).
+func BenchmarkLaneHeapSteadyState(b *testing.B) {
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		e := NewEngine()
+		e.SetSerial(false)
+		doms := make([]Domain, 8)
+		for i := range doms {
+			doms[i] = e.NewDomain("r")
+		}
+		for i := 0; i < 8; i++ {
+			i := i
+			e.Spawn("p", func(p *Proc) {
+				p.Enter(doms[i])
+				for k := 0; k < 100; k++ {
+					p.Sleep(Microsecond)
+				}
+				p.Exit()
+			})
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLaneRoundsSerialVsParallel compares the two modes on a dense
+// synchronized lane workload — the shape the parallel engine targets. On a
+// single-core host the parallel engine should stay within noise of serial;
+// with GOMAXPROCS>1 lanes execute concurrently.
+func BenchmarkLaneRoundsSerialVsParallel(b *testing.B) {
+	for _, serial := range []bool{true, false} {
+		name := "parallel"
+		if serial {
+			name = "serial"
+		}
+		b.Run(name, func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				e := NewEngine()
+				e.SetSerial(serial)
+				e.SetLookahead(Microsecond)
+				const ranks = 8
+				doms := make([]Domain, ranks)
+				for i := range doms {
+					doms[i] = e.NewDomain("r")
+				}
+				for i := 0; i < ranks; i++ {
+					i := i
+					e.Spawn("p", func(p *Proc) {
+						p.Enter(doms[i])
+						for k := 0; k < 200; k++ {
+							p.Sleep(Microsecond)
+						}
+						p.Exit()
+					})
+				}
+				if err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,14 +1,38 @@
 package sim
 
+import "fmt"
+
 // Proc is a simulated process: a goroutine that advances simulated time by
 // blocking on the engine. All Proc methods must be called from the process's
 // own goroutine (that is, from within the function passed to Spawn).
+//
+// A process is homed on a domain. Machine-homed processes (the default) may
+// use every engine primitive; while homed on a lane (between Enter and
+// Exit) a process runs its events on that lane's worker — concurrently with
+// other lanes under the parallel engine — and may therefore only touch
+// lane-local and process-local state: Sleep, Yield, Now and Exit. Shared
+// primitives (conditions, fluids, mailboxes, resources, sends) require
+// machine residence and panic otherwise.
 type Proc struct {
 	eng  *Engine
 	name string
 	pid  int
 
-	resume    chan struct{}
+	// dom is the process's home domain; wake events fire there.
+	dom Domain
+	// laneCtx is the lane the process is currently executing on (nil in
+	// machine context or serial mode). Set by wake before the control
+	// transfer, so the process goroutine observes it via the channel
+	// handshake.
+	laneCtx *lane
+
+	// resume and yield are the per-process control-transfer pair: wakers
+	// send on resume and wait on yield; the process parks by sending on
+	// yield and waiting on resume. Per-process (rather than engine-global)
+	// channels let lane workers resume their processes concurrently.
+	resume chan struct{}
+	yield  chan struct{}
+
 	started   bool
 	done      bool
 	daemon    bool
@@ -27,21 +51,24 @@ func (e *Engine) SpawnAt(start Time, name string, fn func(*Proc)) *Proc {
 }
 
 func (e *Engine) spawn(start Time, name string, daemon bool, fn func(*Proc)) *Proc {
-	p := &Proc{eng: e, name: name, pid: e.nextPID, daemon: daemon, resume: make(chan struct{})}
+	p := &Proc{
+		eng: e, name: name, pid: e.nextPID, daemon: daemon,
+		resume: make(chan struct{}), yield: make(chan struct{}),
+	}
 	p.wakeFn = p.wake
 	e.nextPID++
 	e.procs = append(e.procs, p)
 	if !daemon {
-		e.liveProc++
+		e.liveProc.Add(1)
 	}
 	go func() {
 		<-p.resume // wait for the start event
 		fn(p)
 		p.done = true
 		if !daemon {
-			e.liveProc--
+			e.liveProc.Add(-1)
 		}
-		e.yield <- struct{}{}
+		p.yield <- struct{}{}
 	}()
 	e.Schedule(start, func() {
 		p.started = true
@@ -63,17 +90,24 @@ func (e *Engine) SpawnDaemon(name string, fn func(*Proc)) *Proc {
 }
 
 // wake transfers control to the process goroutine and returns when it parks
-// again (or finishes). It must be called from engine/event context.
+// again (or finishes). It must be called from the executor owning the
+// process's wake event: the engine loop for machine-homed processes, the
+// lane worker for lane-homed ones.
 func (p *Proc) wake() {
+	if p.dom != DomainMachine && !p.eng.serial {
+		p.laneCtx = p.eng.lanes[p.dom-1]
+	} else {
+		p.laneCtx = nil
+	}
 	p.resume <- struct{}{}
-	<-p.eng.yield
+	<-p.yield
 }
 
-// park returns control to the engine until the process is woken.
+// park returns control to the executor until the process is woken.
 // reason is recorded for deadlock diagnostics.
 func (p *Proc) park(reason string) {
 	p.blockedOn = reason
-	p.eng.yield <- struct{}{}
+	p.yield <- struct{}{}
 	<-p.resume
 	p.blockedOn = ""
 }
@@ -87,8 +121,25 @@ func (p *Proc) Name() string { return p.name }
 // PID returns the unique process id.
 func (p *Proc) PID() int { return p.pid }
 
-// Now returns the current simulated time.
-func (p *Proc) Now() Time { return p.eng.now }
+// Now returns the current simulated time: the lane-local clock while homed
+// on a lane, the machine clock otherwise.
+func (p *Proc) Now() Time {
+	if lc := p.laneCtx; lc != nil {
+		return lc.now
+	}
+	return p.eng.now
+}
+
+// Domain returns the process's current home domain.
+func (p *Proc) Domain() Domain { return p.dom }
+
+// requireMachine guards shared-state primitives: they are machine-domain
+// only, in both modes (so serial remains the exact reference for parallel).
+func (p *Proc) requireMachine(what string) {
+	if p.dom != DomainMachine {
+		panic(fmt.Sprintf("sim: %s from process %s while homed on a lane (call Exit first)", what, p.name))
+	}
+}
 
 // Sleep suspends the process for simulated duration d (d <= 0 yields at the
 // current time, running after already-scheduled same-time events).
@@ -96,9 +147,49 @@ func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		d = 0
 	}
-	p.eng.Schedule(p.eng.now+d, p.wakeFn)
+	if lc := p.laneCtx; lc != nil {
+		lc.schedule(p.dom, lc.now+d, p.wakeFn)
+		p.park("sleep")
+		return
+	}
+	p.eng.ScheduleDomain(p.dom, p.eng.now+d, p.wakeFn)
 	p.park("sleep")
 }
 
 // Yield reschedules the process at the current time behind pending events.
 func (p *Proc) Yield() { p.Sleep(0) }
+
+// Enter homes the process on lane d. It costs the engine's declared
+// lookahead of simulated time — the modeled scheduling-in latency of
+// binding a context to its dedicated core — in both modes; that charge is
+// what lets the parallel engine run the lane ahead of the machine clock
+// without coordination. Must be called from machine residence.
+func (p *Proc) Enter(d Domain) {
+	p.requireMachine("Enter")
+	if d <= 0 || int(d) > len(p.eng.lanes) {
+		panic(fmt.Sprintf("sim: Enter on unknown domain %d", d))
+	}
+	p.dom = d
+	p.eng.ScheduleDomain(d, p.eng.now+p.eng.lookahead, p.wakeFn)
+	p.park("enter " + p.eng.lanes[d-1].name)
+}
+
+// Exit returns the process to machine residence. Like Enter it costs the
+// engine's declared lookahead of simulated time — the modeled scheduling-out
+// latency of rejoining the shared machine — in both modes; that charge keeps
+// the hop at or beyond the parallel engine's round bound, so the machine
+// never observes it mid-window. A machine-homed process may call it as a
+// no-op.
+func (p *Proc) Exit() {
+	if p.dom == DomainMachine {
+		return
+	}
+	p.dom = DomainMachine
+	if lc := p.laneCtx; lc != nil {
+		lc.schedule(DomainMachine, lc.now+p.eng.lookahead, p.wakeFn)
+		p.park("exit lane")
+		return
+	}
+	p.eng.ScheduleDomain(DomainMachine, p.eng.now+p.eng.lookahead, p.wakeFn)
+	p.park("exit lane")
+}
