@@ -18,7 +18,10 @@
 //	imb -bench sendrecv -lmt cma -ranks 8             # periodic-chain exchange
 //	imb -engine rt -bench exchange -ranks 8           # both-neighbour, goroutines
 //	imb -bench alltoall -lmt knem-ioat -ranks 8
+//	imb -topo examples/topologies/two-node.dot -bench alltoall -ranks 16
+//	imb -topo fat-tree-16 -topoplace spread -bench sendrecv -ranks 16
 //	imb -lmt list        # describe every registered backend preset
+//	imb -topo list       # describe every registered cluster preset
 package main
 
 import (
@@ -50,6 +53,9 @@ func main() {
 		rtmode     = flag.String("rtmode", "single-copy", strings.Join(rt.ModeNames(), "|")+" (rt engine)")
 		placement  = flag.String("placement", "cross", "shared|cross (pingpong on sim only)")
 		machine    = flag.String("machine", "e5345", "e5345|x5460|nehalem (sim only)")
+		topoName   = flag.String("topo", "", "multi-node cluster: a .dot file or "+strings.Join(topo.ClusterNames(), "|")+"|list")
+		topoPlace  = flag.String("topoplace", "block", "block|spread rank placement on -topo")
+		flatColl   = flag.Bool("flatcoll", false, "keep flat single-level collectives on -topo")
 		ranks      = flag.Int("ranks", 8, "rank count (sendrecv/exchange/alltoall)")
 		multi      = flag.Int("multi", 1, "concurrent PingPong pairs (pingpong only)")
 		minSize    = flag.String("min", "64KiB", "smallest message size")
@@ -74,6 +80,12 @@ func main() {
 		}
 		return
 	}
+	if *topoName == "list" {
+		for _, p := range topo.ClusterPresets() {
+			fmt.Printf("%-16s %s\n", p.Name, p.Help)
+		}
+		return
+	}
 
 	// Validate every registry-backed flag up front: unknown values exit
 	// non-zero with the registered names, nothing falls through silently.
@@ -95,6 +107,11 @@ func main() {
 	if *multi < 1 {
 		usageErr("-multi %d: need at least 1 pair", *multi)
 	}
+	if *topoPlace != "block" && *topoPlace != "spread" {
+		usageErr("unknown -topoplace %q (have block|spread)", *topoPlace)
+	}
+	cluster, err := resolveTopo(*topoName)
+	check(err)
 
 	m, err := machineByName(*machine)
 	check(err)
@@ -105,6 +122,11 @@ func main() {
 	sizes := units.Pow2Sizes(lo, hi)
 
 	spec := comm.JobSpec{Machine: m, LMT: *lmt, RTMode: *rtmode}
+	if cluster != nil {
+		spec.Topology = cluster
+		spec.Placement = *topoPlace
+		spec.FlatCollectives = *flatColl
+	}
 	if *eagerMax != "" {
 		v, err := units.ParseSize(*eagerMax)
 		check(err)
@@ -112,10 +134,18 @@ func main() {
 	}
 
 	// -ranks only applies to the chain/collective benches; pingpong sizes
-	// itself from -multi (and, on sim, the placement helpers).
+	// itself from -multi (and, on sim, the placement helpers). With a
+	// cluster topology the cluster's core count governs, not the single
+	// machine preset.
 	checkRanks := func() {
 		if *ranks < 2 {
 			usageErr("-ranks %d: need at least 2", *ranks)
+		}
+		if cluster != nil {
+			if cap := cluster.Capacity(); *ranks > cap {
+				usageErr("cluster %s has %d cores, requested %d ranks", cluster.Name, cap, *ranks)
+			}
+			return
 		}
 		if *engine == "sim" && *ranks > m.Cores {
 			usageErr("machine has %d cores, requested %d ranks", m.Cores, *ranks)
@@ -131,7 +161,13 @@ func main() {
 	switch *bench {
 	case "pingpong":
 		spec.Ranks = 2 * *multi
-		if *engine == "sim" {
+		if cluster != nil {
+			// Rank placement comes from -topoplace on the cluster; the
+			// single-machine cache-placement helpers don't apply.
+			if cap := cluster.Capacity(); spec.Ranks > cap {
+				usageErr("cluster %s has %d cores, requested %d ranks", cluster.Name, cap, spec.Ranks)
+			}
+		} else if *engine == "sim" {
 			cores, err := pairPlacement(m, *placement, *multi)
 			check(err)
 			spec.Cores = cores
@@ -169,6 +205,27 @@ func main() {
 		check(err)
 		printSolo(res, *engine, j)
 	}
+}
+
+// resolveTopo turns the -topo value into a cluster: "" means single-node, a
+// value naming a readable file is parsed as DOT, anything else must be a
+// registered preset name.
+func resolveTopo(name string) (*topo.Cluster, error) {
+	if name == "" {
+		return nil, nil
+	}
+	if _, err := os.Stat(name); err == nil {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		cl, err := topo.ParseDOT(string(src))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		return cl, nil
+	}
+	return topo.LookupCluster(name)
 }
 
 // pairPlacement builds the core list for n PingPong pairs under a placement.

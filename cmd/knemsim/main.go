@@ -73,6 +73,7 @@ func main() {
 		env.A2ASizes = []int64{16 * units.KiB, 128 * units.KiB, 1 * units.MiB}
 		env.MultiSizes = []int64{1 * units.MiB} // the contention-crossover size
 		env.RTSizes = []int64{64 * units.KiB, 1 * units.MiB}
+		env.TopoSizes = []int64{16 * units.KiB}
 
 		env.Kernels = []nas.Kernel{nas.MG().Scaled(4), nas.FT().Scaled(10), nas.ISSized(1<<21, 3, 8)}
 		env.ISKernel = nas.ISSized(1<<21, 3, 8)

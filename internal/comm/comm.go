@@ -109,6 +109,11 @@ type Peer interface {
 	Rank() int
 	Size() int
 
+	// NodeOf returns the cluster node index hosting a rank: 0 for every
+	// rank of a single-node job, the placement's node otherwise. The
+	// hierarchical collectives group ranks by it.
+	NodeOf(rank int) int
+
 	// Alloc allocates rank-private, zero-initialized memory whose content
 	// is real (Bytes works everywhere).
 	Alloc(n int64) Buf
@@ -130,6 +135,11 @@ type Peer interface {
 	// block of pairwise exchanges, deadlock-free even when both sides
 	// send first.
 	Sendrecv(dst, sendTag int, s Range, src, recvTag int, rv Range) Status
+
+	// CopyLocal moves bytes within the rank's own memory (dst.Len ==
+	// src.Len). Engines with a memory model charge modelled copy cost and
+	// accept bench buffers; real engines perform a plain copy.
+	CopyLocal(dst, src Range)
 
 	// Collectives. Every rank must invoke them in the same order.
 	Barrier()

@@ -7,6 +7,7 @@ import (
 	"knemesis/internal/comm"
 	"knemesis/internal/core"
 	"knemesis/internal/rt"
+	"knemesis/internal/topo"
 
 	// Register the sim engine (rt registers via the direct import above).
 	_ "knemesis/internal/mpi"
@@ -88,6 +89,131 @@ func TestConformanceAcrossEngines(t *testing.T) {
 			}
 		})
 	}
+}
+
+// The same contract on multi-node clusters: every conformance case runs on
+// each registered multi-node preset under spread placement, so the pairs the
+// cases exercise straddle node boundaries and the messages travel the
+// network path (the sim's modelled links, rt's cross-node cell streaming)
+// instead of shared memory — with identical semantics.
+func TestConformanceMultiNodeTopologies(t *testing.T) {
+	type target struct{ engine, rtmode string }
+	targets := []target{{engine: "sim"}}
+	for _, mode := range rt.ModeNames() {
+		targets = append(targets, target{engine: "rt", rtmode: mode})
+	}
+	for _, topoName := range []string{"two-node", "four-node", "asym-4"} {
+		cl, err := topo.LookupCluster(topoName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tg := range targets {
+			tg := tg
+			name := topoName + "/" + tg.engine
+			if tg.rtmode != "" {
+				name += "-" + tg.rtmode
+			}
+			t.Run(name, func(t *testing.T) {
+				for _, tc := range conformanceCases() {
+					tc := tc
+					t.Run(tc.name, func(t *testing.T) {
+						job, err := comm.NewJob(tg.engine, comm.JobSpec{
+							Ranks:     tc.ranks,
+							EagerMax:  confEagerMax,
+							RTMode:    tg.rtmode,
+							Topology:  cl,
+							Placement: "spread",
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if err := job.Run(func(c comm.Peer) { tc.app(t, c) }); err != nil {
+							t.Fatalf("job failed: %v", err)
+						}
+					})
+				}
+			})
+		}
+	}
+}
+
+// Traffic must take the modelled path its placement implies: inter-node
+// pairs ride the network channel, intra-node pairs stay on the node's
+// shared-memory fast paths — on both engines.
+func TestMultiNodeTrafficPaths(t *testing.T) {
+	cl, err := topo.LookupCluster("two-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pingpong := func(c comm.Peer) {
+		for _, n := range []int64{64, eagerBytes, rendezvousLen} {
+			buf := c.Alloc(n)
+			switch c.Rank() {
+			case 0:
+				fill(buf, int(n))
+				c.Send(1, 3, comm.Whole(buf))
+			case 1:
+				c.Recv(0, 3, comm.Whole(buf))
+			}
+		}
+	}
+	run := func(t *testing.T, engine, placement string) comm.Job {
+		t.Helper()
+		job, err := comm.NewJob(engine, comm.JobSpec{
+			Ranks: 2, EagerMax: confEagerMax, Topology: cl, Placement: placement,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := job.Run(pingpong); err != nil {
+			t.Fatal(err)
+		}
+		return job
+	}
+
+	t.Run("sim", func(t *testing.T) {
+		// Spread: ranks 0 and 1 sit on different nodes; every message
+		// crosses the cable and none rides a node channel.
+		cs := run(t, "sim", "spread").(interface{ Cluster() *core.ClusterStack }).Cluster()
+		// Msgs counts packets: two eager plus the rendezvous RTS/CTS/DATA.
+		if cs.Net.Msgs != 5 {
+			t.Errorf("spread: %d network packets, want 5", cs.Net.Msgs)
+		}
+		if cs.Net.EagerMsgs != 2 || cs.Net.RndvMsgs != 1 {
+			t.Errorf("spread: net eager/rndv = %d/%d, want 2/1", cs.Net.EagerMsgs, cs.Net.RndvMsgs)
+		}
+		// Block: both ranks land on node 0 and the network stays silent.
+		cs = run(t, "sim", "block").(interface{ Cluster() *core.ClusterStack }).Cluster()
+		if cs.Net.Msgs != 0 {
+			t.Errorf("block: %d network messages, want 0", cs.Net.Msgs)
+		}
+		if local := cs.Nodes[0].Ch.EagerMsgs + cs.Nodes[0].Ch.RndvMsgs; local != 3 {
+			t.Errorf("block: %d node-channel messages, want 3", local)
+		}
+	})
+
+	t.Run("rt", func(t *testing.T) {
+		w := run(t, "rt", "spread").(interface{ World() *rt.World }).World()
+		if got := w.NetMsgs.Load(); got != 3 {
+			t.Errorf("spread: %d cross-node messages, want 3", got)
+		}
+		if got := w.FastboxMsgs.Load(); got != 0 {
+			t.Errorf("spread: %d fastbox messages, want 0 (no shared memory across nodes)", got)
+		}
+		if got := w.RndvMsgs.Load(); got != 0 {
+			t.Errorf("spread: %d rendezvous messages, want 0 (cross-node forces streaming)", got)
+		}
+		w = run(t, "rt", "block").(interface{ World() *rt.World }).World()
+		if got := w.NetMsgs.Load(); got != 0 {
+			t.Errorf("block: %d cross-node messages, want 0", got)
+		}
+		if got := w.FastboxMsgs.Load(); got == 0 {
+			t.Error("block: the 64-byte message should have taken the fastbox")
+		}
+		if got := w.RndvMsgs.Load(); got != 1 {
+			t.Errorf("block: %d rendezvous messages, want 1", got)
+		}
+	})
 }
 
 // pattern fills a deterministic byte stream for content verification.

@@ -1,0 +1,172 @@
+package comm_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"knemesis/internal/comm"
+	"knemesis/internal/core"
+	"knemesis/internal/topo"
+)
+
+// Differential gate for the topology-aware collectives: on every (engine,
+// topology, placement, size) cell, the hierarchical algorithms and the flat
+// generics must both deliver the mathematically expected bytes — so the two
+// arms are byte-identical to each other. Reductions use integer sums: the
+// combine order differs between the arms, and only associative, commutative
+// operations make reordering content-neutral.
+
+// hierSizes cross the eager/rendezvous switch (confEagerMax = 8 KiB) on
+// both the intra-node and the network path.
+var hierSizes = []int64{1024, 64 * 1024}
+
+// hierTopologies are the registered multi-node presets the suite sweeps.
+var hierTopologies = []string{"two-node", "four-node", "asym-4"}
+
+// collectiveContent runs Bcast, Allreduce and Alltoall and checks every
+// byte against locally computed expectations. It is algorithm-agnostic:
+// hierarchical and flat peers must produce identical output.
+func collectiveContent(t *testing.T, c comm.Peer, size int64) {
+	n := c.Size()
+	me := c.Rank()
+
+	// Bcast from a non-leader, non-zero root (rank 1 sits on another node
+	// under spread placement, mid-node under block).
+	root := 1 % n
+	buf := c.Alloc(size)
+	if me == root {
+		fill(buf, 7)
+	}
+	c.Bcast(root, comm.Whole(buf))
+	verify(t, buf, 0, size, 7)
+
+	// Allreduce of int64 sums: rank r contributes r+1 to every slot, the
+	// reduced value is n(n+1)/2 everywhere.
+	red := c.Alloc(size)
+	for off := int64(0); off+8 <= size; off += 8 {
+		binary.LittleEndian.PutUint64(red.Bytes()[off:], uint64(me+1))
+	}
+	c.Allreduce(comm.Whole(red), comm.SumInt64)
+	want := uint64(n * (n + 1) / 2)
+	for off := int64(0); off+8 <= size; off += 8 {
+		if got := binary.LittleEndian.Uint64(red.Bytes()[off:]); got != want {
+			t.Errorf("allreduce slot %d = %d, want %d", off/8, got, want)
+			return
+		}
+	}
+
+	// Alltoall: block j of rank r's send buffer carries pattern(r*1000+j),
+	// so block k of the receive buffer must carry pattern(k*1000+me).
+	block := size / int64(n)
+	if block == 0 {
+		block = 8
+	}
+	send, recv := c.Alloc(block*int64(n)), c.Alloc(block*int64(n))
+	for j := 0; j < n; j++ {
+		copy(send.Bytes()[int64(j)*block:], pattern(me*1000+j, int(block)))
+	}
+	c.Alltoall(send, recv, block)
+	for k := 0; k < n; k++ {
+		got := recv.Bytes()[int64(k)*block : int64(k+1)*block]
+		if !bytes.Equal(got, pattern(k*1000+me, int(block))) {
+			t.Errorf("alltoall block from rank %d corrupted", k)
+			return
+		}
+	}
+}
+
+func TestHierCollectivesEveryTopology(t *testing.T) {
+	type target struct{ engine, rtmode string }
+	targets := []target{{engine: "sim"}, {engine: "rt", rtmode: "single-copy"}, {engine: "rt", rtmode: "eager"}}
+	for _, tg := range targets {
+		tg := tg
+		engName := tg.engine
+		if tg.rtmode != "" {
+			engName += "-" + tg.rtmode
+		}
+		for _, topoName := range hierTopologies {
+			cl, err := topo.LookupCluster(topoName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, placement := range []string{"block", "spread"} {
+				for _, flat := range []bool{false, true} {
+					arm := "hier"
+					if flat {
+						arm = "flat"
+					}
+					for _, size := range hierSizes {
+						size := size
+						name := fmt.Sprintf("%s/%s/%s/%s/%d", engName, topoName, placement, arm, size)
+						t.Run(name, func(t *testing.T) {
+							// Odd rank count: node populations come out
+							// uneven on every preset (block and spread),
+							// exercising the variable-membership paths of
+							// the hierarchical gather/scatter.
+							job, err := comm.NewJob(tg.engine, comm.JobSpec{
+								Ranks:           11,
+								EagerMax:        confEagerMax,
+								RTMode:          tg.rtmode,
+								Topology:        cl,
+								Placement:       placement,
+								FlatCollectives: flat,
+							})
+							if err != nil {
+								t.Fatal(err)
+							}
+							if err := job.Run(func(c comm.Peer) { collectiveContent(t, c, size) }); err != nil {
+								t.Fatalf("job failed: %v", err)
+							}
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// clusterJob is the sim job's diagnostic hook for network statistics.
+type clusterJob interface {
+	Cluster() *core.ClusterStack
+}
+
+// runNetHops runs one 64 KiB Allreduce on a sim cluster job and returns the
+// modeled inter-node byte-hops it generated.
+func runNetHops(t *testing.T, topoName string, ranks int, flat bool) int64 {
+	t.Helper()
+	cl, err := topo.LookupCluster(topoName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := comm.NewJob("sim", comm.JobSpec{
+		Ranks: ranks, Topology: cl, FlatCollectives: flat,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Run(func(c comm.Peer) {
+		buf := c.Alloc(64 * 1024)
+		c.Allreduce(comm.Whole(buf), comm.SumInt64)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cs := job.(clusterJob).Cluster()
+	return cs.Net.ByteHops
+}
+
+// The point of the hierarchy: per-node leaders shrink inter-node traffic.
+// On a 16-rank two-node placement the hierarchical Allreduce must move
+// strictly fewer modeled byte-hops over the network than the flat
+// recursive-doubling algorithm.
+func TestHierAllreduceReducesNetTraffic(t *testing.T) {
+	hier := runNetHops(t, "two-node", 16, false)
+	flat := runNetHops(t, "two-node", 16, true)
+	if hier <= 0 || flat <= 0 {
+		t.Fatalf("expected network traffic on both arms (hier %d, flat %d)", hier, flat)
+	}
+	if hier >= flat {
+		t.Errorf("hierarchical allreduce moved %d byte-hops, flat moved %d — no saving", hier, flat)
+	}
+}

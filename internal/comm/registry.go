@@ -32,6 +32,37 @@ type JobSpec struct {
 	// RTMode selects the real runtime's large-message strategy: "eager",
 	// "single-copy" or "offload" (rt only; "" = "single-copy").
 	RTMode string
+
+	// Topology describes a multi-node cluster (nil = single node). When
+	// the placement spans more than one node, the simulator routes
+	// inter-node traffic over its modelled network, the real runtime
+	// confines its shared-memory fast paths to intra-node pairs, and both
+	// switch the data collectives to the topology-aware hierarchical
+	// algorithms (see WrapHier).
+	Topology *topo.Cluster
+	// Placement selects rank placement on Topology: "block" (default,
+	// fill each node before the next) or "spread" (round-robin).
+	Placement string
+	// FlatCollectives keeps the single-level collective algorithms even
+	// on a multi-node placement — the control arm of the hierarchical
+	// differential tests.
+	FlatCollectives bool
+}
+
+// Place resolves the spec's placement of n ranks on its topology (nil when
+// the spec has no topology).
+func (s JobSpec) Place(n int) (*topo.Placement, error) {
+	if s.Topology == nil {
+		return nil, nil
+	}
+	switch s.Placement {
+	case "", "block":
+		return s.Topology.Place(n)
+	case "spread":
+		return s.Topology.PlaceSpread(n)
+	default:
+		return nil, fmt.Errorf("comm: unknown placement %q (have block|spread)", s.Placement)
+	}
 }
 
 // Engine is one entry of the engine registry: a named factory turning a

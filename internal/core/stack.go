@@ -26,15 +26,99 @@ type Stack struct {
 // The LMT backend is resolved by name through the registry; unknown names
 // panic (use FactoryFor to validate names with an error instead).
 func NewStack(t *topo.Machine, cores []topo.CoreID, opt Options, chCfg nemesis.Config) *Stack {
+	return newStackOn(hw.New(t), cores, nil, opt, chCfg)
+}
+
+// newStackOn wires one node's stack on an already built machine; ranks gives
+// the global rank of each core's endpoint (nil = identity, the single-node
+// layout).
+func newStackOn(m *hw.Machine, cores []topo.CoreID, ranks []int, opt Options, chCfg nemesis.Config) *Stack {
 	opt = opt.withDefaults()
-	m := hw.New(t)
 	os := kernel.New(m)
 	dma := ioat.NewEngine(m)
 	km := knem.Load(os, dma)
 	chCfg.Backend = string(opt.Kind)
 	chCfg.LMT = Factory(opt)
-	ch := nemesis.NewChannel(m, os, dma, km, cores, chCfg)
+	ch := nemesis.NewChannelRanks(m, os, dma, km, cores, ranks, chCfg)
 	return &Stack{M: m, OS: os, DMA: dma, KNEM: km, Ch: ch, Opt: opt}
+}
+
+// ClusterStack is a fully wired multi-node job: one Stack per used host of
+// the placement (every node its own machine, OS, DMA, KNEM and channel — all
+// on one shared event engine) plus the modelled inter-node network linking
+// them. Intra-node traffic rides each node's Nemesis channel exactly as on a
+// single-node Stack; inter-node traffic crosses Net.
+type ClusterStack struct {
+	Topo   *topo.Cluster
+	Place  *topo.Placement
+	Eng    *sim.Engine
+	Nodes  []*Stack // one per used host, in Placement.UsedHosts order
+	Net    *nemesis.Net
+	Link   *nemesis.Cluster
+	Opt    Options
+	NodeMs []*topo.Machine // the per-node machine shapes, parallel to Nodes
+}
+
+// NewClusterStack builds the per-node stacks for a placement on one shared
+// engine and links them with the modelled network. Every rank keeps its
+// global number: rank r lives on node pl.NodeOf[r], core pl.CoreOf[r].
+func NewClusterStack(eng *sim.Engine, pl *topo.Placement, opt Options, chCfg nemesis.Config) *ClusterStack {
+	cs := &ClusterStack{
+		Topo:  pl.Cluster,
+		Place: pl,
+		Eng:   eng,
+		Net:   nemesis.NewNet(eng, pl.Cluster),
+		Opt:   opt.withDefaults(),
+	}
+	var chans []*nemesis.Channel
+	for _, node := range pl.UsedHosts() {
+		ranks := pl.NodeRanks[node]
+		mt := topo.NodeMachine(pl.Cluster.Nodes[node].Cores)
+		m := hw.NewOn(eng, mt)
+		cores := make([]topo.CoreID, len(ranks))
+		for i, r := range ranks {
+			cores[i] = m.Topo.AllCores()[pl.CoreOf[r]]
+		}
+		s := newStackOn(m, cores, ranks, opt, chCfg)
+		cs.Nodes = append(cs.Nodes, s)
+		cs.NodeMs = append(cs.NodeMs, mt)
+		chans = append(chans, s.Ch)
+	}
+	cs.Link = nemesis.LinkCluster(pl.Cluster, pl, chans, cs.Net)
+	return cs
+}
+
+// Size returns the global rank count.
+func (cs *ClusterStack) Size() int { return len(cs.Place.NodeOf) }
+
+// Endpoint returns the endpoint of a global rank.
+func (cs *ClusterStack) Endpoint(rank int) *nemesis.Endpoint { return cs.Link.Endpoint(rank) }
+
+// NodeStack returns the stack hosting a global rank.
+func (cs *ClusterStack) NodeStack(rank int) *Stack {
+	node := cs.Place.NodeOf[rank]
+	for i, h := range cs.Place.UsedHosts() {
+		if h == node {
+			return cs.Nodes[i]
+		}
+	}
+	panic("core: rank on unused host")
+}
+
+// MinCrossDelay is the cluster-wide floor on one rank affecting another:
+// the smallest per-node scheduler wakeup (ranks on the same node) — network
+// latency is always larger, so the intra-node floor governs lane lookahead.
+func (cs *ClusterStack) MinCrossDelay() sim.Time {
+	min := cs.Nodes[0].MinCrossDelay()
+	for _, s := range cs.Nodes[1:] {
+		if d := s.MinCrossDelay(); d < min {
+			min = d
+		}
+	}
+	if lat := cs.Topo.MinLinkLatency(); lat < min {
+		min = lat
+	}
+	return min
 }
 
 // MinCrossDelay reports the stack's minimum cross-rank latency — the

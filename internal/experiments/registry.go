@@ -19,6 +19,7 @@ type Env struct {
 	A2ASizes   []int64
 	MultiSizes []int64 // multipair contention sweep (empty = defaults)
 	RTSizes    []int64 // real-runtime wall-clock sweep (empty = defaults)
+	TopoSizes  []int64 // multi-node topology sweep (empty = defaults)
 	Kernels    []nas.Kernel
 	ISKernel   nas.Kernel
 
@@ -37,6 +38,7 @@ func DefaultEnv(m *topo.Machine) Env {
 		A2ASizes:   DefaultAlltoallSizes(),
 		MultiSizes: DefaultMultiPairSizes(),
 		RTSizes:    DefaultRTSizes(),
+		TopoSizes:  DefaultTopologySizes(),
 		Kernels:    nas.Kernels(),
 		ISKernel:   nas.IS(),
 	}

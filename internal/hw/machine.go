@@ -57,10 +57,16 @@ type Core struct {
 
 // New builds a machine runtime on a fresh simulation engine.
 func New(t *topo.Machine) *Machine {
+	return NewOn(sim.NewEngine(), t)
+}
+
+// NewOn builds a machine runtime on an existing engine, so several machines
+// (the hosts of a cluster) share one simulated timeline. Each machine still
+// owns its memory world, bus, cores and caches; only the clock is common.
+func NewOn(eng *sim.Engine, t *topo.Machine) *Machine {
 	if err := t.Validate(); err != nil {
 		panic(err)
 	}
-	eng := sim.NewEngine()
 	m := &Machine{
 		Topo: t,
 		Eng:  eng,

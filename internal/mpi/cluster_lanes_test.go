@@ -1,0 +1,136 @@
+package mpi
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"knemesis/internal/core"
+	"knemesis/internal/mem"
+	"knemesis/internal/nemesis"
+	"knemesis/internal/sim"
+	"knemesis/internal/topo"
+	"knemesis/internal/units"
+)
+
+// clusterLaneArtefacts is everything the multi-node lane differential
+// compares between the serial reference engine and the parallel lane
+// engine: per-rank timestamps, final time, per-node channel accounting,
+// network accounting and the canonical executed-event trace.
+type clusterLaneArtefacts struct {
+	obs      [][]sim.Time
+	final    sim.Time
+	eager    int64
+	rndv     int64
+	netPkts  int64
+	netHops  int64
+	netEager int64
+	netRndv  int64
+	trace    []laneTraceRec
+}
+
+// runClusterLaneDiffWorkload runs a randomized mix of intra- and inter-node
+// point-to-point traffic, collectives, machine-coupled Compute and
+// lane-resident phases on a two-node cluster. mode: 0 serial, 1 parallel.
+func runClusterLaneDiffWorkload(t *testing.T, seed int64, mode int) clusterLaneArtefacts {
+	t.Helper()
+	// Block placement of 4 ranks on 2-core hosts: the neighbour ring
+	// alternates intra-node (0-1, 2-3) and inter-node (1-2, 3-0) pairs.
+	cl := topo.TwoNode(2, 1*sim.Microsecond, 1.25e9)
+	pl, err := cl.Place(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	eng.SetSerial(mode != 1)
+	cs := core.NewClusterStack(eng, pl, core.Options{Kind: core.KnemLMT}, nemesis.Config{})
+	w := NewClusterWorld(cs)
+	w.EnableLanes()
+
+	sizeRng := rand.New(rand.NewSource(seed))
+	sizes := make([]int64, 4)
+	for i := range sizes {
+		sizes[i] = int64(sizeRng.Intn(2)*180*int(units.KiB) + 1024)
+	}
+
+	art := clusterLaneArtefacts{obs: make([][]sim.Time, w.Size)}
+	eng.SetTrace(func(at sim.Time, seq uint64, dom sim.Domain) {
+		art.trace = append(art.trace, laneTraceRec{at, seq, dom})
+	})
+
+	app := func(c *Comm) {
+		rng := rand.New(rand.NewSource(seed + int64(c.Rank())*104729))
+		buf := c.Alloc(192 * units.KiB)
+		rbuf := c.Alloc(192 * units.KiB)
+		note := func() { art.obs[c.Rank()] = append(art.obs[c.Rank()], c.Now()) }
+		for iter := 0; iter < 4; iter++ {
+			c.LanePhases(rng.Intn(3)+1, func(i int) sim.Time {
+				return sim.Time(rng.Intn(int(20 * sim.Microsecond)))
+			})
+			note()
+			size := sizes[iter]
+			peer := (c.Rank() + 1) % c.Size()
+			prev := (c.Rank() - 1 + c.Size()) % c.Size()
+			c.Sendrecv(peer, iter, mem.VecOf(buf.Slice(0, size)),
+				prev, iter, mem.VecOf(rbuf.Slice(0, size)))
+			note()
+			c.Compute(sim.Time(rng.Intn(int(5*sim.Microsecond))),
+				mem.Region{Buf: buf, Off: 0, Len: 64 * units.KiB})
+			note()
+			c.Barrier()
+			note()
+		}
+	}
+
+	final, err := w.Run(app)
+	if err != nil {
+		t.Fatalf("seed %d mode %d: %v", seed, mode, err)
+	}
+	art.final = final
+	for _, s := range cs.Nodes {
+		art.eager += s.Ch.EagerMsgs
+		art.rndv += s.Ch.RndvMsgs
+	}
+	art.netPkts = cs.Net.Msgs
+	art.netHops = cs.Net.ByteHops
+	art.netEager = cs.Net.EagerMsgs
+	art.netRndv = cs.Net.RndvMsgs
+	sort.Slice(art.trace, func(i, j int) bool {
+		if art.trace[i].at != art.trace[j].at {
+			return art.trace[i].at < art.trace[j].at
+		}
+		return art.trace[i].seq < art.trace[j].seq
+	})
+	return art
+}
+
+// TestClusterLaneDifferential extends the lane differential gate across
+// node boundaries: a multi-node workload mixing shared-memory and network
+// traffic must produce identical artefacts — timestamps, channel and
+// network accounting, event trace — on the serial reference engine and the
+// parallel lane engine.
+func TestClusterLaneDifferential(t *testing.T) {
+	seeds := []int64{5, 1234}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		ref := runClusterLaneDiffWorkload(t, seed, 0)
+		if ref.netPkts == 0 || ref.rndv+ref.eager == 0 {
+			t.Fatalf("seed %d: workload exercised no mixed traffic (net %d, local %d/%d)",
+				seed, ref.netPkts, ref.eager, ref.rndv)
+		}
+		got := runClusterLaneDiffWorkload(t, seed, 1)
+		if !reflect.DeepEqual(ref.trace, got.trace) {
+			t.Fatalf("seed %d: parallel event trace diverged (%d vs %d events)",
+				seed, len(got.trace), len(ref.trace))
+		}
+		refNoTrace, gotNoTrace := ref, got
+		refNoTrace.trace, gotNoTrace.trace = nil, nil
+		if !reflect.DeepEqual(refNoTrace, gotNoTrace) {
+			t.Fatalf("seed %d: parallel artefacts diverged from serial:\nserial:   %+v\nparallel: %+v",
+				seed, refNoTrace, gotNoTrace)
+		}
+	}
+}

@@ -252,5 +252,17 @@ func (c *Comm) Alltoallv(send *mem.Buffer, sendCounts, sendDispls []int64,
 
 // copyLocal moves a rank's own block with modelled cost (memcpy).
 func (c *Comm) copyLocal(dst, src mem.Region) {
-	c.w.Stack.M.CopyRange(c.p, c.ep.Core, dst, src, hw.CopyOpts{})
+	c.ep.Ch.M.CopyRange(c.p, c.ep.Core, dst, src, hw.CopyOpts{})
+}
+
+// CopyLocal is the engine-neutral local copy: modelled memcpy within the
+// rank's own memory (phantom-safe — bench buffers charge cost, skip content).
+func (c *Comm) CopyLocal(dst, src mem.Region) {
+	if dst.Len != src.Len {
+		panic(fmt.Sprintf("mpi: CopyLocal length mismatch %d != %d", dst.Len, src.Len))
+	}
+	if dst.Len == 0 {
+		return
+	}
+	c.copyLocal(dst, src)
 }

@@ -7,6 +7,7 @@ import (
 	"knemesis/internal/core"
 	"knemesis/internal/mem"
 	"knemesis/internal/nemesis"
+	"knemesis/internal/sim"
 	"knemesis/internal/topo"
 )
 
@@ -23,6 +24,23 @@ func init() {
 		Help:  "deterministic simulator of the paper's testbed (modelled caches, bus, KNEM, I/OAT)",
 		Order: 1,
 		NewJob: func(spec comm.JobSpec) (comm.Job, error) {
+			lmt := spec.LMT
+			if lmt == "" {
+				lmt = string(core.DefaultLMT)
+			}
+			opt, err := core.ParseSpec(lmt)
+			if err != nil {
+				return nil, err
+			}
+			cfg := nemesis.Config{EagerMax: spec.EagerMax}
+			if spec.Topology != nil {
+				pl, err := spec.Place(spec.Ranks)
+				if err != nil {
+					return nil, err
+				}
+				cs := core.NewClusterStack(sim.NewEngine(), pl, opt, cfg)
+				return newClusterSimJob(cs, !spec.FlatCollectives), nil
+			}
 			m := spec.Machine
 			if m == nil {
 				m = topo.XeonE5345()
@@ -38,24 +56,18 @@ func init() {
 			if len(cores) != spec.Ranks {
 				return nil, fmt.Errorf("sim: %d cores pinned for %d ranks", len(cores), spec.Ranks)
 			}
-			lmt := spec.LMT
-			if lmt == "" {
-				lmt = string(core.DefaultLMT)
-			}
-			opt, err := core.ParseSpec(lmt)
-			if err != nil {
-				return nil, err
-			}
-			cfg := nemesis.Config{EagerMax: spec.EagerMax}
 			return NewSimJob(core.NewStack(m, cores, opt, cfg)), nil
 		},
 	})
 }
 
-// simJob adapts a wired stack to the engine-neutral Job interface.
+// simJob adapts a wired stack (or multi-node cluster stack) to the
+// engine-neutral Job interface.
 type simJob struct {
-	st *core.Stack
-	w  *World
+	st   *core.Stack        // single-node (nil when clustered)
+	cs   *core.ClusterStack // multi-node (nil on a single node)
+	w    *World
+	hier bool // wrap peers with the hierarchical collectives
 }
 
 // NewSimJob wraps an existing simulated stack as an engine-neutral job —
@@ -64,23 +76,74 @@ func NewSimJob(st *core.Stack) comm.Job {
 	return &simJob{st: st, w: NewWorld(st)}
 }
 
-// Stack returns the underlying simulated node (sim-only diagnostics).
+// newClusterSimJob wraps a multi-node cluster stack; hier selects the
+// topology-aware collectives (on by default for multi-node placements).
+func newClusterSimJob(cs *core.ClusterStack, hier bool) comm.Job {
+	w := NewClusterWorld(cs)
+	return &simJob{cs: cs, w: w, hier: hier && w.MultiNode()}
+}
+
+// Stack returns the underlying simulated node (sim-only diagnostics; nil
+// for multi-node jobs — see Cluster).
 func (j *simJob) Stack() *core.Stack { return j.st }
 
-func (j *simJob) Size() int     { return j.w.Size }
-func (j *simJob) Label() string { return j.st.Ch.LMTName() }
+// Cluster returns the underlying multi-node stack (nil for single-node
+// jobs) — the hook topology tests and experiments use to read network stats.
+func (j *simJob) Cluster() *core.ClusterStack { return j.cs }
+
+func (j *simJob) Size() int { return j.w.Size }
+
+func (j *simJob) Label() string { return j.anyStack().Ch.LMTName() }
+
+// anyStack returns a representative node stack for labels and config.
+func (j *simJob) anyStack() *core.Stack {
+	if j.cs != nil {
+		return j.cs.Nodes[0]
+	}
+	return j.st
+}
 
 func (j *simJob) Describe() string {
+	if j.cs != nil {
+		coll := "hierarchical"
+		if !j.hier {
+			coll = "flat"
+		}
+		return fmt.Sprintf("%s LMT, cluster %s (%d nodes, %d ranks, %s collectives), simulated time",
+			j.anyStack().Ch.LMTName(), j.cs.Topo.Name, len(j.cs.Nodes), j.w.Size, coll)
+	}
 	return fmt.Sprintf("%s LMT (backend %s), machine %s, simulated time",
 		j.st.Ch.LMTName(), j.st.Ch.BackendName(), j.st.M.Topo.Name)
 }
 
 func (j *simJob) Run(app func(p comm.Peer)) error {
-	_, err := j.w.Run(func(c *Comm) { app(&simPeer{c: c}) })
+	_, err := j.w.Run(func(c *Comm) {
+		var p comm.Peer = &simPeer{c: c}
+		if j.hier {
+			p = comm.WrapHier(p)
+		}
+		app(p)
+	})
 	return err
 }
 
 func (j *simJob) Usage() comm.Usage {
+	if j.cs != nil {
+		// Aggregate over the per-node machines: shared engine, one
+		// elapsed time; bus bytes, capacity and core seconds sum.
+		var out comm.Usage
+		for _, s := range j.cs.Nodes {
+			u := s.M.UtilizationReport()
+			out.Elapsed = u.Elapsed
+			out.BusBytesServed += u.BusBytesServed
+			out.BusCapacityBps += u.BusCapacityBps
+			out.CoreBusySec = append(out.CoreBusySec, u.CoreBusySec...)
+		}
+		if secs := out.Elapsed.Seconds(); secs > 0 && out.BusCapacityBps > 0 {
+			out.BusUtilization = out.BusBytesServed / (out.BusCapacityBps * secs)
+		}
+		return out
+	}
 	u := j.st.M.UtilizationReport()
 	return comm.Usage{
 		Elapsed:        u.Elapsed,
@@ -91,16 +154,26 @@ func (j *simJob) Usage() comm.Usage {
 	}
 }
 
-func (j *simJob) MissLines() int64 { return j.st.M.L2MissLines() }
+func (j *simJob) MissLines() int64 {
+	if j.cs != nil {
+		var total int64
+		for _, s := range j.cs.Nodes {
+			total += s.M.L2MissLines()
+		}
+		return total
+	}
+	return j.st.M.L2MissLines()
+}
 
 // simPeer adapts one rank's mpi.Comm to the engine-neutral Peer.
 type simPeer struct {
 	c *Comm
 }
 
-func (p *simPeer) Rank() int          { return p.c.Rank() }
-func (p *simPeer) Size() int          { return p.c.Size() }
-func (p *simPeer) Elapsed() comm.Time { return p.c.Now() }
+func (p *simPeer) Rank() int           { return p.c.Rank() }
+func (p *simPeer) Size() int           { return p.c.Size() }
+func (p *simPeer) NodeOf(rank int) int { return p.c.w.NodeOf(rank) }
+func (p *simPeer) Elapsed() comm.Time  { return p.c.Now() }
 func (p *simPeer) Alloc(n int64) comm.Buf {
 	return p.c.Alloc(n)
 }
@@ -144,10 +217,16 @@ func mapTag(tag int) int {
 	if tag == comm.AnyTag {
 		return nemesis.AnyTag
 	}
+	if tag < 0 {
+		// Internal collective tags live in the comm layer's negative
+		// space; fold them above every other tag region so none can
+		// collide with the channel's AnyTag sentinel (-1).
+		return (1 << 28) - tag
+	}
 	return tag
 }
 
-func (p *simPeer) Send(dst, tag int, r comm.Range) { p.c.Send(dst, tag, vec(r)) }
+func (p *simPeer) Send(dst, tag int, r comm.Range) { p.c.Send(dst, mapTag(tag), vec(r)) }
 
 func (p *simPeer) Recv(src, tag int, r comm.Range) comm.Status {
 	return status(p.c.Recv(mapSrc(src), mapTag(tag), vec(r)))
@@ -159,7 +238,7 @@ type simReq struct{ r *Request }
 func (q *simReq) Done() bool { return q.r.Done() }
 
 func (p *simPeer) Isend(dst, tag int, r comm.Range) comm.Request {
-	return &simReq{r: p.c.Isend(dst, tag, vec(r))}
+	return &simReq{r: p.c.Isend(dst, mapTag(tag), vec(r))}
 }
 
 func (p *simPeer) Irecv(src, tag int, r comm.Range) comm.Request {
@@ -181,7 +260,7 @@ func (p *simPeer) Waitall(reqs ...comm.Request) {
 }
 
 func (p *simPeer) Sendrecv(dst, sendTag int, s comm.Range, src, recvTag int, rv comm.Range) comm.Status {
-	return status(p.c.Sendrecv(dst, sendTag, vec(s), mapSrc(src), mapTag(recvTag), vec(rv)))
+	return status(p.c.Sendrecv(dst, mapTag(sendTag), vec(s), mapSrc(src), mapTag(recvTag), vec(rv)))
 }
 
 func status(st Status) comm.Status {
@@ -207,6 +286,14 @@ func (p *simPeer) Alltoallv(send comm.Buf, sendCounts, sendDispls []int64,
 	recv comm.Buf, recvCounts, recvDispls []int64) {
 	p.c.Alltoallv(simBuffer(send), sendCounts, sendDispls,
 		simBuffer(recv), recvCounts, recvDispls)
+}
+
+func (p *simPeer) CopyLocal(dst, src comm.Range) {
+	if dst.Len == 0 && src.Len == 0 {
+		return
+	}
+	p.c.CopyLocal(mem.Region{Buf: simBuffer(dst.Buf), Off: dst.Off, Len: dst.Len},
+		mem.Region{Buf: simBuffer(src.Buf), Off: src.Off, Len: src.Len})
 }
 
 func (p *simPeer) Compute(base comm.Time, ws ...comm.Range) {

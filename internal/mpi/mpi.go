@@ -21,10 +21,12 @@ import (
 // point-to-point traffic never collide.
 const collTagBase = 1 << 24
 
-// World is one MPI job on a simulated machine.
+// World is one MPI job on a simulated machine — or, when built from a
+// ClusterStack, on several machines joined by the modelled network.
 type World struct {
-	Stack *core.Stack
-	Size  int
+	Stack   *core.Stack        // single-node job (nil when clustered)
+	Cluster *core.ClusterStack // multi-node job (nil on a single node)
+	Size    int
 
 	// lanes[rank] is the rank's private event lane, set by EnableLanes.
 	lanes []sim.Domain
@@ -33,6 +35,48 @@ type World struct {
 // NewWorld wraps a stack (one MPI rank per channel endpoint).
 func NewWorld(st *core.Stack) *World {
 	return &World{Stack: st, Size: len(st.Ch.Endpoints)}
+}
+
+// NewClusterWorld wraps a multi-node cluster stack: ranks keep their global
+// numbers, intra-node traffic rides each node's Nemesis channel, inter-node
+// traffic the network.
+func NewClusterWorld(cs *core.ClusterStack) *World {
+	return &World{Cluster: cs, Size: cs.Size()}
+}
+
+// MultiNode reports whether the job spans more than one cluster node.
+func (w *World) MultiNode() bool {
+	return w.Cluster != nil && w.Cluster.Place.MultiNode()
+}
+
+// NodeOf returns the cluster node index of a rank (0 for all ranks of a
+// single-node world).
+func (w *World) NodeOf(rank int) int {
+	if w.Cluster == nil {
+		return 0
+	}
+	return w.Cluster.Place.NodeOf[rank]
+}
+
+func (w *World) eng() *sim.Engine {
+	if w.Cluster != nil {
+		return w.Cluster.Eng
+	}
+	return w.Stack.M.Eng
+}
+
+func (w *World) endpoint(rank int) *nemesis.Endpoint {
+	if w.Cluster != nil {
+		return w.Cluster.Endpoint(rank)
+	}
+	return w.Stack.Ch.Endpoints[rank]
+}
+
+func (w *World) minCrossDelay() sim.Time {
+	if w.Cluster != nil {
+		return w.Cluster.MinCrossDelay()
+	}
+	return w.Stack.MinCrossDelay()
 }
 
 // Comm is a rank's handle, bound to the rank's process. It is not safe to
@@ -52,13 +96,13 @@ type Comm struct {
 func (w *World) Run(app func(c *Comm)) (sim.Time, error) {
 	for rank := 0; rank < w.Size; rank++ {
 		rank := rank
-		ep := w.Stack.Ch.Endpoints[rank]
-		w.Stack.M.Eng.Spawn(fmt.Sprintf("mpi-rank%d", rank), func(p *sim.Proc) {
+		ep := w.endpoint(rank)
+		w.eng().Spawn(fmt.Sprintf("mpi-rank%d", rank), func(p *sim.Proc) {
 			app(&Comm{w: w, rank: rank, ep: ep, p: p})
 		})
 	}
-	err := w.Stack.M.Eng.Run()
-	return w.Stack.M.Eng.Now(), err
+	err := w.eng().Run()
+	return w.eng().Now(), err
 }
 
 // EnableLanes declares one event lane per rank and sets the engine's
@@ -71,12 +115,12 @@ func (w *World) EnableLanes() {
 	if w.lanes != nil {
 		return
 	}
-	eng := w.Stack.M.Eng
+	eng := w.eng()
 	w.lanes = make([]sim.Domain, w.Size)
 	for rank := range w.lanes {
 		w.lanes[rank] = eng.NewDomain(fmt.Sprintf("rank%d", rank))
 	}
-	eng.SetLookahead(w.Stack.MinCrossDelay())
+	eng.SetLookahead(w.minCrossDelay())
 }
 
 // LanesEnabled reports whether EnableLanes has been called.
@@ -112,7 +156,7 @@ func (c *Comm) Space() *mem.Space { return c.ep.Space }
 // Compute models base seconds of application computation streaming over the
 // given working-set regions (cache effects included).
 func (c *Comm) Compute(base sim.Time, ws ...mem.Region) {
-	c.w.Stack.M.Compute(c.p, c.ep.Core, base, ws...)
+	c.ep.Ch.M.Compute(c.p, c.ep.Core, base, ws...)
 }
 
 // LanePhases runs n rank-local compute phases on the rank's private event

@@ -63,6 +63,13 @@ type Channel struct {
 	Cfg       Config
 	lmt       LMT
 
+	// Multi-node membership (nil/zero on a single-node channel): the
+	// cluster this channel is one node of, the cluster node index, and
+	// the global-rank → local-endpoint map. Set by LinkCluster.
+	cl     *Cluster
+	node   int
+	byRank map[int]*Endpoint
+
 	seq uint64 // global transfer sequence
 
 	// collHint is the upper layer's announcement of concurrent large
@@ -117,6 +124,15 @@ func (ch *Channel) MinCrossDelay() sim.Time {
 // os, dma and km may share substrate with other components; dma and km may
 // be nil when the experiment disables them.
 func NewChannel(m *hw.Machine, os *kernel.OS, dma *ioat.Engine, km *knem.Module, cores []topo.CoreID, cfg Config) *Channel {
+	return NewChannelRanks(m, os, dma, km, cores, nil, cfg)
+}
+
+// NewChannelRanks is NewChannel for one node of a cluster: ranks[i] is the
+// global rank of the endpoint on cores[i], so cluster-wide rank numbers
+// address endpoints directly. nil ranks means rank i on cores[i] (the
+// single-node layout).
+func NewChannelRanks(m *hw.Machine, os *kernel.OS, dma *ioat.Engine, km *knem.Module,
+	cores []topo.CoreID, ranks []int, cfg Config) *Channel {
 	if cfg.EagerMax == 0 {
 		cfg.EagerMax = DefaultEagerMax
 	}
@@ -126,16 +142,26 @@ func NewChannel(m *hw.Machine, os *kernel.OS, dma *ioat.Engine, km *knem.Module,
 	if cfg.CellsPerRank == 0 {
 		cfg.CellsPerRank = 8
 	}
-	ch := &Channel{
-		M:    m,
-		OS:   os,
-		DMA:  dma,
-		KNEM: km,
-		Shm:  m.Mem.NewSharedSpace("nemesis-shm"),
-		Cfg:  cfg,
+	if ranks != nil && len(ranks) != len(cores) {
+		panic(fmt.Sprintf("nemesis: %d ranks placed on %d cores", len(ranks), len(cores)))
 	}
-	for rank, core := range cores {
-		ch.Endpoints = append(ch.Endpoints, newEndpoint(ch, rank, core))
+	ch := &Channel{
+		M:      m,
+		OS:     os,
+		DMA:    dma,
+		KNEM:   km,
+		Shm:    m.Mem.NewSharedSpace("nemesis-shm"),
+		Cfg:    cfg,
+		byRank: make(map[int]*Endpoint, len(cores)),
+	}
+	for i, core := range cores {
+		rank := i
+		if ranks != nil {
+			rank = ranks[i]
+		}
+		ep := newEndpoint(ch, rank, core)
+		ch.Endpoints = append(ch.Endpoints, ep)
+		ch.byRank[rank] = ep
 	}
 	if cfg.LMT != nil {
 		ch.lmt = cfg.LMT(ch)
@@ -177,11 +203,12 @@ type Transfer struct {
 	ctsSeen    bool
 }
 
-// SenderCore returns the sending rank's core.
-func (t *Transfer) SenderCore() topo.CoreID { return t.Ch.Endpoints[t.SrcRank].Core }
+// SenderCore returns the sending rank's core (LMT transfers are always
+// intra-node, so both ranks resolve on the transfer's channel).
+func (t *Transfer) SenderCore() topo.CoreID { return t.Ch.mustLocal(t.SrcRank).Core }
 
 // RecvCore returns the receiving rank's core.
-func (t *Transfer) RecvCore() topo.CoreID { return t.Ch.Endpoints[t.DstRank].Core }
+func (t *Transfer) RecvCore() topo.CoreID { return t.Ch.mustLocal(t.DstRank).Core }
 
 // LMT is a Large Message Transfer backend: the internal interface the paper
 // describes as "general enough to support various mechanisms for
@@ -217,13 +244,43 @@ type LMT interface {
 }
 
 func (ch *Channel) nextSeq() uint64 {
+	if ch.cl != nil {
+		// Cluster-wide: transfer sequence numbers must be unique per
+		// receiver across every sending node.
+		return ch.cl.nextSeq()
+	}
 	ch.seq++
 	return ch.seq
 }
 
+// worldSize is the number of addressable ranks: the cluster size when this
+// channel is one node of a cluster, the local endpoint count otherwise.
+func (ch *Channel) worldSize() int {
+	if ch.cl != nil {
+		return ch.cl.Size()
+	}
+	return len(ch.Endpoints)
+}
+
 // validRank panics on out-of-range ranks (protocol bug guard).
 func (ch *Channel) validRank(r int) {
-	if r < 0 || r >= len(ch.Endpoints) {
-		panic(fmt.Sprintf("nemesis: rank %d out of range (%d ranks)", r, len(ch.Endpoints)))
+	if r < 0 || r >= ch.worldSize() {
+		panic(fmt.Sprintf("nemesis: rank %d out of range (%d ranks)", r, ch.worldSize()))
 	}
+}
+
+// isLocal reports whether rank lives on this channel's node.
+func (ch *Channel) isLocal(r int) bool {
+	_, ok := ch.byRank[r]
+	return ok
+}
+
+// mustLocal returns the local endpoint of rank, panicking if it lives on
+// another node (protocol bug guard: shared-memory paths are node-local).
+func (ch *Channel) mustLocal(r int) *Endpoint {
+	ep, ok := ch.byRank[r]
+	if !ok {
+		panic(fmt.Sprintf("nemesis: rank %d is not on this node", r))
+	}
+	return ep
 }

@@ -1,0 +1,101 @@
+package nemesis
+
+import (
+	"fmt"
+
+	"knemesis/internal/topo"
+)
+
+// Cluster links the per-node channels of a multi-node job with the modelled
+// network: endpoints carry global ranks, intra-node traffic stays on each
+// node's shared-memory channel, and traffic between nodes crosses Net.
+// Build each channel with NewChannelRanks (so endpoint ranks are global),
+// then wire everything with LinkCluster.
+type Cluster struct {
+	Topo  *topo.Cluster
+	Place *topo.Placement
+	Chans []*Channel // one per used host node, in Placement.UsedHosts order
+	Net   *Net
+
+	eps []*Endpoint // global rank → endpoint
+	seq uint64      // cluster-wide transfer sequence (network messages)
+}
+
+// LinkCluster wires channels and network into one communicator. chans must
+// follow pl.UsedHosts() order and their endpoints must carry the global
+// ranks of pl.NodeRanks.
+func LinkCluster(tc *topo.Cluster, pl *topo.Placement, chans []*Channel, net *Net) *Cluster {
+	hosts := pl.UsedHosts()
+	if len(chans) != len(hosts) {
+		panic(fmt.Sprintf("nemesis: %d channels for %d used hosts", len(chans), len(hosts)))
+	}
+	cl := &Cluster{Topo: tc, Place: pl, Chans: chans, Net: net,
+		eps: make([]*Endpoint, len(pl.NodeOf))}
+	for i, ch := range chans {
+		node := hosts[i]
+		ranks := pl.NodeRanks[node]
+		if len(ch.Endpoints) != len(ranks) {
+			panic(fmt.Sprintf("nemesis: node %s channel has %d endpoints for %d ranks",
+				tc.Nodes[node].Name, len(ch.Endpoints), len(ranks)))
+		}
+		ch.cl = cl
+		ch.node = node
+		for j, ep := range ch.Endpoints {
+			if ep.Rank != ranks[j] {
+				panic(fmt.Sprintf("nemesis: endpoint rank %d placed as %d", ep.Rank, ranks[j]))
+			}
+			cl.eps[ep.Rank] = ep
+		}
+	}
+	return cl
+}
+
+// Size returns the global rank count.
+func (cl *Cluster) Size() int { return len(cl.eps) }
+
+// Endpoint returns the endpoint of a global rank.
+func (cl *Cluster) Endpoint(rank int) *Endpoint {
+	if rank < 0 || rank >= len(cl.eps) {
+		panic(fmt.Sprintf("nemesis: rank %d out of range (%d ranks)", rank, len(cl.eps)))
+	}
+	return cl.eps[rank]
+}
+
+// NodeOf returns the cluster node index a global rank is placed on.
+func (cl *Cluster) NodeOf(rank int) int { return cl.Place.NodeOf[rank] }
+
+func (cl *Cluster) nextSeq() uint64 {
+	cl.seq++
+	return cl.seq
+}
+
+// sendNet transmits a protocol packet from ep's node to dst's node; the
+// packet lands on dst's queue after the modelled transmission. payload is
+// the wire payload size (0 for control packets).
+func (cl *Cluster) sendNet(ep *Endpoint, dst int, pkt *packet, payload int64) {
+	dstEp := cl.Endpoint(dst)
+	cl.Net.Transmit(cl.NodeOf(ep.Rank), cl.NodeOf(dst), payload, func() {
+		dstEp.queue = append(dstEp.queue, pkt)
+		dstEp.notify()
+	})
+}
+
+// Stats aggregated across the per-node channels.
+
+// EagerMsgs sums intra-node eager messages over all nodes.
+func (cl *Cluster) EagerMsgs() int64 {
+	var total int64
+	for _, ch := range cl.Chans {
+		total += ch.EagerMsgs
+	}
+	return total
+}
+
+// RndvMsgs sums intra-node rendezvous messages over all nodes.
+func (cl *Cluster) RndvMsgs() int64 {
+	var total int64
+	for _, ch := range cl.Chans {
+		total += ch.RndvMsgs
+	}
+	return total
+}

@@ -22,6 +22,7 @@ const (
 	pktRTS
 	pktCTS
 	pktFIN
+	pktData // network rendezvous payload (viaNet only)
 )
 
 // cell is one shared-memory eager cell, owned by (and returned to) the
@@ -44,6 +45,14 @@ type packet struct {
 	n      int64 // valid payload bytes in cell
 	cookie any   // RTS: LMT cookie
 	info   any   // CTS: receiver info
+
+	// Network transport (multi-node clusters). viaNet packets arrive from
+	// another node's channel: their payload travels as a host byte slice
+	// (address spaces of different nodes overlap, so no simulated copy may
+	// span them) and their arrival cost is a NIC line fetch, not a
+	// cache-to-cache envelope handoff.
+	viaNet bool
+	data   []byte
 }
 
 // unexpMsg is an arrival with no matching posted receive. Eager entries are
@@ -60,6 +69,17 @@ type unexpMsg struct {
 	temp   *mem.Buffer // staged eager payload (valid once ready)
 	cookie any
 	ready  bool
+	viaNet bool // RTS arrived over the network (rendezvous pulls via CTS/DATA)
+}
+
+// netPull is the receiver side of a network rendezvous awaiting its payload:
+// registered before the CTS goes out, resolved when the DATA packet lands.
+type netPull struct {
+	req  *RecvReq
+	vec  mem.IOVec
+	src  int
+	tag  int
+	size int64
 }
 
 // SendReq tracks one in-flight send operation.
@@ -107,6 +127,10 @@ type Endpoint struct {
 
 	sendReqs map[uint64]*SendReq
 
+	// Network state (multi-node clusters only).
+	netStage *mem.Buffer         // NIC staging ring, lazily allocated
+	netPulls map[uint64]*netPull // seq → pending network rendezvous pull
+
 	// Per-destination send sequencing (MPICH's VC send-queue semantics):
 	// sendTicket hands out positions at Isend time, sendTurn tracks how
 	// many sends to that destination have enqueued their envelope. A send
@@ -128,6 +152,7 @@ func newEndpoint(ch *Channel, rank int, core topo.CoreID) *Endpoint {
 		Space:      ch.M.Mem.NewSpace(fmt.Sprintf("rank%d", rank)),
 		activity:   sim.NewCond(ch.M.Eng, fmt.Sprintf("ep%d", rank)),
 		sendReqs:   make(map[uint64]*SendReq),
+		netPulls:   make(map[uint64]*netPull),
 		sendTicket: make(map[int]uint64),
 		sendTurn:   make(map[int]uint64),
 	}
@@ -157,11 +182,21 @@ func (ep *Endpoint) waitEvent(p *sim.Proc) {
 func (ep *Endpoint) sendPacket(p *sim.Proc, pkt *packet) {
 	ch := ep.Ch
 	ch.validRank(pkt.dst)
-	dst := ch.Endpoints[pkt.dst]
+	dst := ch.mustLocal(pkt.dst)
 	ch.M.LocalDelay(p, ep.Core, ch.M.Params().QueueOpCost)
 	ch.M.ControlTransfer(p, ep.Core, dst.Core, 1)
 	dst.queue = append(dst.queue, pkt)
 	dst.notify()
+}
+
+// sendNetPacket hands a packet to the cluster network (non-blocking beyond
+// the local doorbell cost); payload is the wire payload size for bandwidth
+// accounting (0 for control packets).
+func (ep *Endpoint) sendNetPacket(p *sim.Proc, pkt *packet, payload int64) {
+	ch := ep.Ch
+	ch.validRank(pkt.dst)
+	ch.M.LocalDelay(p, ep.Core, ch.M.Params().QueueOpCost)
+	ch.cl.sendNet(ep, pkt.dst, pkt, payload)
 }
 
 // pumpOne dequeues and dispatches the head packet. Dispatch that depends on
@@ -173,13 +208,27 @@ func (ep *Endpoint) pumpOne(p *sim.Proc) {
 	pkt := ep.queue[0]
 	ep.queue = ep.queue[1:]
 	ch.M.LocalDelay(p, ep.Core, ch.M.Params().QueueOpCost)
-	ch.M.ControlTransfer(p, ch.Endpoints[pkt.src].Core, ep.Core, 1)
+	if pkt.viaNet {
+		// The envelope was written by the NIC, not a peer core: fetching
+		// it is a plain cache miss, with no cross-core handoff.
+		ch.M.LocalDelay(p, ep.Core, ch.M.Params().MemLatency)
+	} else {
+		ch.M.ControlTransfer(p, ch.mustLocal(pkt.src).Core, ep.Core, 1)
+	}
 
 	switch pkt.typ {
 	case pktEager:
 		ep.dispatchEager(p, pkt)
 	case pktRTS:
 		ep.dispatchRTS(p, pkt)
+	case pktData:
+		pull, ok := ep.netPulls[pkt.seq]
+		if !ok {
+			panic(fmt.Sprintf("nemesis: DATA for unknown pull seq %d at rank %d", pkt.seq, ep.Rank))
+		}
+		delete(ep.netPulls, pkt.seq)
+		ep.netDeliver(p, pull.vec, pkt.data)
+		pull.req.complete(ep, pull.src, pull.tag, pull.size)
 	case pktCTS:
 		req, ok := ep.sendReqs[pkt.seq]
 		if !ok {
@@ -262,6 +311,10 @@ func (ep *Endpoint) returnCell(p *sim.Proc, c *cell) {
 // real MPI implementations pay).
 func (ep *Endpoint) dispatchEager(p *sim.Proc, pkt *packet) {
 	ch := ep.Ch
+	if pkt.viaNet {
+		ep.dispatchNetEager(p, pkt)
+		return
+	}
 	if req := ep.matchPosted(pkt.src, pkt.tag); req != nil {
 		req.claimed = true
 		ep.removePosted(req)
@@ -291,6 +344,34 @@ func (ep *Endpoint) dispatchEager(p *sim.Proc, pkt *packet) {
 			mem.Region{Buf: pkt.cell.buf, Off: 0, Len: pkt.n}, hw.CopyOpts{})
 	}
 	ep.returnCell(p, pkt.cell)
+	u.temp = temp
+	u.ready = true
+	ep.notify()
+}
+
+// dispatchNetEager handles an eager message that arrived over the network:
+// its payload is already in pkt.data, so delivery is a NIC unstage into the
+// matched receive (or a temp buffer when unexpected).
+func (ep *Endpoint) dispatchNetEager(p *sim.Proc, pkt *packet) {
+	if req := ep.matchPosted(pkt.src, pkt.tag); req != nil {
+		req.claimed = true
+		ep.removePosted(req)
+		if pkt.n > req.vec.TotalLen() {
+			panic(fmt.Sprintf("nemesis: eager message of %d bytes overflows %d-byte receive",
+				pkt.n, req.vec.TotalLen()))
+		}
+		ep.netDeliver(p, vecPrefix(req.vec, pkt.n), pkt.data)
+		req.complete(ep, pkt.src, pkt.tag, pkt.n)
+		return
+	}
+	u := &unexpMsg{typ: pktEager, viaNet: true, src: pkt.src, tag: pkt.tag, seq: pkt.seq, size: pkt.n}
+	ep.unexpected = append(ep.unexpected, u)
+	temp := ep.Space.Alloc(pkt.n)
+	var tv mem.IOVec
+	if pkt.n > 0 {
+		tv = mem.IOVec{{Buf: temp, Off: 0, Len: pkt.n}}
+	}
+	ep.netDeliver(p, tv, pkt.data)
 	u.temp = temp
 	u.ready = true
 	ep.notify()

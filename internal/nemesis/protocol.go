@@ -81,6 +81,11 @@ func (ep *Endpoint) runSend(p *sim.Proc, req *SendReq, dst, tag int, vec mem.IOV
 		ep.waitEvent(p)
 	}
 
+	if ch.cl != nil && !ch.isLocal(dst) {
+		ep.runNetSend(p, req, dst, tag, vec)
+		return
+	}
+
 	if ch.lmt == nil || size <= ch.Cfg.EagerMax {
 		ep.eagerSend(p, dst, tag, vec)
 		ep.bumpSendTurn(dst)
@@ -120,6 +125,60 @@ func (ep *Endpoint) runSend(p *sim.Proc, req *SendReq, dst, tag int, vec mem.IOV
 			ep.waitEvent(p)
 		}
 	}
+	delete(ep.sendReqs, t.Seq)
+	req.done = true
+	ep.notify()
+}
+
+// runNetSend executes the send protocol for an inter-node destination.
+// Small messages go eager: the payload rides the envelope's network message.
+// Large ones rendezvous (RTS → CTS → DATA) so the wire only carries bytes
+// the receiver is ready to land — same shape as the intranode protocol, but
+// the data pump is the modelled network, not an LMT backend. Matching order
+// is preserved because the envelope (eager or RTS) is enqueued on the
+// per-node-pair FIFO connection before the send turn advances.
+func (ep *Endpoint) runNetSend(p *sim.Proc, req *SendReq, dst, tag int, vec mem.IOVec) {
+	ch := ep.Ch
+	net := ch.cl.Net
+	size := vec.TotalLen()
+
+	if size <= ch.Cfg.EagerMax {
+		net.EagerMsgs++
+		data := ep.netCapture(p, vec)
+		ep.sendNetPacket(p, &packet{
+			typ: pktEager, viaNet: true, src: ep.Rank, dst: dst, tag: tag,
+			seq: ch.nextSeq(), size: size, n: size, data: data,
+		}, size)
+		ep.bumpSendTurn(dst)
+		req.done = true
+		ep.notify()
+		return
+	}
+
+	net.RndvMsgs++
+	t := &Transfer{
+		Seq:     ch.nextSeq(),
+		SrcRank: ep.Rank,
+		DstRank: dst,
+		Tag:     tag,
+		Size:    size,
+		SrcVec:  vec,
+		Ch:      ch,
+	}
+	req.t = t
+	ep.sendReqs[t.Seq] = req
+	ep.sendNetPacket(p, &packet{
+		typ: pktRTS, viaNet: true, src: ep.Rank, dst: dst, tag: tag, seq: t.Seq, size: size,
+	}, 0)
+	ep.bumpSendTurn(dst)
+
+	for !t.ctsSeen {
+		ep.waitEvent(p)
+	}
+	data := ep.netCapture(p, vec)
+	ep.sendNetPacket(p, &packet{
+		typ: pktData, viaNet: true, src: ep.Rank, dst: dst, seq: t.Seq, size: size, n: size, data: data,
+	}, size)
 	delete(ep.sendReqs, t.Seq)
 	req.done = true
 	ep.notify()
@@ -194,6 +253,12 @@ func (ep *Endpoint) deliverUnexpected(p *sim.Proc, u *unexpMsg, req *RecvReq) {
 		}
 		req.complete(ep, u.src, u.tag, u.size)
 	case pktRTS:
+		if u.viaNet {
+			// Registers the pull and answers CTS; the receive completes
+			// when the DATA packet lands (pumped by the waiter).
+			ep.runNetRecv(p, u.src, u.tag, u.seq, u.size, req)
+			return
+		}
 		ep.runLMTRecv(p, u.src, u.tag, u.seq, u.size, u.cookie, req)
 	default:
 		panic("nemesis: bad unexpected message type")
@@ -206,6 +271,11 @@ func (ep *Endpoint) dispatchRTS(p *sim.Proc, pkt *packet) {
 	if req := ep.matchPosted(pkt.src, pkt.tag); req != nil {
 		req.claimed = true
 		ep.removePosted(req)
+		if pkt.viaNet {
+			// Never blocks on the peer: safe to run inline in the pump.
+			ep.runNetRecv(p, pkt.src, pkt.tag, pkt.seq, pkt.size, req)
+			return
+		}
 		ep.Ch.M.Eng.Spawn(ep.spawnName("lmtrecv"), func(lp *sim.Proc) {
 			ep.runLMTRecv(lp, pkt.src, pkt.tag, pkt.seq, pkt.size, pkt.cookie, req)
 		})
@@ -213,8 +283,20 @@ func (ep *Endpoint) dispatchRTS(p *sim.Proc, pkt *packet) {
 	}
 	ep.unexpected = append(ep.unexpected, &unexpMsg{
 		typ: pktRTS, src: pkt.src, tag: pkt.tag, seq: pkt.seq, size: pkt.size,
-		cookie: pkt.cookie, ready: true,
+		cookie: pkt.cookie, ready: true, viaNet: pkt.viaNet,
 	})
+}
+
+// runNetRecv is the receiver side of a network rendezvous: it registers the
+// pull, then clears the sender to transmit. The receive completes when the
+// DATA packet is pumped (pumpOne's pktData case).
+func (ep *Endpoint) runNetRecv(p *sim.Proc, src, tag int, seq uint64, size int64, req *RecvReq) {
+	if size > req.vec.TotalLen() {
+		panic(fmt.Sprintf("nemesis: rendezvous message of %d bytes overflows %d-byte receive",
+			size, req.vec.TotalLen()))
+	}
+	ep.netPulls[seq] = &netPull{req: req, vec: vecPrefix(req.vec, size), src: src, tag: tag, size: size}
+	ep.sendNetPacket(p, &packet{typ: pktCTS, viaNet: true, src: ep.Rank, dst: src, seq: seq}, 0)
 }
 
 // runLMTRecv drives the receiver side of a rendezvous transfer.

@@ -29,7 +29,16 @@ func init() {
 				// an above-default EagerMax must grow the cells with it.
 				cfg.CellBytes = cfg.RndvThreshold
 			}
-			return NewJob(NewWorld(spec.Ranks, cfg)), nil
+			pl, err := spec.Place(spec.Ranks)
+			if err != nil {
+				return nil, err
+			}
+			if pl != nil {
+				cfg.NodeOf = pl.NodeOf
+			}
+			j := &rtJob{w: NewWorld(spec.Ranks, cfg)}
+			j.hier = pl != nil && pl.MultiNode() && !spec.FlatCollectives
+			return j, nil
 		},
 	})
 }
@@ -54,22 +63,41 @@ func ParseMode(name string) (LargeMode, error) {
 
 // rtJob adapts a World to the engine-neutral Job interface.
 type rtJob struct {
-	w *World
+	w    *World
+	hier bool // wrap peers with the hierarchical collectives
 }
 
 // NewJob wraps a world as an engine-neutral job. Like the world's own Run,
 // the job is single-use: Run shuts the copier pool down when it returns.
 func NewJob(w *World) comm.Job { return &rtJob{w: w} }
 
+// World exposes the underlying runtime world (the hook tests and
+// experiments use to read the path statistics after Run).
+func (j *rtJob) World() *World { return j.w }
+
 func (j *rtJob) Size() int     { return j.w.Size() }
 func (j *rtJob) Label() string { return j.w.cfg.Large.String() }
 
 func (j *rtJob) Describe() string {
+	if nodes := j.w.nodeCount(); nodes > 1 {
+		coll := "hierarchical"
+		if !j.hier {
+			coll = "flat"
+		}
+		return fmt.Sprintf("%s mode, goroutine ranks on %d nodes (%s collectives), wall clock",
+			j.Label(), nodes, coll)
+	}
 	return fmt.Sprintf("%s mode, goroutine ranks, wall clock", j.Label())
 }
 
 func (j *rtJob) Run(app func(p comm.Peer)) error {
-	return j.w.Run(func(r *Rank) { app(r.peer()) })
+	return j.w.Run(func(r *Rank) {
+		var p comm.Peer = r.peer()
+		if j.hier {
+			p = comm.WrapHier(p)
+		}
+		app(p)
+	})
 }
 
 // Usage reports wall-clock elapsed time only: the real runtime has no
@@ -127,9 +155,18 @@ func (r *Rank) peer() *rtPeer { return &rtPeer{r: r} }
 
 func (p *rtPeer) Rank() int                   { return p.r.rank }
 func (p *rtPeer) Size() int                   { return p.r.Size() }
+func (p *rtPeer) NodeOf(rank int) int         { return p.r.w.NodeOf(rank) }
 func (p *rtPeer) Elapsed() comm.Time          { return p.r.w.elapsed() }
 func (p *rtPeer) Alloc(n int64) comm.Buf      { return byteBuf(make([]byte, n)) }
 func (p *rtPeer) AllocBench(n int64) comm.Buf { return byteBuf(make([]byte, n)) }
+
+// CopyLocal is a plain in-memory copy (no hardware model to charge).
+func (p *rtPeer) CopyLocal(dst, src comm.Range) {
+	if dst.Len != src.Len {
+		panic(fmt.Sprintf("rt: CopyLocal length mismatch %d != %d", dst.Len, src.Len))
+	}
+	copy(rtBytes(dst), rtBytes(src))
+}
 
 func (p *rtPeer) Send(dst, tag int, r comm.Range) { p.r.Send(dst, tag, rtBytes(r)) }
 

@@ -386,11 +386,18 @@ func (r *Rank) Isend(dst, tag int, buf []byte) *Request {
 	target := r.w.ranks[dst]
 	req := r.getReq(true)
 	cfg := &r.w.cfg
-	if cfg.Large == Eager || len(buf) <= cfg.RndvThreshold {
+	// Cross-node pairs have no shared memory: no fastbox, and no
+	// single-copy rendezvous out of the sender's buffer — large messages
+	// stream through eager cells, one copy per end, like a NIC ring.
+	cross := r.w.crossNode(r.rank, dst)
+	if cross {
+		r.w.NetMsgs.Add(1)
+	}
+	if cfg.Large == Eager || cross || len(buf) <= cfg.RndvThreshold {
 		r.w.EagerMsgs.Add(1)
 		r.w.BytesMoved.Add(int64(len(buf)))
 		seq := r.sendSeq[dst]
-		if cfg.FastboxBytes > 0 && len(buf) <= cfg.FastboxBytes &&
+		if !cross && cfg.FastboxBytes > 0 && len(buf) <= cfg.FastboxBytes &&
 			target.inbox[r.rank].trySend(seq, tag, buf) {
 			r.sendSeq[dst] = seq + 1
 			r.w.FastboxMsgs.Add(1)
@@ -409,7 +416,8 @@ func (r *Rank) Isend(dst, tag int, buf []byte) *Request {
 			req.ready.Store(true)
 			return req
 		}
-		// Oversized eager (Eager mode only): pipeline through pooled
+		// Oversized eager (Eager mode and cross-node sends): pipeline
+		// through pooled
 		// cells — the paper's double-buffering — instead of one
 		// transient full-size buffer per message. The cell budget is
 		// bounded like Nemesis' finite cell pool: at most streamWindow

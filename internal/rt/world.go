@@ -62,6 +62,13 @@ type Config struct {
 	// single-P runtime (where the "help" is pure scheduling
 	// interference), 1 forces it on, -1 forces it off.
 	SenderCopy int
+	// NodeOf maps each rank to its cluster node (nil or empty = one
+	// node). Cross-node pairs model a network path: the per-pair
+	// fastboxes and the single-copy rendezvous are shared-memory fast
+	// paths, so those messages skip the fastbox and travel the streamed
+	// eager cell path (a copy at each end), mirroring a NIC's
+	// send/receive buffers.
+	NodeOf []int
 }
 
 // defaultCellBytes sizes eager copy cells (and so the default rendezvous
@@ -117,6 +124,7 @@ type World struct {
 	EagerMsgs   atomic.Int64
 	RndvMsgs    atomic.Int64
 	FastboxMsgs atomic.Int64 // eager messages that took a fastbox
+	NetMsgs     atomic.Int64 // messages between ranks on different nodes
 	BytesMoved  atomic.Int64
 }
 
@@ -129,6 +137,9 @@ type copyJob struct {
 func NewWorld(n int, cfg Config) *World {
 	if n <= 0 {
 		panic("rt: world needs at least one rank")
+	}
+	if len(cfg.NodeOf) > 0 && len(cfg.NodeOf) != n {
+		panic(fmt.Sprintf("rt: NodeOf has %d entries for %d ranks", len(cfg.NodeOf), n))
 	}
 	cfg = cfg.withDefaults()
 	w := &World{cfg: cfg, copyq: make(chan copyJob, 128), start: time.Now()}
@@ -144,6 +155,26 @@ func NewWorld(n int, cfg Config) *World {
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return len(w.ranks) }
+
+// NodeOf returns the cluster node hosting a rank (0 without a placement).
+func (w *World) NodeOf(rank int) int {
+	if len(w.cfg.NodeOf) == 0 {
+		return 0
+	}
+	return w.cfg.NodeOf[rank]
+}
+
+// crossNode reports whether two ranks live on different nodes.
+func (w *World) crossNode(a, b int) bool { return w.NodeOf(a) != w.NodeOf(b) }
+
+// nodeCount returns the number of distinct nodes in the placement.
+func (w *World) nodeCount() int {
+	seen := map[int]bool{}
+	for r := range w.ranks {
+		seen[w.NodeOf(r)] = true
+	}
+	return len(seen)
+}
 
 // copier is an offload worker: the kernel-thread / DMA-engine analogue.
 // Workers on the same rendezvous claim disjoint chunks, so the copy runs

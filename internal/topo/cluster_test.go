@@ -1,0 +1,123 @@
+package topo
+
+import (
+	"reflect"
+	"testing"
+
+	"knemesis/internal/sim"
+)
+
+func TestClusterPlaceBlockAndSpread(t *testing.T) {
+	c := TwoNode(4, sim.Microsecond, 1e9)
+	pl, err := c.Place(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 0, 0, 0, 1, 1}; !reflect.DeepEqual(pl.NodeOf, want) {
+		t.Fatalf("block NodeOf = %v, want %v", pl.NodeOf, want)
+	}
+	if pl.CoreOf[4] != 0 || pl.CoreOf[5] != 1 {
+		t.Fatalf("block CoreOf = %v", pl.CoreOf)
+	}
+	if !pl.MultiNode() {
+		t.Fatal("6 ranks on two 4-core nodes must span nodes")
+	}
+
+	sp, err := c.PlaceSpread(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 1, 0, 1, 0, 1}; !reflect.DeepEqual(sp.NodeOf, want) {
+		t.Fatalf("spread NodeOf = %v, want %v", sp.NodeOf, want)
+	}
+
+	// Single-node placements are not multi-node.
+	one, err := c.Place(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.MultiNode() {
+		t.Fatal("3 ranks fit on one node")
+	}
+
+	if _, err := c.Place(9); err == nil {
+		t.Fatal("placement beyond capacity must fail")
+	}
+	if _, err := c.Place(0); err == nil {
+		t.Fatal("zero ranks must fail")
+	}
+}
+
+func TestClusterPathRouting(t *testing.T) {
+	// Star: hosts reach each other through the switch in two hops.
+	c, err := LookupCluster("four-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	links, lat := c.Path(1, 3)
+	if len(links) != 2 {
+		t.Fatalf("path n0->n2 has %d links, want 2", len(links))
+	}
+	if lat != 2*sim.Microsecond {
+		t.Fatalf("path latency %v", lat)
+	}
+	if l, lt := c.Path(2, 2); l != nil || lt != 0 {
+		t.Fatal("self path must be empty")
+	}
+
+	// Deterministic: the same query always returns the same route.
+	ft, err := LookupCluster("fat-tree-16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := ft.Hosts()
+	a, b := hosts[0], hosts[len(hosts)-1]
+	first, _ := ft.Path(a, b)
+	for i := 0; i < 5; i++ {
+		again, _ := ft.Path(a, b)
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("route changed between queries: %v vs %v", first, again)
+		}
+	}
+	// Cross-leaf traffic in a 2-level fat tree is host-leaf-spine-leaf-host.
+	if len(first) != 4 {
+		t.Fatalf("cross-leaf path has %d hops, want 4", len(first))
+	}
+}
+
+func TestClusterCapacityAndMinLatency(t *testing.T) {
+	for _, p := range ClusterPresets() {
+		c := p.Build()
+		if got := c.Capacity(); got < 2 {
+			t.Fatalf("%s capacity %d", p.Name, got)
+		}
+		if c.MinLinkLatency() <= 0 {
+			t.Fatalf("%s has no positive link latency", p.Name)
+		}
+	}
+	ft := FatTree(4, 8, 8, 16, sim.Microsecond, 2.5e9, 2*sim.Microsecond, 10e9)
+	if err := ft.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ft.Capacity(); got != 1024 {
+		t.Fatalf("64x16 fat tree capacity %d, want 1024", got)
+	}
+}
+
+func TestNodeMachineValidates(t *testing.T) {
+	for _, cores := range []int{1, 2, 3, 4, 7, 16} {
+		m := NodeMachine(cores)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("NodeMachine(%d): %v", cores, err)
+		}
+		if len(m.AllCores()) != cores {
+			t.Fatalf("NodeMachine(%d) has %d cores", cores, len(m.AllCores()))
+		}
+	}
+}
+
+func TestLookupClusterUnknown(t *testing.T) {
+	if _, err := LookupCluster("no-such-cluster"); err == nil {
+		t.Fatal("unknown preset must error")
+	}
+}

@@ -1,0 +1,389 @@
+package topo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"knemesis/internal/sim"
+	"knemesis/internal/units"
+)
+
+// Cluster descriptions are exchanged as undirected DOT graphs, following
+// the runtopo idiom: every node statement declares a host (cores, mem) or a
+// switch (no cores), every edge statement declares a cable (latency,
+// bandwidth). The subset is deliberately small — attribute lists with
+// cores/mem/latency/bandwidth keys, `--` edges, line (`//`, `#`) and block
+// (`/* */`) comments — and round-trips exactly through RenderDOT.
+//
+//	graph cluster {
+//	  n0 [cores=8, mem="4GiB"];
+//	  n1 [cores=8, mem="4GiB"];
+//	  n0 -- n1 [latency="1us", bandwidth="1.25GB"];
+//	}
+//
+// Sizes accept the units package's forms ("4GiB", "512MiB"); latencies
+// accept ps/ns/us/µs/ms/s suffixes; bandwidths are bytes/second, written
+// either as a size with an optional "/s" suffix or as a bare float
+// ("1.25e9").
+
+// ParseDOT parses a DOT cluster description and validates it (self-loops,
+// disconnected graphs, duplicate node names and missing/zero bandwidth or
+// latency are hard errors).
+func ParseDOT(src string) (*Cluster, error) {
+	toks, err := dotTokens(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &dotParser{toks: toks}
+	c, err := p.graph()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// RenderDOT writes the cluster in the canonical form ParseDOT accepts:
+// nodes in declaration order, then edges in declaration order. Latencies
+// render in picoseconds and bandwidths as shortest-round-trip floats, so
+// parse→render→parse is exact.
+func RenderDOT(c *Cluster) string {
+	var b strings.Builder
+	b.WriteString("graph")
+	if c.Name != "" {
+		b.WriteString(" " + dotName(c.Name))
+	}
+	b.WriteString(" {\n")
+	for _, n := range c.Nodes {
+		fmt.Fprintf(&b, "  %s [", dotName(n.Name))
+		fmt.Fprintf(&b, "cores=%d", n.Cores)
+		if n.MemBytes > 0 {
+			fmt.Fprintf(&b, ", mem=%q", strconv.FormatInt(n.MemBytes, 10))
+		}
+		b.WriteString("];\n")
+	}
+	for _, l := range c.Links {
+		fmt.Fprintf(&b, "  %s -- %s [latency=\"%dps\", bandwidth=%q];\n",
+			dotName(c.Nodes[l.A].Name), dotName(c.Nodes[l.B].Name), int64(l.Latency),
+			strconv.FormatFloat(l.Bandwidth, 'g', -1, 64))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// dotName writes a node/graph name, quoting it unless it is a simple
+// identifier the tokenizer reads back as one bare token.
+func dotName(name string) string {
+	simple := name != ""
+	for _, r := range name {
+		if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' ||
+			r >= '0' && r <= '9' || r == '_' || r == '.') {
+			simple = false
+			break
+		}
+	}
+	if simple {
+		return name
+	}
+	return "\"" + name + "\""
+}
+
+// dotTokens splits the source into identifiers/values and punctuation.
+// Quoted strings keep their content; comments vanish.
+func dotTokens(src string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		ch := src[i]
+		switch {
+		case ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n':
+			i++
+		case ch == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case ch == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case ch == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("topo: dot: unterminated block comment")
+			}
+			i += 2 + end + 2
+		case ch == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\n' {
+					return nil, fmt.Errorf("topo: dot: newline in quoted string")
+				}
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("topo: dot: unterminated quoted string")
+			}
+			toks = append(toks, "\""+src[i+1:j])
+			i = j + 1
+		case ch == '{' || ch == '}' || ch == '[' || ch == ']' ||
+			ch == '=' || ch == ';' || ch == ',':
+			toks = append(toks, string(ch))
+			i++
+		case ch == '-' && i+1 < len(src) && src[i+1] == '-':
+			toks = append(toks, "--")
+			i += 2
+		default:
+			j := i
+			for j < len(src) && !strings.ContainsRune(" \t\r\n{}[]=;,\"", rune(src[j])) &&
+				!(src[j] == '-' && j+1 < len(src) && src[j+1] == '-') {
+				j++
+			}
+			if j == i {
+				return nil, fmt.Errorf("topo: dot: unexpected character %q", ch)
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+type dotParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *dotParser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *dotParser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *dotParser) expect(tok string) error {
+	if got := p.next(); got != tok {
+		return fmt.Errorf("topo: dot: expected %q, got %q", tok, got)
+	}
+	return nil
+}
+
+// ident returns the token as an identifier/value, unquoting if needed.
+func unquote(tok string) string { return strings.TrimPrefix(tok, "\"") }
+
+func isPunct(tok string) bool {
+	switch tok {
+	case "{", "}", "[", "]", "=", ";", ",", "--", "":
+		return true
+	}
+	return false
+}
+
+func (p *dotParser) graph() (*Cluster, error) {
+	head := p.next()
+	if h := strings.ToLower(head); h == "strict" {
+		head = p.next()
+	}
+	if h := strings.ToLower(head); h != "graph" {
+		if h == "digraph" {
+			return nil, fmt.Errorf("topo: dot: directed graphs not supported (links are full duplex; use `graph`)")
+		}
+		return nil, fmt.Errorf("topo: dot: expected `graph`, got %q", head)
+	}
+	c := &Cluster{}
+	if p.peek() != "{" {
+		name := p.next()
+		if isPunct(name) {
+			return nil, fmt.Errorf("topo: dot: bad graph name %q", name)
+		}
+		c.Name = unquote(name)
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	index := map[string]int{}
+	for {
+		tok := p.next()
+		switch {
+		case tok == "}":
+			if p.peek() != "" {
+				return nil, fmt.Errorf("topo: dot: trailing tokens after closing brace")
+			}
+			return c, nil
+		case tok == "":
+			return nil, fmt.Errorf("topo: dot: missing closing brace")
+		case tok == ";":
+			continue
+		case isPunct(tok):
+			return nil, fmt.Errorf("topo: dot: unexpected token %q", tok)
+		}
+		name := unquote(tok)
+		if p.peek() == "--" {
+			if err := p.edge(c, index, name); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := p.node(c, index, name); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *dotParser) node(c *Cluster, index map[string]int, name string) error {
+	if _, dup := index[name]; dup {
+		return fmt.Errorf("topo: dot: duplicate node name %q", name)
+	}
+	attrs, err := p.attrs()
+	if err != nil {
+		return err
+	}
+	n := Node{Name: name}
+	for k, v := range attrs {
+		switch k {
+		case "cores", "cpu":
+			cores, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("topo: dot: node %q: bad cores %q", name, v)
+			}
+			n.Cores = cores
+		case "mem", "memory":
+			mem, err := units.ParseSize(v)
+			if err != nil {
+				return fmt.Errorf("topo: dot: node %q: bad mem %q", name, v)
+			}
+			n.MemBytes = mem
+		default:
+			return fmt.Errorf("topo: dot: node %q: unknown attribute %q", name, k)
+		}
+	}
+	index[name] = len(c.Nodes)
+	c.Nodes = append(c.Nodes, n)
+	return nil
+}
+
+func (p *dotParser) edge(c *Cluster, index map[string]int, from string) error {
+	if err := p.expect("--"); err != nil {
+		return err
+	}
+	toTok := p.next()
+	if isPunct(toTok) {
+		return fmt.Errorf("topo: dot: edge from %q: bad target %q", from, toTok)
+	}
+	to := unquote(toTok)
+	a, ok := index[from]
+	if !ok {
+		return fmt.Errorf("topo: dot: edge references undeclared node %q", from)
+	}
+	b, ok := index[to]
+	if !ok {
+		return fmt.Errorf("topo: dot: edge references undeclared node %q", to)
+	}
+	attrs, err := p.attrs()
+	if err != nil {
+		return err
+	}
+	l := Link{A: a, B: b}
+	for k, v := range attrs {
+		switch k {
+		case "latency", "lat":
+			lat, err := parseLatency(v)
+			if err != nil {
+				return fmt.Errorf("topo: dot: edge %s--%s: %v", from, to, err)
+			}
+			l.Latency = lat
+		case "bandwidth", "bw":
+			bw, err := parseBandwidth(v)
+			if err != nil {
+				return fmt.Errorf("topo: dot: edge %s--%s: %v", from, to, err)
+			}
+			l.Bandwidth = bw
+		default:
+			return fmt.Errorf("topo: dot: edge %s--%s: unknown attribute %q", from, to, k)
+		}
+	}
+	c.Links = append(c.Links, l)
+	return nil
+}
+
+// attrs parses an optional [k=v, k=v] list.
+func (p *dotParser) attrs() (map[string]string, error) {
+	out := map[string]string{}
+	if p.peek() != "[" {
+		return out, nil
+	}
+	p.next()
+	for {
+		tok := p.next()
+		if tok == "]" {
+			return out, nil
+		}
+		if tok == "," || tok == ";" {
+			continue
+		}
+		if isPunct(tok) {
+			return nil, fmt.Errorf("topo: dot: bad attribute name %q", tok)
+		}
+		key := strings.ToLower(unquote(tok))
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		val := p.next()
+		if isPunct(val) {
+			return nil, fmt.Errorf("topo: dot: attribute %q: bad value %q", key, val)
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("topo: dot: attribute %q given twice", key)
+		}
+		out[key] = unquote(val)
+	}
+}
+
+// parseLatency parses a duration with a ps/ns/us/µs/ms/s suffix (a bare
+// number is an error: latencies must name their unit).
+func parseLatency(s string) (sim.Time, error) {
+	t := strings.TrimSpace(strings.ToLower(s))
+	for _, u := range []struct {
+		suffix string
+		mult   sim.Time
+	}{
+		{"ps", sim.Picosecond}, {"ns", sim.Nanosecond},
+		{"us", sim.Microsecond}, {"µs", sim.Microsecond},
+		{"ms", sim.Millisecond}, {"s", sim.Second},
+	} {
+		if strings.HasSuffix(t, u.suffix) {
+			v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimSuffix(t, u.suffix)), 64)
+			if err != nil {
+				return 0, fmt.Errorf("bad latency %q", s)
+			}
+			d := sim.Time(v * float64(u.mult))
+			if d <= 0 {
+				return 0, fmt.Errorf("latency %q must be positive", s)
+			}
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("latency %q needs a unit suffix (ps|ns|us|ms|s)", s)
+}
+
+// parseBandwidth parses bytes/second: a bare float ("1.25e9") or a size
+// with an optional "/s" suffix ("10GiB/s", "1.25GB").
+func parseBandwidth(s string) (float64, error) {
+	t := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(s), "/s"))
+	if v, err := strconv.ParseFloat(t, 64); err == nil {
+		return v, nil
+	}
+	n, err := units.ParseSize(t)
+	if err != nil {
+		return 0, fmt.Errorf("bad bandwidth %q", s)
+	}
+	return float64(n), nil
+}
