@@ -20,8 +20,10 @@
 //	imb -bench alltoall -lmt knem-ioat -ranks 8
 //	imb -topo examples/topologies/two-node.dot -bench alltoall -ranks 16
 //	imb -topo fat-tree-16 -topoplace spread -bench sendrecv -ranks 16
+//	imb -perturb 'slow-core;delayed-recv:mean=2e-6' -seed 7 -bench pingpong
 //	imb -lmt list        # describe every registered backend preset
 //	imb -topo list       # describe every registered cluster preset
+//	imb -perturb list    # describe every registered perturbation kind
 package main
 
 import (
@@ -35,6 +37,7 @@ import (
 	"knemesis/internal/core"
 	"knemesis/internal/imb"
 	_ "knemesis/internal/mpi" // registers the "sim" engine
+	"knemesis/internal/perturb"
 	"knemesis/internal/profiling"
 	"knemesis/internal/rt"
 	"knemesis/internal/topo"
@@ -61,6 +64,8 @@ func main() {
 		minSize    = flag.String("min", "64KiB", "smallest message size")
 		maxSize    = flag.String("max", "4MiB", "largest message size")
 		eagerMax   = flag.String("eager", "", "override the rendezvous threshold (e.g. 4KiB)")
+		perturbL   = flag.String("perturb", "", "';'-separated fault/skew injections (e.g. 'slow-core;delayed-recv:mean=2e-6')|list")
+		seed       = flag.Uint64("seed", 1, "seed for the -perturb RNG streams")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -83,6 +88,21 @@ func main() {
 	if *topoName == "list" {
 		for _, p := range topo.ClusterPresets() {
 			fmt.Printf("%-16s %s\n", p.Name, p.Help)
+		}
+		return
+	}
+	if *perturbL == "list" {
+		for _, k := range perturb.Kinds() {
+			fmt.Printf("%-16s %s\n", k.Name, k.Help)
+			for _, p := range k.Param {
+				if len(p.Enum) > 0 {
+					fmt.Printf("    %-12s %s (one of %s, default %s)\n",
+						p.Key, p.Help, strings.Join(p.Enum, "|"), p.Enum[0])
+					continue
+				}
+				fmt.Printf("    %-12s %s (default %v, range [%v, %v])\n",
+					p.Key, p.Help, p.Def, p.Min, p.Max)
+			}
 		}
 		return
 	}
@@ -131,6 +151,12 @@ func main() {
 		v, err := units.ParseSize(*eagerMax)
 		check(err)
 		spec.EagerMax = v
+	}
+	if *perturbL != "" {
+		specs, err := perturb.ParseList(*perturbL)
+		check(err)
+		spec.Perturbations = specs
+		spec.Seed = *seed
 	}
 
 	// -ranks only applies to the chain/collective benches; pingpong sizes

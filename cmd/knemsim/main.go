@@ -74,6 +74,7 @@ func main() {
 		env.MultiSizes = []int64{1 * units.MiB} // the contention-crossover size
 		env.RTSizes = []int64{64 * units.KiB, 1 * units.MiB}
 		env.TopoSizes = []int64{16 * units.KiB}
+		env.SkewSizes = []int64{4 * units.KiB, 64 * units.KiB}
 
 		env.Kernels = []nas.Kernel{nas.MG().Scaled(4), nas.FT().Scaled(10), nas.ISSized(1<<21, 3, 8)}
 		env.ISKernel = nas.ISSized(1<<21, 3, 8)

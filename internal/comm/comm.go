@@ -12,6 +12,7 @@
 package comm
 
 import (
+	"context"
 	"time"
 
 	"knemesis/internal/sim"
@@ -215,6 +216,13 @@ type Job interface {
 	// them. It returns the first rank failure (deadlocks and panics
 	// included).
 	Run(app func(p Peer)) error
+	// RunCtx is Run under a context: when ctx is cancelled (or its
+	// deadline passes) the engine cuts the run — the simulator stops at a
+	// cut event and force-unwinds its processes, the real runtime wakes
+	// every parked rank and reclaims its pooled state — and the returned
+	// error wraps ctx's error (errors.Is-able) plus a per-rank state dump.
+	// A run that completes before cancellation returns exactly as Run.
+	RunCtx(ctx context.Context, app func(p Peer)) error
 	// Usage snapshots machine utilization. It may be called from inside
 	// app (rank 0 windows a measurement) and after Run.
 	Usage() Usage

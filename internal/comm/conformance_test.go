@@ -3,6 +3,7 @@ package comm_test
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"knemesis/internal/comm"
 	"knemesis/internal/core"
@@ -55,6 +56,20 @@ func conformanceCases() []confCase {
 // targets explicitly.
 var realEngines = []string{"sim", "rt"}
 
+// confDeadline is the per-case watchdog: a hung case fails within it,
+// carrying the engine's per-rank state dump (posted/unexpected depths,
+// park reasons), instead of stalling the whole suite at the test binary's
+// global timeout.
+const confDeadline = 60 * time.Second
+
+// runWatchdog runs one conformance case under the deadline watchdog.
+func runWatchdog(t *testing.T, job comm.Job, app func(c comm.Peer)) {
+	t.Helper()
+	if err := comm.RunWithDeadline(job, confDeadline, app); err != nil {
+		t.Fatalf("job failed: %v", err)
+	}
+}
+
 func TestConformanceAcrossEngines(t *testing.T) {
 	// The sim engine runs the suite once; the rt engine runs it under
 	// every large-message mode, so the fastbox + hashed-matching data
@@ -82,9 +97,7 @@ func TestConformanceAcrossEngines(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					if err := job.Run(func(c comm.Peer) { tc.app(t, c) }); err != nil {
-						t.Fatalf("job failed: %v", err)
-					}
+					runWatchdog(t, job, func(c comm.Peer) { tc.app(t, c) })
 				})
 			}
 		})
@@ -127,9 +140,7 @@ func TestConformanceMultiNodeTopologies(t *testing.T) {
 						if err != nil {
 							t.Fatal(err)
 						}
-						if err := job.Run(func(c comm.Peer) { tc.app(t, c) }); err != nil {
-							t.Fatalf("job failed: %v", err)
-						}
+						runWatchdog(t, job, func(c comm.Peer) { tc.app(t, c) })
 					})
 				}
 			})

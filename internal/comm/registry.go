@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"knemesis/internal/perturb"
 	"knemesis/internal/topo"
 )
 
@@ -47,6 +48,14 @@ type JobSpec struct {
 	// on a multi-node placement — the control arm of the hierarchical
 	// differential tests.
 	FlatCollectives bool
+
+	// Perturbations injects the listed fault/skew perturbations into the
+	// job (see internal/perturb): modeled on the simulator, wall-clock
+	// injector goroutines on the real runtime. Empty = unperturbed.
+	Perturbations []perturb.Spec
+	// Seed drives every perturbation's deterministic RNG streams. The
+	// same (spec, Seed) reproduces the identical perturbed simulation.
+	Seed uint64
 }
 
 // Place resolves the spec's placement of n ranks on its topology (nil when

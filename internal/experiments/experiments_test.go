@@ -18,6 +18,7 @@ func reducedEnv() Env {
 		Machine:   topo.XeonE5345(),
 		PingSizes: smallSizes,
 		A2ASizes:  []int64{32 * units.KiB, 256 * units.KiB},
+		SkewSizes: []int64{4 * units.KiB, 64 * units.KiB},
 		Kernels:   []nas.Kernel{nas.MG().Scaled(4), nas.ISSized(1<<18, 2, 8)},
 		ISKernel:  nas.ISSized(1<<18, 2, 8),
 	}

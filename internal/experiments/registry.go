@@ -20,6 +20,7 @@ type Env struct {
 	MultiSizes []int64 // multipair contention sweep (empty = defaults)
 	RTSizes    []int64 // real-runtime wall-clock sweep (empty = defaults)
 	TopoSizes  []int64 // multi-node topology sweep (empty = defaults)
+	SkewSizes  []int64 // perturbed-PingPong robustness sweep (empty = defaults)
 	Kernels    []nas.Kernel
 	ISKernel   nas.Kernel
 
@@ -39,6 +40,7 @@ func DefaultEnv(m *topo.Machine) Env {
 		MultiSizes: DefaultMultiPairSizes(),
 		RTSizes:    DefaultRTSizes(),
 		TopoSizes:  DefaultTopologySizes(),
+		SkewSizes:  DefaultSkewSizes(),
 		Kernels:    nas.Kernels(),
 		ISKernel:   nas.IS(),
 	}

@@ -12,7 +12,7 @@ import (
 
 func TestExperimentRegistryRoundTrip(t *testing.T) {
 	want := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "table1", "table2",
-		"multipair", "thresholds", "ablation", "collective-aware", "rt", "topology"}
+		"multipair", "thresholds", "ablation", "collective-aware", "rt", "topology", "skew"}
 	ids := ExperimentIDs()
 	if len(ids) != len(want) {
 		t.Fatalf("registered experiments = %v, want %v", ids, want)

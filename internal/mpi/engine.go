@@ -1,12 +1,16 @@
 package mpi
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"knemesis/internal/comm"
 	"knemesis/internal/core"
+	"knemesis/internal/hw"
 	"knemesis/internal/mem"
 	"knemesis/internal/nemesis"
+	"knemesis/internal/perturb"
 	"knemesis/internal/sim"
 	"knemesis/internal/topo"
 )
@@ -39,7 +43,11 @@ func init() {
 					return nil, err
 				}
 				cs := core.NewClusterStack(sim.NewEngine(), pl, opt, cfg)
-				return newClusterSimJob(cs, !spec.FlatCollectives), nil
+				j := newClusterSimJob(cs, !spec.FlatCollectives).(*simJob)
+				if err := j.installPerturb(spec); err != nil {
+					return nil, err
+				}
+				return j, nil
 			}
 			m := spec.Machine
 			if m == nil {
@@ -56,7 +64,11 @@ func init() {
 			if len(cores) != spec.Ranks {
 				return nil, fmt.Errorf("sim: %d cores pinned for %d ranks", len(cores), spec.Ranks)
 			}
-			return NewSimJob(core.NewStack(m, cores, opt, cfg)), nil
+			j := NewSimJob(core.NewStack(m, cores, opt, cfg)).(*simJob)
+			if err := j.installPerturb(spec); err != nil {
+				return nil, err
+			}
+			return j, nil
 		},
 	})
 }
@@ -116,7 +128,59 @@ func (j *simJob) Describe() string {
 		j.st.Ch.LMTName(), j.st.Ch.BackendName(), j.st.M.Topo.Name)
 }
 
+// installPerturb installs the spec's perturbation set onto the simulated
+// hardware (no-op for an empty list).
+func (j *simJob) installPerturb(spec comm.JobSpec) error {
+	if len(spec.Perturbations) == 0 {
+		return nil
+	}
+	t := &perturb.SimTarget{Eng: j.w.eng(), Ranks: j.w.Size}
+	if j.cs != nil {
+		for _, s := range j.cs.Nodes {
+			t.Machines = append(t.Machines, s.M)
+		}
+		t.Net = j.cs.Net
+		pl := j.cs.Place
+		t.RankLoc = func(r int) (int, topo.CoreID) { return pl.NodeOf[r], pl.CoreOf[r] }
+	} else {
+		t.Machines = []*hw.Machine{j.st.M}
+		eps := j.st.Ch.Endpoints
+		t.RankLoc = func(r int) (int, topo.CoreID) { return 0, eps[r].Core }
+	}
+	set, err := perturb.InstallSim(t, spec.Perturbations, spec.Seed)
+	if err != nil {
+		return err
+	}
+	j.w.SetPerturb(set)
+	return nil
+}
+
 func (j *simJob) Run(app func(p comm.Peer)) error {
+	return j.RunCtx(context.Background(), app)
+}
+
+// RunCtx runs the job under a context. A cancellation watcher stops the
+// engine (re-asserting Stop until the event loop actually exits, since
+// RunUntil clears the flag at entry); the dump is taken after the loop has
+// returned — on this goroutine, so it races nothing — and Terminate then
+// force-unwinds every remaining process. Terminate also runs after normal
+// completion, reaping perturbation daemons parked mid-sleep.
+func (j *simJob) RunCtx(ctx context.Context, app func(p comm.Peer)) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("sim: job cancelled before start: %w", err)
+	}
+	eng := j.w.eng()
+	done := make(chan struct{})
+	stopWatch := context.AfterFunc(ctx, func() {
+		for {
+			eng.Stop()
+			select {
+			case <-done:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	})
 	_, err := j.w.Run(func(c *Comm) {
 		var p comm.Peer = &simPeer{c: c}
 		if j.hier {
@@ -124,8 +188,20 @@ func (j *simJob) Run(app func(p comm.Peer)) error {
 		}
 		app(p)
 	})
+	close(done)
+	stopWatch()
+	if cerr := ctx.Err(); cerr != nil {
+		dump := eng.StateDump()
+		eng.Terminate()
+		return fmt.Errorf("sim: job cancelled: %w\n%s", cerr, dump)
+	}
+	eng.Terminate()
 	return err
 }
+
+// StateDump renders the engine's per-process state (for watchdogs). Only
+// meaningful after Run/RunCtx has returned.
+func (j *simJob) StateDump() string { return j.w.eng().StateDump() }
 
 func (j *simJob) Usage() comm.Usage {
 	if j.cs != nil {

@@ -12,6 +12,7 @@ import (
 	"knemesis/internal/core"
 	"knemesis/internal/mem"
 	"knemesis/internal/nemesis"
+	"knemesis/internal/perturb"
 	"knemesis/internal/sim"
 	"knemesis/internal/topo"
 )
@@ -30,7 +31,15 @@ type World struct {
 
 	// lanes[rank] is the rank's private event lane, set by EnableLanes.
 	lanes []sim.Domain
+
+	// pset is the installed perturbation set (nil unperturbed); the only
+	// part the MPI layer consults directly is the receive-posting delay.
+	pset *perturb.SimSet
 }
+
+// SetPerturb attaches an installed perturbation set: Recv/Irecv consult its
+// RecvDelay hook before posting. Call before Run.
+func (w *World) SetPerturb(set *perturb.SimSet) { w.pset = set }
 
 // NewWorld wraps a stack (one MPI rank per channel endpoint).
 func NewWorld(st *core.Stack) *World {
@@ -88,6 +97,24 @@ type Comm struct {
 	p    *sim.Proc
 
 	collSeq int
+	// recvOps counts this rank's posted receives: the delayed-recv
+	// perturbation's deterministic per-op RNG counter.
+	recvOps uint64
+}
+
+// recvDelay models a perturbed receiver: sleep the sampled posting delay
+// before the receive reaches the matching machinery. The sample is a pure
+// function of (rank, op), so serial and lane runs draw identically.
+func (c *Comm) recvDelay() {
+	set := c.w.pset
+	if set == nil || set.RecvDelay == nil {
+		return
+	}
+	op := c.recvOps
+	c.recvOps++
+	if d := set.RecvDelay(c.rank, op); d > 0 {
+		c.p.Sleep(d)
+	}
 }
 
 // Run spawns one process per rank executing app and runs the simulation to
@@ -213,6 +240,7 @@ func (c *Comm) Isend(dst, tag int, vec mem.IOVec) *Request {
 
 // Irecv starts a nonblocking receive (AnySource/AnyTag allowed).
 func (c *Comm) Irecv(src, tag int, vec mem.IOVec) *Request {
+	c.recvDelay()
 	return &Request{recv: c.ep.Irecv(src, tag, vec)}
 }
 
@@ -238,6 +266,7 @@ func (c *Comm) Send(dst, tag int, vec mem.IOVec) { c.ep.Send(c.p, dst, tag, vec)
 
 // Recv is the blocking receive.
 func (c *Comm) Recv(src, tag int, vec mem.IOVec) Status {
+	c.recvDelay()
 	req := c.ep.Recv(c.p, src, tag, vec)
 	return Status{Source: req.ActualSrc, Tag: req.ActualTag, Bytes: req.ActualSize}
 }

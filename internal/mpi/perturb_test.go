@@ -1,0 +1,259 @@
+package mpi
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"knemesis/internal/core"
+	"knemesis/internal/hw"
+	"knemesis/internal/mem"
+	"knemesis/internal/nemesis"
+	"knemesis/internal/perturb"
+	"knemesis/internal/sim"
+	"knemesis/internal/topo"
+	"knemesis/internal/units"
+)
+
+// Seeded determinism of the perturbation layer on the simulator: a
+// perturbed workload — slowed core, saturated bus, MMPP noise bursts,
+// delayed receivers — must produce byte-identical artefacts (timestamps,
+// message accounting, cache stats, the full executed-event trace) on the
+// serial reference engine and the parallel lane engine, and across repeat
+// runs of the same (spec, seed). Every perturbation draw is a counter-based
+// pure function of (seed, stream, counter), so worker interleaving cannot
+// perturb the perturbations.
+
+func perturbSpecs(t *testing.T) []perturb.Spec {
+	t.Helper()
+	var specs []perturb.Spec
+	for _, s := range []string{
+		"slow-core:rank=1,factor=0.4",
+		"sat-bus:load=0.3,streams=2",
+		"noisy-rank:rank=2,rate=200000",
+		"delayed-recv:mean=2e-6,dist=exp",
+	} {
+		sp, err := perturb.ParseSpec(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, sp)
+	}
+	return specs
+}
+
+// runPerturbedWorkload runs a fixed traffic mix under the given
+// perturbation set and returns the comparison artefacts. parallel selects
+// the lane engine; the workload itself is identical.
+func runPerturbedWorkload(t *testing.T, specs []perturb.Spec, seed uint64, ranks int, parallel bool) laneDiffArtefacts {
+	t.Helper()
+	m := topo.XeonE5345()
+	st := core.NewStack(m, m.AllCores()[:ranks], core.Options{Kind: core.KnemLMT}, nemesis.Config{})
+	eng := st.M.Eng
+	eng.SetSerial(!parallel)
+	w := NewWorld(st)
+	w.EnableLanes()
+
+	target := &perturb.SimTarget{
+		Eng:      eng,
+		Machines: []*hw.Machine{st.M},
+		Ranks:    ranks,
+		RankLoc:  func(r int) (int, topo.CoreID) { return 0, st.Ch.Endpoints[r].Core },
+	}
+	set, err := perturb.InstallSim(target, specs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetPerturb(set)
+
+	art := laneDiffArtefacts{obs: make([][]sim.Time, ranks)}
+	eng.SetTrace(func(at sim.Time, seq uint64, dom sim.Domain) {
+		art.trace = append(art.trace, laneTraceRec{at, seq, dom})
+	})
+
+	final, err := w.Run(func(c *Comm) {
+		buf := c.Alloc(192 * units.KiB)
+		rbuf := c.Alloc(192 * units.KiB)
+		note := func() { art.obs[c.Rank()] = append(art.obs[c.Rank()], c.Now()) }
+		for iter := 0; iter < 3; iter++ {
+			for _, size := range []int64{1024, 180 * units.KiB} {
+				peer := (c.Rank() + 1) % c.Size()
+				prev := (c.Rank() - 1 + c.Size()) % c.Size()
+				c.Sendrecv(peer, iter, mem.VecOf(buf.Slice(0, size)),
+					prev, iter, mem.VecOf(rbuf.Slice(0, size)))
+				note()
+			}
+			c.Compute(2*sim.Microsecond, mem.Region{Buf: buf, Off: 0, Len: 64 * units.KiB})
+			c.Barrier()
+			note()
+		}
+	})
+	if err != nil {
+		t.Fatalf("perturbed run (parallel=%v): %v", parallel, err)
+	}
+	art.final = final
+	art.eager, art.rndv = st.Ch.EagerMsgs, st.Ch.RndvMsgs
+	art.bytesSent = st.Ch.BytesSent
+	sort.Slice(art.trace, func(i, j int) bool {
+		if art.trace[i].at != art.trace[j].at {
+			return art.trace[i].at < art.trace[j].at
+		}
+		return art.trace[i].seq < art.trace[j].seq
+	})
+	return art
+}
+
+func TestPerturbedSerialVsLanesDeterminism(t *testing.T) {
+	specs := perturbSpecs(t)
+	const seed = 42
+	ref := runPerturbedWorkload(t, specs, seed, 4, false)
+	par := runPerturbedWorkload(t, specs, seed, 4, true)
+	if !reflect.DeepEqual(ref.trace, par.trace) {
+		t.Fatalf("perturbed event trace diverged between serial and lanes (%d vs %d events)",
+			len(ref.trace), len(par.trace))
+	}
+	refNT, parNT := ref, par
+	refNT.trace, parNT.trace = nil, nil
+	if !reflect.DeepEqual(refNT, parNT) {
+		t.Fatalf("perturbed artefacts diverged:\nserial: %+v\nlanes:  %+v", refNT, parNT)
+	}
+}
+
+func TestPerturbedRepeatRunDeterminism(t *testing.T) {
+	specs := perturbSpecs(t)
+	const seed = 99
+	a := runPerturbedWorkload(t, specs, seed, 4, true)
+	b := runPerturbedWorkload(t, specs, seed, 4, true)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (spec, seed) produced different artefacts across runs")
+	}
+}
+
+// A different seed must actually change the perturbed timing — the layer
+// is seeded, not decorative.
+func TestPerturbedSeedMatters(t *testing.T) {
+	specs := perturbSpecs(t)
+	a := runPerturbedWorkload(t, specs, 1, 4, false)
+	b := runPerturbedWorkload(t, specs, 2, 4, false)
+	if a.final == b.final && reflect.DeepEqual(a.obs, b.obs) {
+		t.Fatal("seeds 1 and 2 produced identical perturbed timelines")
+	}
+}
+
+// runPerturbedClusterWorkload is the multi-node variant: mixed intra- and
+// inter-node traffic over the modeled network with the link perturbations
+// (degraded bandwidth, delivery jitter, flapping) plus a delayed receiver.
+// The jitter path exercises the per-connection delivery-order clamp: jitter
+// must never reorder a pair's deliveries, in either engine mode.
+func runPerturbedClusterWorkload(t *testing.T, seed uint64, parallel bool) clusterLaneArtefacts {
+	t.Helper()
+	cl := topo.TwoNode(2, 1*sim.Microsecond, 1.25e9)
+	pl, err := cl.Place(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	eng.SetSerial(!parallel)
+	cs := core.NewClusterStack(eng, pl, core.Options{Kind: core.KnemLMT}, nemesis.Config{})
+	w := NewClusterWorld(cs)
+	w.EnableLanes()
+
+	var machines []*hw.Machine
+	for _, s := range cs.Nodes {
+		machines = append(machines, s.M)
+	}
+	target := &perturb.SimTarget{
+		Eng:      eng,
+		Machines: machines,
+		Net:      cs.Net,
+		Ranks:    w.Size,
+		RankLoc:  func(r int) (int, topo.CoreID) { return pl.NodeOf[r], pl.CoreOf[r] },
+	}
+	var specs []perturb.Spec
+	for _, s := range []string{
+		"link-degrade:factor=0.5",
+		"link-jitter:mean=3e-6",
+		"link-flap:period=1e-4,down=0.3,factor=0.01",
+		"delayed-recv:mean=2e-6",
+	} {
+		sp, err := perturb.ParseSpec(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, sp)
+	}
+	set, err := perturb.InstallSim(target, specs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetPerturb(set)
+
+	art := clusterLaneArtefacts{obs: make([][]sim.Time, w.Size)}
+	eng.SetTrace(func(at sim.Time, seq uint64, dom sim.Domain) {
+		art.trace = append(art.trace, laneTraceRec{at, seq, dom})
+	})
+	final, err := w.Run(func(c *Comm) {
+		buf := c.Alloc(192 * units.KiB)
+		rbuf := c.Alloc(192 * units.KiB)
+		note := func() { art.obs[c.Rank()] = append(art.obs[c.Rank()], c.Now()) }
+		for iter := 0; iter < 3; iter++ {
+			for _, size := range []int64{1024, 180 * units.KiB} {
+				peer := (c.Rank() + 1) % c.Size()
+				prev := (c.Rank() - 1 + c.Size()) % c.Size()
+				c.Sendrecv(peer, iter, mem.VecOf(buf.Slice(0, size)),
+					prev, iter, mem.VecOf(rbuf.Slice(0, size)))
+				note()
+			}
+			c.Barrier()
+			note()
+		}
+	})
+	if err != nil {
+		t.Fatalf("perturbed cluster run (parallel=%v): %v", parallel, err)
+	}
+	art.final = final
+	for _, s := range cs.Nodes {
+		art.eager += s.Ch.EagerMsgs
+		art.rndv += s.Ch.RndvMsgs
+	}
+	art.netPkts = cs.Net.Msgs
+	art.netHops = cs.Net.ByteHops
+	art.netEager = cs.Net.EagerMsgs
+	art.netRndv = cs.Net.RndvMsgs
+	sort.Slice(art.trace, func(i, j int) bool {
+		if art.trace[i].at != art.trace[j].at {
+			return art.trace[i].at < art.trace[j].at
+		}
+		return art.trace[i].seq < art.trace[j].seq
+	})
+	return art
+}
+
+func TestPerturbedClusterSerialVsLanesDeterminism(t *testing.T) {
+	const seed = 13
+	ref := runPerturbedClusterWorkload(t, seed, false)
+	if ref.netPkts == 0 {
+		t.Fatal("workload sent no network traffic; link perturbations untested")
+	}
+	par := runPerturbedClusterWorkload(t, seed, true)
+	if !reflect.DeepEqual(ref.trace, par.trace) {
+		t.Fatalf("perturbed cluster event trace diverged (%d vs %d events)",
+			len(ref.trace), len(par.trace))
+	}
+	refNT, parNT := ref, par
+	refNT.trace, parNT.trace = nil, nil
+	if !reflect.DeepEqual(refNT, parNT) {
+		t.Fatalf("perturbed cluster artefacts diverged:\nserial: %+v\nlanes:  %+v", refNT, parNT)
+	}
+}
+
+// An unperturbed run and a perturbed one must differ in modeled time: the
+// perturbations inject real modeled contention, not no-ops.
+func TestPerturbationsChangeTiming(t *testing.T) {
+	perturbed := runPerturbedWorkload(t, perturbSpecs(t), 7, 4, false)
+	clean := runPerturbedWorkload(t, nil, 7, 4, false)
+	if perturbed.final <= clean.final {
+		t.Fatalf("perturbed run (%v) not slower than clean run (%v)",
+			perturbed.final, clean.final)
+	}
+}

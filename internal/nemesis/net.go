@@ -42,6 +42,10 @@ type Net struct {
 	paths map[[2]int]*netPath // ordered (srcNode, dstNode) → route
 	conns map[[2]int]*netConn // ordered (srcNode, dstNode) → FIFO connection
 
+	// jitter, when set, returns extra propagation latency added to each
+	// delivery (perturbation injection; see SetDeliverJitter).
+	jitter func() sim.Time
+
 	// Stats (read after Run; the engine is single-timeline).
 	Msgs      int64   // messages transmitted
 	Bytes     int64   // payload bytes transmitted
@@ -50,6 +54,25 @@ type Net struct {
 	RndvMsgs  int64   // rendezvous messages over the network
 	LinkBytes []int64 // wire bytes per cluster link (both directions)
 }
+
+// ScaleBandwidth multiplies every directional link's current capacity by
+// factor (a degraded or restored fabric). In-flight transmissions finish
+// at the new rate from this simulated instant on.
+func (n *Net) ScaleBandwidth(factor float64) {
+	if factor <= 0 {
+		panic("nemesis: ScaleBandwidth factor must be positive")
+	}
+	for _, l := range n.links {
+		l.fluid.SetCapacity(l.fluid.Capacity() * factor)
+	}
+}
+
+// SetDeliverJitter installs a latency-jitter source consulted once per
+// delivered message. Deliveries on one connection are clamped to stay in
+// transmission order, so jitter perturbs timing without ever violating the
+// per-pair FIFO the matching machinery relies on. The function runs on the
+// machine timeline (deterministic order in both engine modes).
+func (n *Net) SetDeliverJitter(fn func() sim.Time) { n.jitter = fn }
 
 type netLink struct {
 	fluid   *sim.Fluid
@@ -121,6 +144,10 @@ type netConn struct {
 	q    []*netMsg
 	busy bool
 	seq  int
+	// lastDeliver is the latest delivery time scheduled on this connection:
+	// jittered deliveries clamp to it so per-pair FIFO order survives any
+	// jitter magnitude (equal-time events fire in schedule order).
+	lastDeliver sim.Time
 }
 
 func (n *Net) conn(srcNode, dstNode int) *netConn {
@@ -168,7 +195,15 @@ func (c *netConn) run(p *sim.Proc) {
 		for _, f := range flows {
 			f.Wait(p)
 		}
-		c.net.Eng.Schedule(p.Now()+c.path.latency, m.deliver)
+		at := p.Now() + c.path.latency
+		if j := c.net.jitter; j != nil {
+			at += j()
+		}
+		if at < c.lastDeliver {
+			at = c.lastDeliver
+		}
+		c.lastDeliver = at
+		c.net.Eng.Schedule(at, m.deliver)
 	}
 	c.busy = false
 }

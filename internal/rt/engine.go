@@ -1,10 +1,12 @@
 package rt
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"knemesis/internal/comm"
+	"knemesis/internal/perturb"
 )
 
 // The "rt" engine: the real goroutine runtime exposed through the
@@ -36,7 +38,16 @@ func init() {
 			if pl != nil {
 				cfg.NodeOf = pl.NodeOf
 			}
-			j := &rtJob{w: NewWorld(spec.Ranks, cfg)}
+			var plan *perturb.RTPlan
+			if len(spec.Perturbations) > 0 {
+				plan, err = perturb.NewRTPlan(spec.Perturbations, spec.Seed, spec.Ranks)
+				if err != nil {
+					return nil, err
+				}
+				cfg.RecvDelay = plan.RecvDelayHook()
+				cfg.CrossDelay = plan.CrossDelayHook()
+			}
+			j := &rtJob{w: NewWorld(spec.Ranks, cfg), plan: plan}
 			j.hier = pl != nil && pl.MultiNode() && !spec.FlatCollectives
 			return j, nil
 		},
@@ -64,7 +75,8 @@ func ParseMode(name string) (LargeMode, error) {
 // rtJob adapts a World to the engine-neutral Job interface.
 type rtJob struct {
 	w    *World
-	hier bool // wrap peers with the hierarchical collectives
+	hier bool            // wrap peers with the hierarchical collectives
+	plan *perturb.RTPlan // wall-clock injection plan (nil unperturbed)
 }
 
 // NewJob wraps a world as an engine-neutral job. Like the world's own Run,
@@ -91,7 +103,18 @@ func (j *rtJob) Describe() string {
 }
 
 func (j *rtJob) Run(app func(p comm.Peer)) error {
-	return j.w.Run(func(r *Rank) {
+	return j.RunCtx(context.Background(), app)
+}
+
+// RunCtx runs the job under a context: the perturbation injectors (if
+// any) run for exactly the span of the ranks, and cancellation cuts the
+// world (see World.RunCtx).
+func (j *rtJob) RunCtx(ctx context.Context, app func(p comm.Peer)) error {
+	if j.plan != nil {
+		stop := j.plan.Start()
+		defer stop()
+	}
+	return j.w.RunCtx(ctx, func(r *Rank) {
 		var p comm.Peer = r.peer()
 		if j.hier {
 			p = comm.WrapHier(p)
@@ -99,6 +122,9 @@ func (j *rtJob) Run(app func(p comm.Peer)) error {
 		app(p)
 	})
 }
+
+// StateDump exposes the world's per-rank snapshot (comm.StateDumper).
+func (j *rtJob) StateDump() string { return j.w.StateDump() }
 
 // Usage reports wall-clock elapsed time only: the real runtime has no
 // hardware model to attribute bus or per-core figures to.

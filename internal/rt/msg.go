@@ -54,6 +54,7 @@ func (r *Rank) getMsg() *message {
 	if m := r.freeq.Pop(); m != nil {
 		return m
 	}
+	r.minted++
 	return &message{home: r}
 }
 

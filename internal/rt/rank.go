@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 )
 
 // Matching wildcards.
@@ -88,6 +89,19 @@ type Rank struct {
 	wake     chan struct{}
 
 	collSeq int
+
+	// recvOps counts posted receives: the delayed-recv perturbation's
+	// deterministic per-op RNG counter (owner goroutine only).
+	recvOps uint64
+	// minted counts envelopes this rank has allocated (owner goroutine
+	// only; read post-join by World.EnvelopeAudit).
+	minted int
+
+	// Watchdog diagnostics, readable from any goroutine while the rank
+	// runs (see World.StateDump).
+	postedN    atomic.Int32
+	unexpN     atomic.Int32
+	parkReason atomic.Int32
 }
 
 func newRank(w *World, rank, n int) *Rank {
@@ -151,6 +165,57 @@ func (r *Rank) wakeUp() {
 	}
 }
 
+// Queue-depth-counted wrappers around the matching structures: the
+// watchdog's state dump reads the counters from outside the rank's
+// goroutine, so the depths live in atomics beside the unsynchronized
+// queues themselves.
+
+func (r *Rank) postRecv(req *Request) {
+	r.posted.add(req)
+	r.postedN.Add(1)
+}
+
+func (r *Rank) matchPosted(src, tag int) *Request {
+	req := r.posted.match(src, tag)
+	if req != nil {
+		r.postedN.Add(-1)
+	}
+	return req
+}
+
+func (r *Rank) unexpAdd(m *message) {
+	r.unexp.add(m)
+	r.unexpN.Add(1)
+}
+
+func (r *Rank) unexpTake(src, tag int) *message {
+	m := r.unexp.take(src, tag)
+	if m != nil {
+		r.unexpN.Add(-1)
+	}
+	return m
+}
+
+// checkCancel panics the rank out of the run when the world has been
+// cancelled — called at every point a rank can spin or block.
+func (r *Rank) checkCancel() {
+	if r.w.cancelled.Load() {
+		panic(cancelPanic{})
+	}
+}
+
+// sleep blocks the rank for d of wall-clock time, unwinding early if the
+// world is cancelled meanwhile (the perturbation delay hooks ride on it).
+func (r *Rank) sleep(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-r.w.cancelc:
+		panic(cancelPanic{})
+	}
+}
+
 // push delivers an envelope to this rank (called by senders).
 func (r *Rank) push(m *message) {
 	r.q.Push(m)
@@ -183,7 +248,22 @@ func (r *Rank) park(req *Request) {
 		r.sleeping.Store(false)
 		return
 	}
-	<-r.wake
+	reason := parkRecvWait
+	switch {
+	case req.rv != nil:
+		reason = parkRndvWait
+	case req.isSend:
+		reason = parkSendWait
+	}
+	r.parkReason.Store(reason)
+	select {
+	case <-r.wake:
+	case <-r.w.cancelc:
+		r.sleeping.Store(false)
+		r.parkReason.Store(parkNone)
+		panic(cancelPanic{})
+	}
+	r.parkReason.Store(parkNone)
 	r.sleeping.Store(false)
 }
 
@@ -223,7 +303,7 @@ func (r *Rank) pollFastbox(src int) bool {
 	}
 	tag, n := fb.tag, fb.n
 	r.recvSeq[src]++
-	if req := r.posted.match(src, tag); req != nil {
+	if req := r.matchPosted(src, tag); req != nil {
 		if n > len(req.dst) {
 			panic(fmt.Sprintf("rt: %d-byte message overflows %d-byte receive", n, len(req.dst)))
 		}
@@ -239,7 +319,7 @@ func (r *Rank) pollFastbox(src int) bool {
 	copy(cell[:n], fb.data[:n])
 	fb.state.Store(st + 1)
 	m.data = cell[:n]
-	r.unexp.add(m)
+	r.unexpAdd(m)
 	return true
 }
 
@@ -266,7 +346,7 @@ func (r *Rank) dispatch(m *message) {
 		r.streamSegment(m)
 		return
 	}
-	req := r.posted.match(m.src, m.tag)
+	req := r.matchPosted(m.src, m.tag)
 	if req == nil {
 		r.addUnexpected(m)
 		return
@@ -298,7 +378,7 @@ func (r *Rank) addUnexpected(m *message) {
 		m.open = true
 		r.streams[m.src] = stream{m: m, off: m.seg, n: m.n}
 	}
-	r.unexp.add(m)
+	r.unexpAdd(m)
 }
 
 // streamSegment appends one continuation segment to the open stream from
@@ -392,6 +472,11 @@ func (r *Rank) Isend(dst, tag int, buf []byte) *Request {
 	cross := r.w.crossNode(r.rank, dst)
 	if cross {
 		r.w.NetMsgs.Add(1)
+		if d := cfg.CrossDelay; d != nil {
+			if dd := d(len(buf)); dd > 0 {
+				r.sleep(dd)
+			}
+		}
 	}
 	if cfg.Large == Eager || cross || len(buf) <= cfg.RndvThreshold {
 		r.w.EagerMsgs.Add(1)
@@ -436,9 +521,11 @@ func (r *Rank) Isend(dst, tag int, buf []byte) *Request {
 			if m == nil {
 				if window > 0 {
 					window--
+					r.minted++
 					m = &message{home: r}
 				} else {
 					for m == nil {
+						r.checkCancel()
 						r.drain()
 						runtime.Gosched()
 						m = r.freeq.Pop()
@@ -477,13 +564,20 @@ func (r *Rank) Irecv(src, tag int, buf []byte) *Request {
 		panic(fmt.Sprintf("rt: receive from invalid rank %d", src))
 	}
 	checkTag(tag)
+	if d := r.w.cfg.RecvDelay; d != nil {
+		op := r.recvOps
+		r.recvOps++
+		if dd := d(r.rank, op); dd > 0 {
+			r.sleep(dd)
+		}
+	}
 	req := r.getReq(false)
 	req.dst, req.src, req.tag = buf, src, tag
-	if m := r.unexp.take(src, tag); m != nil {
+	if m := r.unexpTake(src, tag); m != nil {
 		r.deliver(m, req)
 		return req
 	}
-	r.posted.add(req)
+	r.postRecv(req)
 	r.drain() // give in-flight arrivals a chance to match immediately
 	return req
 }
@@ -510,6 +604,7 @@ func (r *Rank) Wait(req *Request) Status {
 		panic("rt: waiting on another rank's request")
 	}
 	for spins := 0; ; spins++ {
+		r.checkCancel()
 		r.drain()
 		if req.completed() {
 			st := req.st

@@ -1,8 +1,10 @@
 package rt
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,6 +71,16 @@ type Config struct {
 	// eager cell path (a copy at each end), mirroring a NIC's
 	// send/receive buffers.
 	NodeOf []int
+
+	// RecvDelay, when set, is slept (cancellably) before each posted
+	// receive reaches the matching machinery — the delayed-receiver
+	// perturbation hook. op counts the rank's posted receives, so the
+	// delay schedule is a pure function of (rank, op).
+	RecvDelay func(rank int, op uint64) time.Duration
+	// CrossDelay, when set, adds wall-clock latency to every cross-node
+	// send of the given size — the link perturbation hooks (degraded,
+	// jittery and flapping links).
+	CrossDelay func(bytes int) time.Duration
 }
 
 // defaultCellBytes sizes eager copy cells (and so the default rendezvous
@@ -120,6 +132,11 @@ type World struct {
 	copyWG  sync.WaitGroup
 	stopped atomic.Bool
 
+	// Cancellation: Cancel closes cancelc; ranks observe it at their
+	// parking and spin points and unwind via cancelPanic.
+	cancelc   chan struct{}
+	cancelled atomic.Bool
+
 	// Stats (atomic; read after Run returns).
 	EagerMsgs   atomic.Int64
 	RndvMsgs    atomic.Int64
@@ -142,7 +159,8 @@ func NewWorld(n int, cfg Config) *World {
 		panic(fmt.Sprintf("rt: NodeOf has %d entries for %d ranks", len(cfg.NodeOf), n))
 	}
 	cfg = cfg.withDefaults()
-	w := &World{cfg: cfg, copyq: make(chan copyJob, 128), start: time.Now()}
+	w := &World{cfg: cfg, copyq: make(chan copyJob, 128),
+		cancelc: make(chan struct{}), start: time.Now()}
 	for r := 0; r < n; r++ {
 		w.ranks = append(w.ranks, newRank(w, r, n))
 	}
@@ -186,9 +204,44 @@ func (w *World) copier() {
 	}
 }
 
+// cancelPanic unwinds a cancelled rank's stack: the parking and spinning
+// points panic it when the world is cancelled, and RunCtx's per-rank
+// recover swallows exactly this type (anything else is a real failure).
+type cancelPanic struct{}
+
+// Cancel cuts the run: every parked rank wakes into a cancelPanic, every
+// spinning rank observes the flag on its next pass, and the whole world
+// unwinds without completing outstanding operations. Idempotent and safe
+// from any goroutine.
+func (w *World) Cancel() {
+	if w.cancelled.CompareAndSwap(false, true) {
+		close(w.cancelc)
+	}
+}
+
 // Run executes app on every rank concurrently and waits for all of them,
 // then shuts the world down. It returns the first panic as an error.
-func (w *World) Run(app func(r *Rank)) (err error) {
+func (w *World) Run(app func(r *Rank)) error {
+	return w.RunCtx(context.Background(), app)
+}
+
+// RunCtx is Run under a context: when ctx is cancelled (or its deadline
+// passes) the world snapshots its per-rank state, cancels the run, and
+// returns an error wrapping ctx's error plus that state dump. A rank
+// panicking for any other reason also cancels its peers, so one crashed
+// rank unwinds the whole job instead of deadlocking it. A run that
+// completes before cancellation returns exactly as Run. Either way the
+// world is shut down and its pooled envelopes reclaimed on return.
+func (w *World) RunCtx(ctx context.Context, app func(r *Rank)) error {
+	var dumpMu sync.Mutex
+	var dump string
+	unhook := context.AfterFunc(ctx, func() {
+		d := w.StateDump()
+		dumpMu.Lock()
+		dump = d
+		dumpMu.Unlock()
+		w.Cancel()
+	})
 	var wg sync.WaitGroup
 	panics := make(chan any, len(w.ranks))
 	for _, r := range w.ranks {
@@ -198,20 +251,115 @@ func (w *World) Run(app func(r *Rank)) (err error) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
+					if _, ok := p.(cancelPanic); ok {
+						return
+					}
 					panics <- fmt.Sprintf("rank %d: %v", r.rank, p)
+					w.Cancel()
 				}
 			}()
 			app(r)
 		}()
 	}
 	wg.Wait()
+	unhook()
 	w.Close()
+	w.reclaim()
 	select {
 	case p := <-panics:
 		return fmt.Errorf("rt: %v", p)
 	default:
-		return nil
 	}
+	if err := ctx.Err(); err != nil {
+		// The AfterFunc callback may still be in flight; fall back to a
+		// fresh (post-join, quiesced) dump if it has not stored one yet.
+		dumpMu.Lock()
+		d := dump
+		dumpMu.Unlock()
+		if d == "" {
+			d = w.StateDump()
+		}
+		return fmt.Errorf("rt: job cancelled: %w\n%s", err, d)
+	}
+	return nil
+}
+
+// reclaim returns every in-flight envelope to its home pool after the
+// ranks have joined: queued arrivals a cancelled receiver never drained
+// and unexpected messages nobody matched. Single-threaded — callers hold
+// the post-join happens-before edge.
+func (w *World) reclaim() {
+	for _, r := range w.ranks {
+		for m := r.q.Pop(); m != nil; m = r.q.Pop() {
+			release(m)
+		}
+		for m := r.unexp.ghead; m != nil; {
+			next := m.gnext
+			release(m)
+			m = next
+		}
+		r.unexp = unexpQ{exact: make(map[uint64]*msgBucket)}
+		r.posted = postQ{exact: make(map[uint64]*postBucket)}
+		r.unexpN.Store(0)
+		r.postedN.Store(0)
+	}
+}
+
+// EnvelopeAudit counts every envelope ever minted against every envelope
+// sitting in a free pool. Call after Run/RunCtx returns: a quiesced world
+// — completed or cancelled — has minted == pooled, the "no leaked pooled
+// state" shutdown-hygiene invariant.
+func (w *World) EnvelopeAudit() (minted, pooled int) {
+	for _, r := range w.ranks {
+		minted += r.minted
+		var held []*message
+		for m := r.freeq.Pop(); m != nil; m = r.freeq.Pop() {
+			held = append(held, m)
+		}
+		pooled += len(held)
+		for _, m := range held {
+			r.freeq.Push(m)
+		}
+	}
+	return minted, pooled
+}
+
+// Park reasons (Rank.parkReason): why a rank's goroutine last went to
+// sleep, for watchdog state dumps. Reads are racy by design — the dump is
+// a diagnostic snapshot of a possibly-live world.
+const (
+	parkNone int32 = iota // running (or never parked)
+	parkSendWait
+	parkRecvWait
+	parkRndvWait
+)
+
+func parkReasonName(r int32) string {
+	switch r {
+	case parkNone:
+		return "running"
+	case parkSendWait:
+		return "parked (send wait)"
+	case parkRecvWait:
+		return "parked (recv wait)"
+	case parkRndvWait:
+		return "parked (rendezvous wait)"
+	default:
+		return fmt.Sprintf("parked (reason %d)", r)
+	}
+}
+
+// StateDump renders a human-readable per-rank snapshot — posted and
+// unexpected queue depths, park reasons — safe to call from any goroutine
+// while the world runs (it reads only atomics).
+func (w *World) StateDump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rt world: %d ranks, cancelled=%v\n", len(w.ranks), w.cancelled.Load())
+	for _, r := range w.ranks {
+		fmt.Fprintf(&b, "  rank %d: posted=%d unexpected=%d %s\n",
+			r.rank, r.postedN.Load(), r.unexpN.Load(), parkReasonName(r.parkReason.Load()))
+	}
+	return strings.TrimRight(b.String(), "\n")
 }
 
 // Close stops the copier pool. Idempotent; Run calls it automatically.

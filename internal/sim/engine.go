@@ -162,8 +162,11 @@ type Engine struct {
 	nextPID  int
 
 	stopped atomic.Bool
-	failMu  sync.Mutex
-	err     error
+	// terminating flags a Terminate unwind: parked processes woken during
+	// it abandon execution (park panics procKilled) instead of resuming.
+	terminating atomic.Bool
+	failMu      sync.Mutex
+	err         error
 
 	// serial selects the reference single-heap execution path.
 	serial bool
@@ -320,8 +323,61 @@ func (e *Engine) ScheduleDomain(d Domain, at Time, fn func()) {
 func (e *Engine) After(d Time, fn func()) { e.Schedule(e.now+d, fn) }
 
 // Stop makes Run return after the currently executing event (or lane round)
-// completes.
+// completes. Safe to call from another goroutine (a cancellation watcher);
+// note RunUntil clears the flag on entry, so a watcher racing a run start
+// must re-assert until the run actually returns.
 func (e *Engine) Stop() { e.stopped.Store(true) }
+
+// LiveProcs reports the number of non-daemon processes that have been
+// spawned and not yet finished. Injected background daemons consult it to
+// stop rescheduling once the application is done, so perturbed runs drain.
+func (e *Engine) LiveProcs() int { return int(e.liveProc.Load()) }
+
+// procKilled is the sentinel panic that unwinds a parked process during
+// Terminate; the spawn wrapper recovers exactly this type.
+type procKilled struct{}
+
+// Terminate force-unwinds every process that has not finished: each parked
+// goroutine is woken once, abandons its work by panicking procKilled out of
+// park (running deferred cleanup on the way), and is reaped. Call it only
+// after Run/RunUntil has returned (every live process is then parked at its
+// resume handshake); afterwards the engine cannot run again.
+func (e *Engine) Terminate() {
+	e.stopped.Store(true)
+	e.terminating.Store(true)
+	for _, p := range e.procs {
+		for !p.done {
+			p.resume <- struct{}{}
+			<-p.yield
+		}
+	}
+	e.terminating.Store(false)
+}
+
+// StateDump renders the engine's process table for watchdog diagnostics:
+// the clock, live/pending counts, and every unfinished process with its
+// park reason. Call it from the goroutine that ran the engine, after
+// Run/RunUntil has returned.
+func (e *Engine) StateDump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim engine: now=%v live=%d daemons+procs=%d pending events=%d\n",
+		e.now, e.liveProc.Load(), len(e.procs), e.pendingEvents())
+	for _, p := range e.procs {
+		if p.done {
+			continue
+		}
+		state := "not started"
+		if p.started {
+			state = fmt.Sprintf("blocked on %q", p.blockedOn)
+		}
+		kind := ""
+		if p.daemon {
+			kind = " daemon"
+		}
+		fmt.Fprintf(&b, "  proc %d %s%s: %s\n", p.pid, p.name, kind, state)
+	}
+	return b.String()
+}
 
 // Fail records err and stops the engine. Used by processes to abort a
 // simulation from inside.

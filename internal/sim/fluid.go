@@ -44,6 +44,18 @@ func NewFluid(e *Engine, name string, capacity float64) *Fluid {
 // Capacity returns the configured capacity in units per second.
 func (f *Fluid) Capacity() float64 { return f.capacity }
 
+// SetCapacity changes the capacity mid-run (a perturbed core or degraded
+// link). Elapsed service is charged at the old rate first, then in-flight
+// flows are rescheduled at the new one.
+func (f *Fluid) SetCapacity(c float64) {
+	if c <= 0 {
+		panic("sim: fluid capacity must be positive")
+	}
+	f.update()
+	f.capacity = c
+	f.reschedule()
+}
+
 // Active reports the number of in-flight flows.
 func (f *Fluid) Active() int { return len(f.flows) }
 

@@ -63,7 +63,21 @@ func (e *Engine) spawn(start Time, name string, daemon bool, fn func(*Proc)) *Pr
 	}
 	go func() {
 		<-p.resume // wait for the start event
-		fn(p)
+		if !e.terminating.Load() {
+			// During Terminate a parked process panics procKilled out of
+			// park; recover exactly that (deferred cleanup has already run
+			// on the unwind) and fall through to the reaping handshake.
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(procKilled); !ok {
+							panic(r)
+						}
+					}
+				}()
+				fn(p)
+			}()
+		}
 		p.done = true
 		if !daemon {
 			e.liveProc.Add(-1)
@@ -109,6 +123,9 @@ func (p *Proc) park(reason string) {
 	p.blockedOn = reason
 	p.yield <- struct{}{}
 	<-p.resume
+	if p.eng.terminating.Load() {
+		panic(procKilled{})
+	}
 	p.blockedOn = ""
 }
 
