@@ -35,6 +35,7 @@ import (
 
 	"knemesis/internal/comm"
 	"knemesis/internal/core"
+	"knemesis/internal/experiments"
 	"knemesis/internal/imb"
 	_ "knemesis/internal/mpi" // registers the "sim" engine
 	"knemesis/internal/perturb"
@@ -133,7 +134,7 @@ func main() {
 	cluster, err := resolveTopo(*topoName)
 	check(err)
 
-	m, err := machineByName(*machine)
+	m, err := experiments.MachineByName(*machine)
 	check(err)
 	lo, err := units.ParseSize(*minSize)
 	check(err)
@@ -287,19 +288,6 @@ func printMulti(res imb.MultiResult, engine string, j comm.Job) {
 	for _, pt := range res.Points {
 		fmt.Printf("%-10s %14.2f %14.0f %10.2f %14.4f\n",
 			units.FormatSize(pt.Size), pt.Time.Microseconds(), pt.Throughput, pt.BusUtil, pt.CPUBusySec)
-	}
-}
-
-func machineByName(name string) (*topo.Machine, error) {
-	switch name {
-	case "e5345":
-		return topo.XeonE5345(), nil
-	case "x5460":
-		return topo.XeonX5460(), nil
-	case "nehalem":
-		return topo.NehalemStyle(), nil
-	default:
-		return nil, fmt.Errorf("unknown machine %q (e5345|x5460|nehalem)", name)
 	}
 }
 

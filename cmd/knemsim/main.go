@@ -2,6 +2,8 @@
 // 3-7, Tables 1-2, the §3.5 threshold study and the model ablations) on the
 // simulator. The experiment set, its help text and its validation all come
 // from the experiments registry — adding an experiment there adds it here.
+// An unknown -experiment or -machine exits 2 listing the registered names
+// (the same strict registry validation as cmd/imb); runtime failures exit 1.
 //
 // Usage:
 //
@@ -15,70 +17,78 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"knemesis/internal/experiments"
-	"knemesis/internal/nas"
 	"knemesis/internal/profiling"
-	"knemesis/internal/topo"
-	"knemesis/internal/units"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: flag-value errors (unknown experiment or
+// machine) return 2 with the registered names on stderr, runtime failures
+// return 1.
+func run(args []string, stdout, stderr io.Writer) int {
 	ids := experiments.ExperimentIDs()
+	fs := flag.NewFlagSet("knemsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		experiment = flag.String("experiment", "all", strings.Join(ids, "|")+"|all")
-		machine    = flag.String("machine", "e5345", "e5345|x5460|nehalem")
-		outDir     = flag.String("out", "", "directory for CSV/JSON artefacts (optional)")
-		quick      = flag.Bool("quick", false, "reduced sizes and scaled NAS kernels")
-		workers    = flag.Int("j", experiments.DefaultWorkers(),
+		experiment = fs.String("experiment", "all", strings.Join(ids, "|")+"|all")
+		machine    = fs.String("machine", "e5345", strings.Join(experiments.MachineNames(), "|"))
+		outDir     = fs.String("out", "", "directory for CSV/JSON artefacts (optional)")
+		quick      = fs.Bool("quick", false, "reduced sizes and scaled NAS kernels")
+		workers    = fs.Int("j", experiments.DefaultWorkers(),
 			"worker pool width for independent stack simulations (1 = serial)")
-		verbose    = flag.Bool("v", false, "progress to stderr")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		verbose    = fs.Bool("v", false, "progress to stderr")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// Validate the registry-backed flags up front: unknown values exit 2
+	// with the registered names, matching imb's strict validation.
+	if *experiment != "all" {
+		if _, err := experiments.LookupExperiment(*experiment); err != nil {
+			fmt.Fprintln(stderr, "knemsim:", err)
+			return 2
+		}
+	}
+	m, err := experiments.MachineByName(*machine)
+	if err != nil {
+		fmt.Fprintln(stderr, "knemsim:", err)
+		return 2
+	}
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "knemsim:", err)
+		return 1
 	}
 	defer func() {
 		if err := stopProf(); err != nil {
-			fmt.Fprintln(os.Stderr, "knemsim: profile:", err)
+			fmt.Fprintln(stderr, "knemsim: profile:", err)
 		}
 	}()
 
-	m, err := machineByName(*machine)
-	if err != nil {
-		fatal(err)
-	}
-	if *experiment != "all" {
-		if _, err := experiments.LookupExperiment(*experiment); err != nil {
-			fatal(err)
-		}
-	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "knemsim:", err)
+			return 1
 		}
 	}
 
 	env := experiments.DefaultEnv(m)
-	env.Workers = *workers
 	if *quick {
-		env.PingSizes = []int64{128 * units.KiB, 512 * units.KiB, 2 * units.MiB}
-		env.A2ASizes = []int64{16 * units.KiB, 128 * units.KiB, 1 * units.MiB}
-		env.MultiSizes = []int64{1 * units.MiB} // the contention-crossover size
-		env.RTSizes = []int64{64 * units.KiB, 1 * units.MiB}
-		env.TopoSizes = []int64{16 * units.KiB}
-		env.SkewSizes = []int64{4 * units.KiB, 64 * units.KiB}
-
-		env.Kernels = []nas.Kernel{nas.MG().Scaled(4), nas.FT().Scaled(10), nas.ISSized(1<<21, 3, 8)}
-		env.ISKernel = nas.ISSized(1<<21, 3, 8)
+		env = experiments.QuickEnv(m)
 	}
+	env.Workers = *workers
 
 	for _, exp := range experiments.Experiments() {
 		if *experiment != "all" && *experiment != exp.ID {
@@ -86,39 +96,24 @@ func main() {
 		}
 		start := time.Now()
 		if *verbose {
-			fmt.Fprintf(os.Stderr, "running %s on %s...\n", exp.ID, m.Name)
+			fmt.Fprintf(stderr, "running %s on %s...\n", exp.ID, m.Name)
 		}
 		res, err := exp.Run(env)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", exp.ID, err))
+			fmt.Fprintf(stderr, "knemsim: %s: %v\n", exp.ID, err)
+			return 1
 		}
-		res.Render(os.Stdout)
-		fmt.Println()
+		res.Render(stdout)
+		fmt.Fprintln(stdout)
 		if *outDir != "" {
 			if err := res.WriteFiles(*outDir); err != nil {
-				fatal(fmt.Errorf("%s: %w", exp.ID, err))
+				fmt.Fprintf(stderr, "knemsim: %s: %v\n", exp.ID, err)
+				return 1
 			}
 		}
 		if *verbose {
-			fmt.Fprintf(os.Stderr, "%s done in %v\n", exp.ID, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(stderr, "%s done in %v\n", exp.ID, time.Since(start).Round(time.Millisecond))
 		}
 	}
-}
-
-func machineByName(name string) (*topo.Machine, error) {
-	switch name {
-	case "e5345":
-		return topo.XeonE5345(), nil
-	case "x5460":
-		return topo.XeonX5460(), nil
-	case "nehalem":
-		return topo.NehalemStyle(), nil
-	default:
-		return nil, fmt.Errorf("unknown machine %q (e5345|x5460|nehalem)", name)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "knemsim:", err)
-	os.Exit(1)
+	return 0
 }

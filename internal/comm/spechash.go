@@ -1,0 +1,83 @@
+package comm
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"knemesis/internal/perturb"
+	"knemesis/internal/topo"
+)
+
+// Canonical renders the spec as a deterministic text encoding suitable for
+// content addressing: fixed field order, engine defaults spelled out (so a
+// default-elided spec and one naming the defaults explicitly encode
+// identically), perturbation specs in their canonical String form (sorted
+// parameter keys), and the topology as its exact RenderDOT round-trip
+// form. Two specs with equal Canonical() describe the same job.
+func (s JobSpec) Canonical() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ranks=%d\n", s.Ranks)
+	fmt.Fprintf(&b, "eagermax=%d\n", s.EagerMax)
+
+	m := s.Machine
+	if m == nil {
+		m = topo.XeonE5345() // NewSimJob's documented nil default
+	}
+	fmt.Fprintf(&b, "machine=%s\n", m.Name)
+
+	b.WriteString("cores=")
+	for i, c := range s.Cores {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", c)
+	}
+	b.WriteByte('\n')
+
+	lmt := s.LMT
+	if lmt == "" {
+		lmt = "default"
+	}
+	fmt.Fprintf(&b, "lmt=%s\n", lmt)
+
+	rtmode := s.RTMode
+	if rtmode == "" {
+		rtmode = "single-copy"
+	}
+	fmt.Fprintf(&b, "rtmode=%s\n", rtmode)
+
+	b.WriteString("topology=")
+	if s.Topology != nil {
+		// RenderDOT is an exact round-trip of the cluster description, so
+		// equal clusters (however they were built) encode identically.
+		b.WriteString(topo.RenderDOT(s.Topology))
+	}
+	b.WriteString("\x00\n")
+
+	placement := s.Placement
+	if placement == "" {
+		placement = "block"
+	}
+	fmt.Fprintf(&b, "placement=%s\n", placement)
+	fmt.Fprintf(&b, "flatcoll=%v\n", s.FlatCollectives)
+
+	fmt.Fprintf(&b, "perturb=%s\n", perturb.FormatList(s.Perturbations))
+	// The seed only reaches an engine through a perturbation's RNG streams;
+	// without perturbations it is normalized away.
+	seed := s.Seed
+	if len(s.Perturbations) == 0 {
+		seed = 0
+	}
+	fmt.Fprintf(&b, "seed=%d\n", seed)
+	return b.String()
+}
+
+// Fingerprint hashes the canonical encoding: the spec half of a result
+// cache key. Callers compose it with the engine name and a code version to
+// address cached artefacts (see internal/serve).
+func (s JobSpec) Fingerprint() string {
+	sum := sha256.Sum256([]byte(s.Canonical()))
+	return hex.EncodeToString(sum[:])
+}

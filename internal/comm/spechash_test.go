@@ -1,0 +1,86 @@
+package comm
+
+import (
+	"testing"
+
+	"knemesis/internal/perturb"
+	"knemesis/internal/topo"
+)
+
+// Two semantically equal specs — one naming every engine default and
+// carrying its perturbation params in one order, the other eliding the
+// defaults and reordering the params — must produce the same fingerprint.
+func TestFingerprintSemanticEquality(t *testing.T) {
+	explicit := JobSpec{
+		Ranks:     2,
+		Machine:   topo.XeonE5345(),
+		LMT:       "default",
+		RTMode:    "single-copy",
+		Placement: "block",
+		Perturbations: []perturb.Spec{
+			perturb.MustParse("noisy-rank:cpu=2e-4,rate=50"),
+			perturb.MustParse("delayed-recv:dist=fixed,mean=2e-6"),
+		},
+		Seed: 7,
+	}
+	elided := JobSpec{
+		Ranks: 2,
+		Perturbations: []perturb.Spec{
+			perturb.MustParse("noisy-rank:rate=50,cpu=2e-4"),
+			perturb.MustParse("delayed-recv:mean=2e-6,dist=fixed"),
+		},
+		Seed: 7,
+	}
+	if explicit.Canonical() != elided.Canonical() {
+		t.Fatalf("canonical forms differ:\n%q\nvs\n%q", explicit.Canonical(), elided.Canonical())
+	}
+	if explicit.Fingerprint() != elided.Fingerprint() {
+		t.Fatalf("fingerprints differ: %s vs %s", explicit.Fingerprint(), elided.Fingerprint())
+	}
+}
+
+// Without perturbations the seed is inert (no RNG stream ever reads it), so
+// it must not split the cache key; with perturbations it changes schedules
+// and must.
+func TestFingerprintSeedNormalization(t *testing.T) {
+	a := JobSpec{Ranks: 2, Seed: 1}
+	b := JobSpec{Ranks: 2, Seed: 99}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("inert seed split the fingerprint")
+	}
+	pa := JobSpec{Ranks: 2, Perturbations: []perturb.Spec{perturb.MustParse("slow-core")}, Seed: 1}
+	pb := JobSpec{Ranks: 2, Perturbations: []perturb.Spec{perturb.MustParse("slow-core")}, Seed: 99}
+	if pa.Fingerprint() == pb.Fingerprint() {
+		t.Fatalf("perturbed seed did not split the fingerprint")
+	}
+}
+
+// Every field that changes job semantics must change the fingerprint.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := JobSpec{Ranks: 2}
+	cl, err := topo.LookupCluster("two-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := map[string]JobSpec{
+		"ranks":    {Ranks: 4},
+		"eagermax": {Ranks: 2, EagerMax: 4096},
+		"machine":  {Ranks: 2, Machine: topo.XeonX5460()},
+		"cores":    {Ranks: 2, Cores: []topo.CoreID{0, 4}},
+		"lmt":      {Ranks: 2, LMT: "cma"},
+		"rtmode":   {Ranks: 2, RTMode: "eager"},
+		"topology": {Ranks: 2, Topology: cl},
+		"flatcoll": {Ranks: 2, FlatCollectives: true},
+		"perturb":  {Ranks: 2, Perturbations: []perturb.Spec{perturb.MustParse("slow-core")}},
+	}
+	for name, sp := range variants {
+		if sp.Fingerprint() == base.Fingerprint() {
+			t.Errorf("%s: variant fingerprint equals base", name)
+		}
+	}
+	spread := JobSpec{Ranks: 2, Topology: cl, Placement: "spread"}
+	block := JobSpec{Ranks: 2, Topology: cl}
+	if spread.Fingerprint() == block.Fingerprint() {
+		t.Errorf("placement: spread equals block")
+	}
+}

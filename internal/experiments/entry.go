@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"knemesis/internal/nas"
+	"knemesis/internal/topo"
+	"knemesis/internal/units"
+)
+
+// The programmatic run entry points: everything a caller needs to execute a
+// registered experiment from a name-only description (machine preset name,
+// quick flag) and collect the exact artefact bytes the CLI would write.
+// cmd/knemsim and the knemd experiment service share these, which is what
+// makes a daemon-produced artefact byte-identical to a direct CLI run of
+// the same spec.
+
+// MachineNames lists the machine presets accepted by MachineByName, in
+// flag-help order.
+func MachineNames() []string { return []string{"e5345", "x5460", "nehalem"} }
+
+// MachineByName resolves a machine preset name.
+func MachineByName(name string) (*topo.Machine, error) {
+	switch name {
+	case "e5345":
+		return topo.XeonE5345(), nil
+	case "x5460":
+		return topo.XeonX5460(), nil
+	case "nehalem":
+		return topo.NehalemStyle(), nil
+	default:
+		return nil, fmt.Errorf("unknown machine %q (e5345|x5460|nehalem)", name)
+	}
+}
+
+// QuickEnv returns the reduced-scale evaluation setup on m: the -quick
+// sweep of cmd/knemsim (a handful of sizes per axis, scaled NAS kernels).
+func QuickEnv(m *topo.Machine) Env {
+	env := DefaultEnv(m)
+	env.PingSizes = []int64{128 * units.KiB, 512 * units.KiB, 2 * units.MiB}
+	env.A2ASizes = []int64{16 * units.KiB, 128 * units.KiB, 1 * units.MiB}
+	env.MultiSizes = []int64{1 * units.MiB} // the contention-crossover size
+	env.RTSizes = []int64{64 * units.KiB, 1 * units.MiB}
+	env.TopoSizes = []int64{16 * units.KiB}
+	env.SkewSizes = []int64{4 * units.KiB, 64 * units.KiB}
+	env.Kernels = []nas.Kernel{nas.MG().Scaled(4), nas.FT().Scaled(10), nas.ISSized(1<<21, 3, 8)}
+	env.ISKernel = nas.ISSized(1<<21, 3, 8)
+	return env
+}
+
+// EnvByName builds the Env for a (machine preset, quick) description.
+func EnvByName(machine string, quick bool) (Env, error) {
+	if machine == "" {
+		machine = "e5345"
+	}
+	m, err := MachineByName(machine)
+	if err != nil {
+		return Env{}, err
+	}
+	if quick {
+		return QuickEnv(m), nil
+	}
+	return DefaultEnv(m), nil
+}
+
+// ResultFiles collects a result's artefact files as bytes, by name: exactly
+// what Result.WriteFiles writes into a directory (it stages through a
+// temporary one), so service-stored artefacts are byte-identical to the
+// CLI's -out files.
+func ResultFiles(res Result) (map[string][]byte, error) {
+	dir, err := os.MkdirTemp("", "knemesis-artefact-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	if err := res.WriteFiles(dir); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		buf, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		out[e.Name()] = buf
+	}
+	return out, nil
+}

@@ -119,7 +119,7 @@ func init() {
 			eng := t.Eng
 			eng.SpawnDaemon(fmt.Sprintf("perturb.noisy-rank.%d", int(in.F("rank"))), func(p *sim.Proc) {
 				for eng.LiveProcs() > 0 {
-					p.Sleep(sim.FromSeconds(g.next()))
+					p.Sleep(sim.FromSeconds(g.Next()))
 					if eng.LiveProcs() == 0 {
 						return
 					}

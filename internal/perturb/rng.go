@@ -52,15 +52,16 @@ func sampleDist(dist string, mean float64, u float64) float64 {
 	}
 }
 
-// arrivalGen walks a (possibly MMPP-modulated) arrival process. In plain
+// Arrivals walks a (possibly MMPP-modulated) arrival process. In plain
 // Poisson form gaps are exponential at rate; in MMPP form a two-state
 // Markov chain (calm at rate, burst at burstRate, state changes at flip)
 // modulates the intensity, which pushes the arrival count's squared
 // coefficient of variation above unity — genuinely bursty load rather than
 // a rescaled trickle. Gaps are a pure function of (seed, stream) and the
 // internal draw counter, so two generators built alike emit identical
-// schedules.
-type arrivalGen struct {
+// schedules. Besides the noisy-rank perturbation kind, the knemd load
+// generator drives its submission schedule from one.
+type Arrivals struct {
 	seed, stream uint64
 	ctr          uint64
 
@@ -72,9 +73,13 @@ type arrivalGen struct {
 	stateLeft float64 // seconds left in the current state
 }
 
-func newArrivalGen(in Inst, rate, burstRate, flip float64, mmpp bool) *arrivalGen {
-	g := &arrivalGen{
-		seed: in.Seed, stream: in.Stream,
+// NewArrivals builds an arrival generator on the (seed, stream) RNG stream.
+// With mmpp false the process is plain Poisson at rate and burstRate/flip
+// are ignored; with mmpp true the two-state chain alternates between rate
+// and burstRate, changing state at rate flip (all per second, > 0).
+func NewArrivals(seed, stream uint64, rate, burstRate, flip float64, mmpp bool) *Arrivals {
+	g := &Arrivals{
+		seed: seed, stream: stream,
 		mmpp: mmpp, rate: rate, burstRate: burstRate, flip: flip,
 	}
 	if g.mmpp {
@@ -83,15 +88,19 @@ func newArrivalGen(in Inst, rate, burstRate, flip float64, mmpp bool) *arrivalGe
 	return g
 }
 
-func (g *arrivalGen) exp(mean float64) float64 {
+func newArrivalGen(in Inst, rate, burstRate, flip float64, mmpp bool) *Arrivals {
+	return NewArrivals(in.Seed, in.Stream, rate, burstRate, flip, mmpp)
+}
+
+func (g *Arrivals) exp(mean float64) float64 {
 	u := u01(g.seed, g.stream, g.ctr)
 	g.ctr++
 	return expSample(u, mean)
 }
 
-// next returns the seconds until the next arrival, advancing the modulating
+// Next returns the seconds until the next arrival, advancing the modulating
 // chain through however many state episodes the gap spans.
-func (g *arrivalGen) next() float64 {
+func (g *Arrivals) Next() float64 {
 	if !g.mmpp {
 		return g.exp(1 / g.rate)
 	}
@@ -134,7 +143,7 @@ func Schedule(in Inst, n int) []InjEvent {
 	out := make([]InjEvent, n)
 	at := 0.0
 	for i := range out {
-		at += g.next()
+		at += g.Next()
 		out[i] = InjEvent{At: time.Duration(at * float64(time.Second)), Dur: burst, Bytes: bytes}
 	}
 	return out

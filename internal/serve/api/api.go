@@ -1,0 +1,403 @@
+// Package api defines knemd's wire surface: the canonical, versioned
+// JobSpec envelope clients submit, its validation and normalization
+// against the engine/experiment/LMT/perturbation registries, the cache key
+// derivation, and the response types the daemon serves.
+//
+// Canonicalization is what makes the result cache sound: two semantically
+// equal specs — default values elided or spelled out, perturbation
+// parameters in any order — normalize to the same envelope, marshal to the
+// same canonical JSON (fixed field order) and therefore hash to the same
+// cache key.
+package api
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"slices"
+	"strings"
+
+	"knemesis/internal/comm"
+	"knemesis/internal/core"
+	"knemesis/internal/experiments"
+	"knemesis/internal/perturb"
+	"knemesis/internal/rt"
+	"knemesis/internal/topo"
+	"knemesis/internal/units"
+)
+
+// Version is the JobSpec envelope version this daemon speaks.
+const Version = 1
+
+// CodeVersion participates in every cache key: bump it when an engine or
+// driver change may alter artefact bytes, so stale results are never
+// served across code revisions.
+const CodeVersion = "knemesis-2026.08"
+
+// Job kinds.
+const (
+	KindExperiment = "experiment" // a registered experiments entry
+	KindComm       = "comm"       // a raw comm-API benchmark job
+)
+
+// Resource classes (scheduler lanes).
+const (
+	ClassSim = "sim" // fan out across the bounded worker pool
+	ClassRT  = "rt"  // exclusive: serialized onto reserved cores
+)
+
+// BenchNames lists the comm-kind drivers, in help order.
+func BenchNames() []string {
+	return []string{"pingpong", "sendrecv", "exchange", "alltoall", "bcast", "allreduce"}
+}
+
+// rtExperiments names the registered experiments that exercise the real
+// runtime: their wall-clock rows are only honest on quiet cores, so they
+// schedule in the exclusive rt class.
+var rtExperiments = map[string]bool{"rt": true, "skew": true}
+
+// Spec is the versioned job envelope. Exactly one kind's field group
+// applies; unknown JSON fields are rejected at decode time.
+type Spec struct {
+	Version int    `json:"version"`
+	Kind    string `json:"kind"`
+
+	// KindExperiment: a registered experiment on a machine preset.
+	Experiment string `json:"experiment,omitempty"`
+	Machine    string `json:"machine,omitempty"` // e5345 (default) | x5460 | nehalem
+	Quick      bool   `json:"quick,omitempty"`   // reduced-scale sweep
+
+	// KindComm: one benchmark driver on one engine.
+	Engine    string  `json:"engine,omitempty"`    // sim (default) | rt
+	Bench     string  `json:"bench,omitempty"`     // pingpong (default) | sendrecv | ...
+	Ranks     int     `json:"ranks,omitempty"`     // default 2
+	Sizes     []int64 `json:"sizes,omitempty"`     // message sizes in bytes, default [65536]
+	LMT       string  `json:"lmt,omitempty"`       // sim backend preset, default "default"
+	RTMode    string  `json:"rtmode,omitempty"`    // rt large-message mode, default single-copy
+	EagerMax  int64   `json:"eager_max,omitempty"` // rendezvous threshold override
+	Topology  string  `json:"topology,omitempty"`  // cluster preset name ("" = single node)
+	Placement string  `json:"placement,omitempty"` // block (default) | spread
+	FlatColl  bool    `json:"flat_coll,omitempty"` // keep flat collectives on a topology
+	Perturb   string  `json:"perturb,omitempty"`   // ';'-separated perturbation specs
+	Seed      uint64  `json:"seed,omitempty"`      // perturbation RNG seed
+
+	// DeadlineSec bounds the run (0 = the daemon default). It does not
+	// enter the cache key: a deadline changes whether a run finishes, not
+	// what a finished run produces.
+	DeadlineSec float64 `json:"deadline_sec,omitempty"`
+}
+
+// Decode parses a spec envelope strictly: unknown fields are errors, so a
+// typo'd field name cannot silently select a default.
+func Decode(data []byte) (Spec, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("api: bad spec: %w", err)
+	}
+	return s, nil
+}
+
+// Canonicalize validates the spec against the registries and returns its
+// normal form: version pinned, defaults spelled out, sizes sorted and
+// deduplicated, the perturbation list in its canonical String form, inert
+// fields zeroed. The result is the only form the daemon schedules, hashes
+// and stores.
+func (s Spec) Canonicalize() (Spec, error) {
+	c := s
+	if c.Version == 0 {
+		c.Version = Version
+	}
+	if c.Version != Version {
+		return Spec{}, fmt.Errorf("api: unsupported spec version %d (this daemon speaks %d)", c.Version, Version)
+	}
+	switch c.Kind {
+	case KindExperiment:
+		return c.canonExperiment()
+	case KindComm:
+		return c.canonComm()
+	case "":
+		return Spec{}, fmt.Errorf("api: missing kind (have %s|%s)", KindExperiment, KindComm)
+	default:
+		return Spec{}, fmt.Errorf("api: unknown kind %q (have %s|%s)", c.Kind, KindExperiment, KindComm)
+	}
+}
+
+func (s Spec) canonExperiment() (Spec, error) {
+	c := s
+	if _, err := experiments.LookupExperiment(c.Experiment); err != nil {
+		return Spec{}, err
+	}
+	if c.Machine == "" {
+		c.Machine = "e5345"
+	}
+	if _, err := experiments.MachineByName(c.Machine); err != nil {
+		return Spec{}, err
+	}
+	// The comm field group is inert on an experiment job; a spec that sets
+	// any of it is more likely confused than deliberate.
+	if c.Engine != "" || c.Bench != "" || c.Ranks != 0 || len(c.Sizes) != 0 ||
+		c.LMT != "" || c.RTMode != "" || c.EagerMax != 0 || c.Topology != "" ||
+		c.Placement != "" || c.FlatColl || c.Perturb != "" || c.Seed != 0 {
+		return Spec{}, fmt.Errorf("api: experiment job %q sets comm-only fields", c.Experiment)
+	}
+	if c.DeadlineSec < 0 {
+		return Spec{}, fmt.Errorf("api: negative deadline_sec")
+	}
+	return c, nil
+}
+
+func (s Spec) canonComm() (Spec, error) {
+	c := s
+	if c.Experiment != "" || c.Machine != "" && c.Engine == "rt" {
+		// Machine presets only shape the simulator; rt jobs carrying one
+		// would silently ignore it.
+		if c.Experiment != "" {
+			return Spec{}, fmt.Errorf("api: comm job sets experiment-only fields")
+		}
+		return Spec{}, fmt.Errorf("api: machine preset %q is meaningless on the rt engine", c.Machine)
+	}
+	if c.Quick {
+		return Spec{}, fmt.Errorf("api: quick applies to experiment jobs only")
+	}
+	if c.Engine == "" {
+		c.Engine = "sim"
+	}
+	if _, err := comm.LookupEngine(c.Engine); err != nil {
+		return Spec{}, err
+	}
+	if c.Bench == "" {
+		c.Bench = "pingpong"
+	}
+	if !slices.Contains(BenchNames(), c.Bench) {
+		return Spec{}, fmt.Errorf("api: unknown bench %q (have %s)", c.Bench, strings.Join(BenchNames(), "|"))
+	}
+	if c.Ranks == 0 {
+		c.Ranks = 2
+	}
+	if c.Ranks < 2 {
+		return Spec{}, fmt.Errorf("api: ranks %d: need at least 2", c.Ranks)
+	}
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int64{64 * units.KiB}
+	}
+	c.Sizes = append([]int64(nil), c.Sizes...)
+	slices.Sort(c.Sizes)
+	c.Sizes = slices.Compact(c.Sizes)
+	for _, sz := range c.Sizes {
+		if sz < 1 {
+			return Spec{}, fmt.Errorf("api: message size %d: need at least 1 byte", sz)
+		}
+	}
+	if c.Engine == "sim" {
+		if c.Machine == "" {
+			c.Machine = "e5345"
+		}
+		if _, err := experiments.MachineByName(c.Machine); err != nil {
+			return Spec{}, err
+		}
+		if c.LMT == "" {
+			c.LMT = "default"
+		}
+		if _, err := core.ParseSpec(c.LMT); err != nil {
+			return Spec{}, err
+		}
+		c.RTMode = "" // inert on sim
+	} else {
+		if c.LMT != "" {
+			return Spec{}, fmt.Errorf("api: lmt preset %q is meaningless on the rt engine", c.LMT)
+		}
+		if c.RTMode == "" {
+			c.RTMode = "single-copy"
+		}
+		if _, err := rt.ParseMode(c.RTMode); err != nil {
+			return Spec{}, err
+		}
+	}
+	if c.EagerMax < 0 {
+		return Spec{}, fmt.Errorf("api: negative eager_max")
+	}
+	if c.Topology != "" {
+		cl, err := topo.LookupCluster(c.Topology)
+		if err != nil {
+			return Spec{}, err
+		}
+		if c.Placement == "" {
+			c.Placement = "block"
+		}
+		if c.Placement != "block" && c.Placement != "spread" {
+			return Spec{}, fmt.Errorf("api: unknown placement %q (have block|spread)", c.Placement)
+		}
+		if c.Ranks > cl.Capacity() {
+			return Spec{}, fmt.Errorf("api: cluster %s has %d cores, requested %d ranks", cl.Name, cl.Capacity(), c.Ranks)
+		}
+	} else {
+		if c.Placement != "" || c.FlatColl {
+			return Spec{}, fmt.Errorf("api: placement/flat_coll need a topology")
+		}
+		if c.Engine == "sim" {
+			m, _ := experiments.MachineByName(c.Machine)
+			if c.Ranks > m.Cores {
+				return Spec{}, fmt.Errorf("api: machine %s has %d cores, requested %d ranks", c.Machine, m.Cores, c.Ranks)
+			}
+		}
+	}
+	if c.Perturb != "" {
+		specs, err := perturb.ParseList(c.Perturb)
+		if err != nil {
+			return Spec{}, err
+		}
+		c.Perturb = perturb.FormatList(specs) // canonical: sorted param keys
+		if c.Seed == 0 {
+			c.Seed = 1
+		}
+	} else {
+		c.Seed = 0 // inert without perturbations
+	}
+	if c.DeadlineSec < 0 {
+		return Spec{}, fmt.Errorf("api: negative deadline_sec")
+	}
+	return c, nil
+}
+
+// Class returns the scheduler resource class of a canonical spec: rt jobs
+// (and the experiments that run rt rows) are exclusive, everything else
+// rides the sim pool.
+func (s Spec) Class() string {
+	if s.Kind == KindComm && s.Engine == "rt" {
+		return ClassRT
+	}
+	if s.Kind == KindExperiment && rtExperiments[s.Experiment] {
+		return ClassRT
+	}
+	return ClassSim
+}
+
+// ToComm materializes a canonical comm-kind spec into the engine-neutral
+// comm.JobSpec it executes as.
+func (s Spec) ToComm() (comm.JobSpec, error) {
+	if s.Kind != KindComm {
+		return comm.JobSpec{}, fmt.Errorf("api: ToComm on a %s spec", s.Kind)
+	}
+	spec := comm.JobSpec{
+		Ranks:    s.Ranks,
+		EagerMax: s.EagerMax,
+		LMT:      s.LMT,
+		RTMode:   s.RTMode,
+	}
+	if s.Engine == "sim" {
+		m, err := experiments.MachineByName(s.Machine)
+		if err != nil {
+			return comm.JobSpec{}, err
+		}
+		spec.Machine = m
+	}
+	if s.Topology != "" {
+		cl, err := topo.LookupCluster(s.Topology)
+		if err != nil {
+			return comm.JobSpec{}, err
+		}
+		spec.Topology = cl
+		spec.Placement = s.Placement
+		spec.FlatCollectives = s.FlatColl
+	}
+	if s.Perturb != "" {
+		specs, err := perturb.ParseList(s.Perturb)
+		if err != nil {
+			return comm.JobSpec{}, err
+		}
+		spec.Perturbations = specs
+		spec.Seed = s.Seed
+	}
+	return spec, nil
+}
+
+// CanonicalJSON marshals a canonical spec deterministically (fixed struct
+// field order, normalized values): the byte form the daemon stores and
+// hashes.
+func (s Spec) CanonicalJSON() []byte {
+	buf, err := json.Marshal(s)
+	if err != nil {
+		panic(fmt.Sprintf("api: spec marshal cannot fail: %v", err)) // no unmarshalable field types
+	}
+	return buf
+}
+
+// CacheKey derives the result-cache key of a canonical spec:
+// (canonical spec hash, engine, code version). Comm-kind specs hash
+// through comm.JobSpec.Fingerprint, so the deeper canonicalization there
+// (machine resolution, topology round-trip form) is shared; experiment
+// specs hash their canonical JSON. The deadline never enters the key.
+func (s Spec) CacheKey() (string, error) {
+	h := sha256.New()
+	put := func(parts ...string) {
+		for _, p := range parts {
+			h.Write([]byte(p))
+			h.Write([]byte{0})
+		}
+	}
+	put(CodeVersion, s.Kind)
+	switch s.Kind {
+	case KindExperiment:
+		put("experiments") // the engines an experiment drives are its own business
+		key := s
+		key.DeadlineSec = 0
+		put(string(key.CanonicalJSON()))
+	case KindComm:
+		cs, err := s.ToComm()
+		if err != nil {
+			return "", err
+		}
+		sizes := make([]string, len(s.Sizes))
+		for i, sz := range s.Sizes {
+			sizes[i] = fmt.Sprintf("%d", sz)
+		}
+		put(s.Engine, s.Bench, strings.Join(sizes, ","), cs.Fingerprint())
+	default:
+		return "", fmt.Errorf("api: cache key on unknown kind %q", s.Kind)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// --- response types ------------------------------------------------------
+
+// SubmitResult answers POST /v1/jobs.
+type SubmitResult struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached"`
+	Key    string `json:"key"`
+}
+
+// Error is the JSON error body on every non-2xx response.
+type Error struct {
+	Error string `json:"error"`
+}
+
+// Stats answers GET /v1/stats.
+type Stats struct {
+	UptimeSec float64 `json:"uptime_sec"`
+
+	Submitted int64 `json:"submitted"`
+	Shed      int64 `json:"shed"`
+
+	Queued    int64 `json:"queued"`
+	Running   int64 `json:"running"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheEntries int   `json:"cache_entries"`
+
+	// RTMaxObserved is the in-process honesty probe: the high-water mark
+	// of concurrently executing rt-class jobs. Anything above 1 means an
+	// rt measurement shared its cores.
+	RTMaxObserved int64 `json:"rt_max_observed"`
+	// RTAuditFailures counts rt jobs whose post-run envelope audit found
+	// leaked envelopes (minted != pooled).
+	RTAuditFailures int64 `json:"rt_audit_failures"`
+}

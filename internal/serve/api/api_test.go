@@ -1,0 +1,179 @@
+package api
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustKey canonicalizes a spec and derives its cache key.
+func mustKey(t *testing.T, s Spec) string {
+	t.Helper()
+	c, err := s.Canonicalize()
+	if err != nil {
+		t.Fatalf("Canonicalize(%+v): %v", s, err)
+	}
+	key, err := c.CacheKey()
+	if err != nil {
+		t.Fatalf("CacheKey: %v", err)
+	}
+	return key
+}
+
+// Semantically equal envelopes — defaults elided vs spelled out,
+// perturbation params in any order — must share one cache key.
+func TestCacheKeySemanticEquality(t *testing.T) {
+	terse := Spec{Kind: KindComm, Perturb: "noisy-rank:cpu=2e-4,rate=50", Seed: 1}
+	explicit := Spec{
+		Version: 1, Kind: KindComm,
+		Engine: "sim", Bench: "pingpong", Ranks: 2, Sizes: []int64{65536},
+		Machine: "e5345", LMT: "default", Placement: "",
+		Perturb: "noisy-rank:rate=50,cpu=2e-4", Seed: 1,
+	}
+	if a, b := mustKey(t, terse), mustKey(t, explicit); a != b {
+		t.Fatalf("semantically equal specs hash apart:\n  %s\n  %s", a, b)
+	}
+
+	// Unsorted, duplicated sizes normalize.
+	a := mustKey(t, Spec{Kind: KindComm, Bench: "alltoall", Ranks: 4, Sizes: []int64{4096, 1024, 4096}})
+	b := mustKey(t, Spec{Kind: KindComm, Bench: "alltoall", Ranks: 4, Sizes: []int64{1024, 4096}})
+	if a != b {
+		t.Fatal("size order/duplication split the cache key")
+	}
+
+	// Decode path: JSON field order is irrelevant.
+	s1, err := Decode([]byte(`{"kind":"comm","bench":"sendrecv","ranks":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Decode([]byte(`{"ranks":4,"bench":"sendrecv","kind":"comm"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mustKey(t, s1) != mustKey(t, s2) {
+		t.Fatal("JSON field order split the cache key")
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	base := Spec{Kind: KindComm}
+	keys := map[string]string{"base": mustKey(t, base)}
+	for name, s := range map[string]Spec{
+		"bench":    {Kind: KindComm, Bench: "sendrecv"},
+		"ranks":    {Kind: KindComm, Ranks: 4},
+		"sizes":    {Kind: KindComm, Sizes: []int64{1024}},
+		"machine":  {Kind: KindComm, Machine: "nehalem"},
+		"lmt":      {Kind: KindComm, LMT: "knem"},
+		"eager":    {Kind: KindComm, EagerMax: 1024},
+		"topo":     {Kind: KindComm, Topology: "two-node"},
+		"perturb":  {Kind: KindComm, Perturb: "noisy-rank:rate=10"},
+		"engine":   {Kind: KindComm, Engine: "rt"},
+		"expt":     {Kind: KindExperiment, Experiment: "fig3"},
+		"deadline": {Kind: KindComm, DeadlineSec: 3},
+	} {
+		keys[name] = mustKey(t, s)
+	}
+	// Deadline must NOT split the key; everything else must.
+	if keys["deadline"] != keys["base"] {
+		t.Fatal("deadline_sec leaked into the cache key")
+	}
+	delete(keys, "deadline")
+	seen := map[string]string{}
+	for name, k := range keys {
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("specs %q and %q collide on %s", prev, name, k)
+		}
+		seen[k] = name
+	}
+}
+
+func TestCanonicalizeDefaults(t *testing.T) {
+	c, err := Spec{Kind: KindComm}.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Version != 1 || c.Engine != "sim" || c.Bench != "pingpong" || c.Ranks != 2 ||
+		c.Machine != "e5345" || c.LMT != "default" || len(c.Sizes) != 1 || c.Sizes[0] != 65536 {
+		t.Fatalf("comm defaults = %+v", c)
+	}
+	if c.Class() != ClassSim {
+		t.Fatalf("sim comm job classed %q", c.Class())
+	}
+
+	c, err = Spec{Kind: KindComm, Engine: "rt", Ranks: 2}.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.RTMode != "single-copy" || c.LMT != "" || c.Machine != "" {
+		t.Fatalf("rt defaults = %+v", c)
+	}
+	if c.Class() != ClassRT {
+		t.Fatalf("rt comm job classed %q", c.Class())
+	}
+
+	c, err = Spec{Kind: KindExperiment, Experiment: "rt"}.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Machine != "e5345" || c.Class() != ClassRT {
+		t.Fatalf("rt experiment canonical = %+v class=%s", c, c.Class())
+	}
+	c, err = Spec{Kind: KindExperiment, Experiment: "fig3", Quick: true}.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Class() != ClassSim {
+		t.Fatalf("fig3 experiment classed %q", c.Class())
+	}
+}
+
+func TestCanonicalizeRejections(t *testing.T) {
+	for name, s := range map[string]Spec{
+		"no kind":          {},
+		"bad kind":         {Kind: "batch"},
+		"bad version":      {Version: 2, Kind: KindComm},
+		"bad experiment":   {Kind: KindExperiment, Experiment: "nope"},
+		"bad machine":      {Kind: KindExperiment, Experiment: "fig3", Machine: "epyc"},
+		"expt comm fields": {Kind: KindExperiment, Experiment: "fig3", Ranks: 4},
+		"comm expt fields": {Kind: KindComm, Experiment: "fig3"},
+		"comm quick":       {Kind: KindComm, Quick: true},
+		"bad engine":       {Kind: KindComm, Engine: "mpi"},
+		"bad bench":        {Kind: KindComm, Bench: "barrier"},
+		"1 rank":           {Kind: KindComm, Ranks: 1},
+		"zero size":        {Kind: KindComm, Sizes: []int64{0}},
+		"bad lmt":          {Kind: KindComm, LMT: "zerocopy"},
+		"rt lmt":           {Kind: KindComm, Engine: "rt", LMT: "knem"},
+		"rt machine":       {Kind: KindComm, Engine: "rt", Machine: "e5345"},
+		"bad rtmode":       {Kind: KindComm, Engine: "rt", RTMode: "teleport"},
+		"bad topology":     {Kind: KindComm, Topology: "mesh9"},
+		"bad placement":    {Kind: KindComm, Topology: "two-node", Placement: "random"},
+		"orphan placement": {Kind: KindComm, Placement: "spread"},
+		"too many ranks":   {Kind: KindComm, Ranks: 64},
+		"bad perturb":      {Kind: KindComm, Perturb: "gremlins"},
+		"neg deadline":     {Kind: KindComm, DeadlineSec: -1},
+	} {
+		if _, err := s.Canonicalize(); err == nil {
+			t.Errorf("%s: accepted %+v", name, s)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	if _, err := Decode([]byte(`{"kind":"comm","rank":4}`)); err == nil || !strings.Contains(err.Error(), "rank") {
+		t.Fatalf("typo'd field not rejected: %v", err)
+	}
+}
+
+func TestSeedNormalization(t *testing.T) {
+	// Seed is inert without perturbations and must not split the key…
+	a := mustKey(t, Spec{Kind: KindComm, Seed: 7})
+	b := mustKey(t, Spec{Kind: KindComm})
+	if a != b {
+		t.Fatal("inert seed split the cache key")
+	}
+	// …but selects the stream when perturbations are active.
+	p1 := mustKey(t, Spec{Kind: KindComm, Perturb: "noisy-rank:rate=10", Seed: 1})
+	p2 := mustKey(t, Spec{Kind: KindComm, Perturb: "noisy-rank:rate=10", Seed: 2})
+	if p1 == p2 {
+		t.Fatal("perturbation seed did not split the cache key")
+	}
+}

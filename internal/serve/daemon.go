@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"knemesis/internal/serve/api"
+	"knemesis/internal/serve/cache"
+	"knemesis/internal/serve/quota"
+	"knemesis/internal/serve/scheduler"
+	"knemesis/internal/serve/store"
+)
+
+// Config sizes a Daemon. Zero values select the defaults noted inline.
+type Config struct {
+	SimWorkers int           // concurrently running sim jobs (default 4)
+	RTCores    int           // core quota reserved for the rt lane (default 1)
+	RTMemBytes int64         // memory quota for the rt lane (default 1 GiB)
+	QueueCap   int           // backlog cap before shedding (default 64)
+	CacheSize  int           // result-cache entries (default 256)
+	Deadline   time.Duration // default per-job deadline (default 2m)
+	StoreRoot  string        // artefact directory ("" = in memory)
+}
+
+// Daemon glues the pieces together: specs in, records and artefacts out.
+type Daemon struct {
+	store *store.Store
+	cache *cache.LRU
+	sched *scheduler.Scheduler
+	probe rtProbe
+
+	start time.Time
+	seq   atomic.Int64
+
+	mu    sync.Mutex
+	specs map[string]api.Spec // id -> canonical spec, for the runner
+
+	done      atomic.Int64
+	failed    atomic.Int64
+	cancelled atomic.Int64
+	draining  atomic.Bool
+}
+
+// NewDaemon builds a daemon from cfg.
+func NewDaemon(cfg Config) (*Daemon, error) {
+	st, err := store.New(cfg.StoreRoot)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 256
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = 2 * time.Minute
+	}
+	d := &Daemon{
+		store: st,
+		cache: cache.New(cfg.CacheSize),
+		start: time.Now(),
+		specs: make(map[string]api.Spec),
+	}
+	d.sched = scheduler.New(scheduler.Config{
+		SimWorkers: cfg.SimWorkers,
+		RTCores:    cfg.RTCores,
+		RTMemBytes: cfg.RTMemBytes,
+		QueueCap:   cfg.QueueCap,
+		Deadline:   cfg.Deadline,
+		OnAdmit:    func(id string) { d.store.Advance(id, store.Admitted, "") },
+		OnStart:    func(id string) { d.store.Advance(id, store.Running, "") },
+		OnFinish:   d.onFinish,
+	})
+	return d, nil
+}
+
+// Store exposes the job ledger (the HTTP layer reads it).
+func (d *Daemon) Store() *store.Store { return d.store }
+
+// Submit validates, canonicalizes and admits one spec. The returned record
+// reflects the submission outcome: a cache hit is already Done (no engine
+// invocation), everything else starts Queued. A full queue sheds with
+// scheduler.ErrQueueFull.
+func (d *Daemon) Submit(spec api.Spec) (store.Record, error) {
+	if d.draining.Load() {
+		return store.Record{}, scheduler.ErrDraining
+	}
+	c, err := spec.Canonicalize()
+	if err != nil {
+		return store.Record{}, err
+	}
+	key, err := c.CacheKey()
+	if err != nil {
+		return store.Record{}, err
+	}
+	id := fmt.Sprintf("job-%06d", d.seq.Add(1))
+
+	// Warm path: a previous run with this key owns an artefact; answer
+	// from the store without touching an engine.
+	if owner, ok := d.cache.Get(key); ok {
+		d.store.Create(id, key, c.Class(), c.CanonicalJSON(), store.Done)
+		d.store.MarkCached(id, owner)
+		d.done.Add(1)
+		r, _ := d.store.Get(id)
+		return r, nil
+	}
+
+	d.mu.Lock()
+	d.specs[id] = c
+	d.mu.Unlock()
+	d.store.Create(id, key, c.Class(), c.CanonicalJSON(), store.Queued)
+
+	var demand quota.Res
+	if c.Class() == api.ClassRT {
+		demand = quota.Res{Cores: 1}
+	}
+	err = d.sched.Submit(scheduler.Job{
+		ID:       id,
+		Class:    c.Class(),
+		Demand:   demand,
+		Deadline: time.Duration(c.DeadlineSec * float64(time.Second)),
+		Run:      func(ctx context.Context) error { return d.runJob(ctx, id, c, key) },
+	})
+	if err != nil {
+		// Shed: the record never ran, remove it so the ledger only holds
+		// admitted history.
+		d.store.Delete(id)
+		d.mu.Lock()
+		delete(d.specs, id)
+		d.mu.Unlock()
+		return store.Record{}, err
+	}
+	r, _ := d.store.Get(id)
+	return r, nil
+}
+
+func (d *Daemon) runJob(ctx context.Context, id string, spec api.Spec, key string) error {
+	files, err := Execute(ctx, spec, &d.probe)
+	if err != nil {
+		return err
+	}
+	if err := d.store.PutArtefact(id, files); err != nil {
+		return fmt.Errorf("serve: persisting artefact of %s: %w", id, err)
+	}
+	d.cache.Put(key, id)
+	return nil
+}
+
+// onFinish maps a scheduler completion onto the ledger.
+func (d *Daemon) onFinish(id string, err error, cancelRequested bool) {
+	d.mu.Lock()
+	delete(d.specs, id)
+	d.mu.Unlock()
+	switch {
+	case err == nil:
+		d.done.Add(1)
+		d.store.Finish(id, store.Done, "", id)
+	case cancelRequested:
+		d.cancelled.Add(1)
+		d.store.Finish(id, store.Cancelled, err.Error(), "")
+	default:
+		d.failed.Add(1)
+		d.store.Finish(id, store.Failed, err.Error(), "")
+	}
+}
+
+// Cancel cancels a job: queued jobs finish immediately as cancelled,
+// running comm jobs have their engine context cut. False for unknown or
+// already-finished jobs.
+func (d *Daemon) Cancel(id string) bool { return d.sched.Cancel(id) }
+
+// Drain performs a graceful shutdown: submissions are rejected, queued
+// jobs are cancelled, running jobs finish (or are cut when ctx expires).
+func (d *Daemon) Drain(ctx context.Context) {
+	d.draining.Store(true)
+	d.sched.Drain(ctx)
+}
+
+// Stats snapshots the daemon.
+func (d *Daemon) Stats() api.Stats {
+	ss := d.sched.Stats()
+	return api.Stats{
+		UptimeSec:       time.Since(d.start).Seconds(),
+		Submitted:       ss.Submitted + d.cache.Hits(), // cache hits bypass the scheduler
+		Shed:            ss.Shed,
+		Queued:          int64(ss.Queued),
+		Running:         int64(ss.Running),
+		Done:            d.done.Load(),
+		Failed:          d.failed.Load(),
+		Cancelled:       d.cancelled.Load(),
+		CacheHits:       d.cache.Hits(),
+		CacheMisses:     d.cache.Misses(),
+		CacheEntries:    d.cache.Len(),
+		RTMaxObserved:   d.probe.max.Load(),
+		RTAuditFailures: d.probe.audits.Load(),
+	}
+}
+
+// CacheHits exposes the lifetime cache hit count (asserted by tests and
+// the selftest gate).
+func (d *Daemon) CacheHits() int64 { return d.cache.Hits() }

@@ -1,0 +1,249 @@
+// Package loadgen is knemd's replay client: it drives a live daemon over
+// its real HTTP surface with a burst-modulated stream of mixed job specs
+// and reports service-level metrics — jobs/s, completion-latency
+// percentiles, shed rate, cache hit rate. The submission schedule comes
+// from the repository's deterministic 2-state MMPP arrival generator
+// (internal/perturb), so a "bursty Tuesday" is reproducible from its seed.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"knemesis/internal/perturb"
+	"knemesis/internal/serve/api"
+	"knemesis/internal/serve/store"
+	"knemesis/internal/units"
+)
+
+// Config parameterizes a load run.
+type Config struct {
+	BaseURL string // daemon address, e.g. http://127.0.0.1:8077
+	Jobs    int    // total submissions (default 64)
+	Seed    uint64 // arrival + spec-mix stream seed (default 1)
+
+	// MMPP arrival process: calm/burst submission rates (jobs per second)
+	// and the state flip rate (flips per second). Defaults: 30/300/1.
+	CalmRate  float64
+	BurstRate float64
+	FlipRate  float64
+
+	// Specs is the mix drawn from (round-robin over a seed-shuffled
+	// order); empty selects DefaultSpecs.
+	Specs []api.Spec
+
+	// PollWait is the long-poll window per /events request (default 10s).
+	PollWait time.Duration
+}
+
+// DefaultSpecs is the standard mixed workload: several distinct sim
+// shapes — so the cache sees both misses and (on repeat draws) hits — plus
+// one rt spec to exercise the exclusive lane.
+func DefaultSpecs() []api.Spec {
+	return []api.Spec{
+		{Kind: api.KindComm, Bench: "pingpong", Sizes: []int64{4 * units.KiB, 64 * units.KiB}},
+		{Kind: api.KindComm, Bench: "pingpong", Sizes: []int64{16 * units.KiB}},
+		{Kind: api.KindComm, Bench: "sendrecv", Ranks: 4, Sizes: []int64{8 * units.KiB}},
+		{Kind: api.KindComm, Bench: "alltoall", Ranks: 4, Sizes: []int64{4 * units.KiB}},
+		{Kind: api.KindComm, Bench: "allreduce", Ranks: 4, Sizes: []int64{16 * units.KiB}},
+		{Kind: api.KindComm, Engine: "rt", Bench: "pingpong", Sizes: []int64{4 * units.KiB}},
+	}
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	Jobs         int     `json:"jobs"`
+	Done         int     `json:"done"`
+	Cached       int     `json:"cached"`
+	Failed       int     `json:"failed"`
+	Cancelled    int     `json:"cancelled"`
+	Shed         int     `json:"shed"`
+	WallSec      float64 `json:"wall_sec"`
+	JobsPerSec   float64 `json:"jobs_per_sec"` // completed jobs per wall second
+	P50Ms        float64 `json:"p50_ms"`       // submit -> terminal latency
+	P99Ms        float64 `json:"p99_ms"`
+	ShedRate     float64 `json:"shed_rate"`
+	CacheHitRate float64 `json:"cache_hit_rate"` // cached completions / accepted
+}
+
+// splitmix64 is the spec-mix selector (independent of the arrival stream).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Run replays cfg.Jobs submissions against the daemon and waits for every
+// accepted job to reach a terminal state.
+func Run(cfg Config) (Report, error) {
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 64
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.CalmRate <= 0 {
+		cfg.CalmRate = 30
+	}
+	if cfg.BurstRate <= 0 {
+		cfg.BurstRate = 300
+	}
+	if cfg.FlipRate <= 0 {
+		cfg.FlipRate = 1
+	}
+	if len(cfg.Specs) == 0 {
+		cfg.Specs = DefaultSpecs()
+	}
+	if cfg.PollWait <= 0 {
+		cfg.PollWait = 10 * time.Second
+	}
+	client := &http.Client{Timeout: cfg.PollWait + 30*time.Second}
+
+	arrivals := perturb.NewArrivals(cfg.Seed, 0x10ad, cfg.CalmRate, cfg.BurstRate, cfg.FlipRate, true)
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		rep       Report
+		firstErr  error
+		wg        sync.WaitGroup
+	)
+	rep.Jobs = cfg.Jobs
+	start := time.Now()
+	for i := 0; i < cfg.Jobs; i++ {
+		if i > 0 {
+			time.Sleep(time.Duration(arrivals.Next() * float64(time.Second)))
+		}
+		spec := cfg.Specs[splitmix64(cfg.Seed^uint64(i))%uint64(len(cfg.Specs))]
+		wg.Add(1)
+		go func(spec api.Spec) {
+			defer wg.Done()
+			t0 := time.Now()
+			sub, status, err := submit(client, cfg.BaseURL, spec)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				rep.Failed++
+				return
+			}
+			if status == http.StatusTooManyRequests {
+				rep.Shed++
+				return
+			}
+			if sub.Cached {
+				rep.Cached++
+				rep.Done++
+				latencies = append(latencies, time.Since(t0))
+				return
+			}
+			mu.Unlock()
+			rec, err := awaitTerminal(client, cfg.BaseURL, sub.ID, cfg.PollWait)
+			mu.Lock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				rep.Failed++
+				return
+			}
+			latencies = append(latencies, time.Since(t0))
+			switch rec.State {
+			case store.Done:
+				rep.Done++
+			case store.Cancelled:
+				rep.Cancelled++
+			default:
+				rep.Failed++
+			}
+		}(spec)
+	}
+	wg.Wait()
+	rep.WallSec = time.Since(start).Seconds()
+	if rep.WallSec > 0 {
+		rep.JobsPerSec = float64(rep.Done) / rep.WallSec
+	}
+	if rep.Jobs > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Jobs)
+	}
+	if accepted := rep.Jobs - rep.Shed; accepted > 0 {
+		rep.CacheHitRate = float64(rep.Cached) / float64(accepted)
+	}
+	rep.P50Ms, rep.P99Ms = percentiles(latencies)
+	return rep, firstErr
+}
+
+func percentiles(lat []time.Duration) (p50, p99 float64) {
+	if len(lat) == 0 {
+		return 0, 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(lat)-1))
+		return float64(lat[i]) / float64(time.Millisecond)
+	}
+	return at(0.50), at(0.99)
+}
+
+func submit(c *http.Client, base string, spec api.Spec) (api.SubmitResult, int, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return api.SubmitResult{}, 0, err
+	}
+	resp, err := c.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return api.SubmitResult{}, 0, err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return api.SubmitResult{}, resp.StatusCode, err
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return api.SubmitResult{}, resp.StatusCode, nil
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return api.SubmitResult{}, resp.StatusCode, fmt.Errorf("loadgen: submit: %s: %s", resp.Status, bytes.TrimSpace(buf))
+	}
+	var sub api.SubmitResult
+	if err := json.Unmarshal(buf, &sub); err != nil {
+		return api.SubmitResult{}, resp.StatusCode, err
+	}
+	return sub, resp.StatusCode, nil
+}
+
+func awaitTerminal(c *http.Client, base, id string, wait time.Duration) (store.Record, error) {
+	since := 0
+	for {
+		url := fmt.Sprintf("%s/v1/jobs/%s/events?since=%d&wait=%g", base, id, since, wait.Seconds())
+		resp, err := c.Get(url)
+		if err != nil {
+			return store.Record{}, err
+		}
+		buf, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return store.Record{}, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return store.Record{}, fmt.Errorf("loadgen: events %s: %s: %s", id, resp.Status, bytes.TrimSpace(buf))
+		}
+		var rec store.Record
+		if err := json.Unmarshal(buf, &rec); err != nil {
+			return store.Record{}, err
+		}
+		if rec.State.Terminal() {
+			return rec, nil
+		}
+		since = rec.Version
+	}
+}

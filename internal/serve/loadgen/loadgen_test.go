@@ -1,0 +1,53 @@
+package loadgen
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"knemesis/internal/serve"
+	"knemesis/internal/units"
+
+	"knemesis/internal/serve/api"
+)
+
+func TestRunAgainstLiveDaemon(t *testing.T) {
+	d, err := serve.NewDaemon(serve.Config{SimWorkers: 4, QueueCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(serve.Handler(d))
+	defer srv.Close()
+
+	rep, err := Run(Config{
+		BaseURL:   srv.URL,
+		Jobs:      16,
+		Seed:      7,
+		CalmRate:  200, // keep the test fast
+		BurstRate: 2000,
+		FlipRate:  5,
+		Specs: []api.Spec{
+			{Kind: api.KindComm, Bench: "pingpong", Sizes: []int64{4 * units.KiB}},
+			{Kind: api.KindComm, Bench: "sendrecv", Ranks: 4, Sizes: []int64{8 * units.KiB}},
+			{Kind: api.KindComm, Engine: "rt", Bench: "pingpong", Sizes: []int64{4 * units.KiB}},
+		},
+		PollWait: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Done != 16 || rep.Failed != 0 || rep.Shed != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// Three distinct specs over 16 draws: the later repeats must have been
+	// answered from the cache.
+	if rep.Cached == 0 {
+		t.Fatalf("no cache hits across %d submissions of 3 distinct specs: %+v", rep.Jobs, rep)
+	}
+	if rep.JobsPerSec <= 0 || rep.P99Ms < rep.P50Ms {
+		t.Fatalf("latency metrics inconsistent: %+v", rep)
+	}
+	if st := d.Stats(); st.RTMaxObserved > 1 {
+		t.Fatalf("rt overlap during load run: %d", st.RTMaxObserved)
+	}
+}

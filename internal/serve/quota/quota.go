@@ -1,0 +1,102 @@
+// Package quota is the admission arithmetic of the experiment service: a
+// resource vector (cores, memory), a packer tracking use against a fixed
+// capacity, and the first-fit-decreasing order the scheduler admits pending
+// jobs in. FFD is the classic online bin-packing heuristic: placing the
+// big demands first keeps fragmentation low, so a wide job is not starved
+// behind a stream of narrow ones that would each fit anywhere.
+package quota
+
+import "fmt"
+
+// Res is a resource demand or capacity: schedulable cores and bytes of
+// working memory.
+type Res struct {
+	Cores    int
+	MemBytes int64
+}
+
+// Add returns r + o.
+func (r Res) Add(o Res) Res {
+	return Res{Cores: r.Cores + o.Cores, MemBytes: r.MemBytes + o.MemBytes}
+}
+
+// Fits reports whether demand d fits inside r.
+func (r Res) Fits(d Res) bool {
+	return d.Cores <= r.Cores && d.MemBytes <= r.MemBytes
+}
+
+// Packer tracks acquired resources against a fixed capacity. It is not
+// goroutine-safe: the scheduler serializes access under its own lock.
+type Packer struct {
+	capacity Res
+	used     Res
+}
+
+// New returns an empty packer of the given capacity.
+func New(capacity Res) *Packer { return &Packer{capacity: capacity} }
+
+// Capacity returns the fixed capacity.
+func (p *Packer) Capacity() Res { return p.capacity }
+
+// Used returns the currently acquired resources.
+func (p *Packer) Used() Res { return p.used }
+
+// Free returns the remaining headroom.
+func (p *Packer) Free() Res {
+	return Res{Cores: p.capacity.Cores - p.used.Cores, MemBytes: p.capacity.MemBytes - p.used.MemBytes}
+}
+
+// Satisfiable reports whether d could ever be admitted (fits the total
+// capacity, ignoring current use). Unsatisfiable demands must be rejected
+// at submission, never queued.
+func (p *Packer) Satisfiable(d Res) bool { return p.capacity.Fits(d) }
+
+// Fit reports whether d fits the current headroom.
+func (p *Packer) Fit(d Res) bool { return p.Free().Fits(d) }
+
+// Acquire takes d out of the headroom; it reports false (and takes
+// nothing) when d does not fit.
+func (p *Packer) Acquire(d Res) bool {
+	if !p.Fit(d) {
+		return false
+	}
+	p.used = p.used.Add(d)
+	return true
+}
+
+// Release returns d to the headroom. Releasing more than was acquired is a
+// programmer error.
+func (p *Packer) Release(d Res) {
+	p.used.Cores -= d.Cores
+	p.used.MemBytes -= d.MemBytes
+	if p.used.Cores < 0 || p.used.MemBytes < 0 {
+		panic(fmt.Sprintf("quota: release of %+v underflows use", d))
+	}
+}
+
+// OrderFFD returns the indices of demands in first-fit-decreasing order:
+// decreasing cores, then decreasing memory, ties broken by submission
+// order (index) so equal demands stay FIFO.
+func OrderFFD(demands []Res) []int {
+	idx := make([]int, len(demands))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort: queues are short (bounded by the queue cap) and the
+	// stable tiebreak falls out naturally.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && ffdLess(demands[idx[j]], demands[idx[j-1]]); j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	return idx
+}
+
+// ffdLess orders a before b when a is strictly larger (FFD packs the
+// largest demand first).
+func ffdLess(a, b Res) bool {
+	if a.Cores != b.Cores {
+		return a.Cores > b.Cores
+	}
+	return a.MemBytes > b.MemBytes
+}

@@ -1,0 +1,67 @@
+package quota
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPackerAcquireRelease(t *testing.T) {
+	p := New(Res{Cores: 4, MemBytes: 100})
+	if !p.Acquire(Res{Cores: 3, MemBytes: 60}) {
+		t.Fatal("first acquire should fit")
+	}
+	if p.Acquire(Res{Cores: 2, MemBytes: 10}) {
+		t.Fatal("second acquire exceeds cores, must not fit")
+	}
+	if p.Acquire(Res{Cores: 1, MemBytes: 50}) {
+		t.Fatal("third acquire exceeds memory, must not fit")
+	}
+	if !p.Acquire(Res{Cores: 1, MemBytes: 40}) {
+		t.Fatal("exact-fit acquire should succeed")
+	}
+	if free := p.Free(); free != (Res{}) {
+		t.Fatalf("headroom %+v, want empty", free)
+	}
+	p.Release(Res{Cores: 3, MemBytes: 60})
+	if !p.Fit(Res{Cores: 3, MemBytes: 60}) {
+		t.Fatal("released resources did not return to the headroom")
+	}
+}
+
+func TestPackerSatisfiable(t *testing.T) {
+	p := New(Res{Cores: 2, MemBytes: 100})
+	p.Acquire(Res{Cores: 2, MemBytes: 100})
+	if !p.Satisfiable(Res{Cores: 2, MemBytes: 100}) {
+		t.Fatal("full-capacity demand is satisfiable even while the packer is busy")
+	}
+	if p.Satisfiable(Res{Cores: 3}) {
+		t.Fatal("over-capacity demand must be unsatisfiable")
+	}
+}
+
+func TestPackerReleaseUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("release underflow did not panic")
+		}
+	}()
+	New(Res{Cores: 1}).Release(Res{Cores: 1})
+}
+
+func TestOrderFFD(t *testing.T) {
+	demands := []Res{
+		{Cores: 1, MemBytes: 10},
+		{Cores: 4, MemBytes: 5},
+		{Cores: 2, MemBytes: 99},
+		{Cores: 4, MemBytes: 50},
+		{Cores: 1, MemBytes: 10}, // equal to index 0: FIFO tiebreak
+	}
+	got := OrderFFD(demands)
+	want := []int{3, 1, 2, 0, 4} // 4-core/50 first (mem tiebreak), equal demands in submission order
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("OrderFFD = %v, want %v", got, want)
+	}
+	if out := OrderFFD(nil); len(out) != 0 {
+		t.Fatalf("OrderFFD(nil) = %v", out)
+	}
+}

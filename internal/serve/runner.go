@@ -1,0 +1,173 @@
+// Package serve is the knemd experiment service: an always-on daemon
+// accepting canonical JobSpec envelopes (serve/api) over HTTP/JSON,
+// admitting them through the class-aware scheduler (serve/scheduler),
+// answering repeats from the result cache (serve/cache) and persisting
+// typed JSON artefacts with a long-pollable progress ledger (serve/store).
+// See DESIGN.md, "Experiment service".
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+
+	"knemesis/internal/comm"
+	"knemesis/internal/experiments"
+	"knemesis/internal/imb"
+	"knemesis/internal/rt"
+	"knemesis/internal/serve/api"
+)
+
+// rtProbe is the in-process honesty probe for the rt lane: every rt-class
+// execution increments the in-flight count around the actual engine run
+// (not scheduler bookkeeping) and records the high-water mark. A watermark
+// above 1 means two rt measurements shared the machine.
+type rtProbe struct {
+	inFlight atomic.Int64
+	max      atomic.Int64
+	audits   atomic.Int64 // post-run envelope audit failures
+}
+
+func (p *rtProbe) enter() {
+	n := p.inFlight.Add(1)
+	for {
+		m := p.max.Load()
+		if n <= m || p.max.CompareAndSwap(m, n) {
+			return
+		}
+	}
+}
+
+func (p *rtProbe) exit() { p.inFlight.Add(-1) }
+
+// ctxJob lifts a comm.Job's context form into its plain Run, so the
+// context-free IMB drivers become cancellable without modification: every
+// j.Run(app) they issue turns into RunCtx(ctx, app).
+type ctxJob struct {
+	comm.Job
+	ctx context.Context
+}
+
+func (c ctxJob) Run(app func(p comm.Peer)) error { return c.Job.RunCtx(c.ctx, app) }
+
+// Execute runs one canonical spec to completion and returns its artefact
+// files. Comm-kind jobs honour ctx mid-run (the engines cut cleanly and
+// embed a per-rank state dump in the error); experiment-kind jobs check
+// ctx only between being admitted and starting — a registered experiment
+// is not preemptible, which keeps scheduler accounting honest (its slot is
+// genuinely busy until the experiment returns).
+func Execute(ctx context.Context, spec api.Spec, probe *rtProbe) (map[string][]byte, error) {
+	rtClass := spec.Class() == api.ClassRT
+	if rtClass && probe != nil {
+		probe.enter()
+		defer probe.exit()
+	}
+	switch spec.Kind {
+	case api.KindExperiment:
+		return executeExperiment(ctx, spec)
+	case api.KindComm:
+		return executeComm(ctx, spec, probe)
+	default:
+		return nil, fmt.Errorf("serve: unknown kind %q", spec.Kind)
+	}
+}
+
+func executeExperiment(ctx context.Context, spec api.Spec) (map[string][]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("serve: experiment %s not started: %w", spec.Experiment, err)
+	}
+	env, err := experiments.EnvByName(spec.Machine, spec.Quick)
+	if err != nil {
+		return nil, err
+	}
+	// One worker: the daemon's own pool provides the parallelism, and
+	// experiment artefacts are byte-identical at any width anyway.
+	env.Workers = 1
+	res, err := experiments.Run(spec.Experiment, env)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.ResultFiles(res)
+}
+
+// commResult is the artefact schema of a comm-kind job: the canonical spec
+// it ran, the benchmark table and the engine's resource usage.
+type commResult struct {
+	Spec   api.Spec    `json:"spec"`
+	Engine string      `json:"engine"`
+	Bench  string      `json:"bench"`
+	Result interface{} `json:"result"`
+	Usage  comm.Usage  `json:"usage"`
+}
+
+func executeComm(ctx context.Context, spec api.Spec, probe *rtProbe) (map[string][]byte, error) {
+	cspec, err := spec.ToComm()
+	if err != nil {
+		return nil, err
+	}
+	// The deadline is not part of the cache key, so it must not be part of
+	// the artefact either: cached repeats with a different deadline would
+	// otherwise diverge byte-wise from a direct run.
+	spec.DeadlineSec = 0
+	eng, err := comm.LookupEngine(spec.Engine)
+	if err != nil {
+		return nil, err
+	}
+	job, err := eng.NewJob(cspec)
+	if err != nil {
+		return nil, err
+	}
+	cj := ctxJob{Job: job, ctx: ctx}
+
+	var table interface{}
+	switch spec.Bench {
+	case "pingpong":
+		table, err = imb.RunPingPong(cj, spec.Sizes)
+	case "sendrecv":
+		table, err = imb.RunSendrecv(cj, spec.Sizes)
+	case "exchange":
+		table, err = imb.RunExchange(cj, spec.Sizes)
+	case "alltoall":
+		table, err = imb.RunAlltoall(cj, spec.Sizes)
+	case "bcast":
+		table, err = imb.RunBcast(cj, spec.Sizes)
+	case "allreduce":
+		table, err = imb.RunAllreduce(cj, spec.Sizes)
+	default:
+		return nil, fmt.Errorf("serve: unknown bench %q", spec.Bench)
+	}
+
+	// Shutdown hygiene on the real runtime: whether the run completed or
+	// was cut, a quiesced world must have returned every envelope it
+	// minted to the pools.
+	if rj, ok := job.(interface{ World() *rt.World }); ok {
+		minted, pooled := rj.World().EnvelopeAudit()
+		if minted != pooled {
+			if probe != nil {
+				probe.audits.Add(1)
+			}
+			auditErr := fmt.Errorf("serve: rt envelope audit failed: minted %d != pooled %d", minted, pooled)
+			if err == nil {
+				err = auditErr
+			} else {
+				err = fmt.Errorf("%w; additionally %v", err, auditErr)
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	buf, err := json.MarshalIndent(commResult{
+		Spec:   spec,
+		Engine: spec.Engine,
+		Bench:  spec.Bench,
+		Result: table,
+		Usage:  job.Usage(),
+	}, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return map[string][]byte{"result.json": append(buf, '\n')}, nil
+}

@@ -1,0 +1,294 @@
+// Package store is knemd's job ledger and artefact store: every submitted
+// job has a Record walking the state machine
+//
+//	queued → admitted → running → done | cancelled | failed
+//
+// (cache hits jump straight to done), with a timestamped transition log
+// and a monotonically increasing version the progress API long-polls on.
+// Artefacts — the typed JSON/CSV files a job produces — are persisted to a
+// root directory when one is configured, or held in memory otherwise.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is one job lifecycle state.
+type State string
+
+const (
+	Queued    State = "queued"
+	Admitted  State = "admitted"
+	Running   State = "running"
+	Done      State = "done"
+	Cancelled State = "cancelled"
+	Failed    State = "failed"
+)
+
+// Terminal reports whether no further transition can follow.
+func (s State) Terminal() bool { return s == Done || s == Cancelled || s == Failed }
+
+// Transition is one timestamped state change.
+type Transition struct {
+	State State     `json:"state"`
+	At    time.Time `json:"at"`
+	Note  string    `json:"note,omitempty"`
+}
+
+// Record is one job's ledger entry. The Version equals the transition
+// count and only ever grows — the progress API's long-poll cursor.
+type Record struct {
+	ID    string `json:"id"`
+	Key   string `json:"key"`   // cache key (canonical spec hash + engine + code version)
+	Class string `json:"class"` // scheduler resource class ("sim" | "rt")
+	Spec  []byte `json:"spec"`  // canonical spec JSON as submitted
+
+	State       State        `json:"state"`
+	Version     int          `json:"version"`
+	Transitions []Transition `json:"transitions"`
+
+	// Error carries the failure (or cancellation) error text, which for
+	// engine-cut jobs embeds the per-rank state dump.
+	Error string `json:"error,omitempty"`
+	// Cached marks a submission answered from the result cache; ArtefactID
+	// then names the job whose artefact serves this record (otherwise the
+	// record's own ID once done).
+	Cached     bool   `json:"cached,omitempty"`
+	ArtefactID string `json:"artefact_id,omitempty"`
+}
+
+// Store is the goroutine-safe ledger. A zero root keeps artefacts in
+// memory; otherwise they live under root/<job id>/<file>.
+type Store struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	root string
+
+	jobs  map[string]*Record
+	order []string // submission order, for List
+
+	mem map[string]map[string][]byte // in-memory artefacts (root == "")
+}
+
+// New opens a store. A non-empty root is created if missing.
+func New(root string) (*Store, error) {
+	if root != "" {
+		if err := os.MkdirAll(root, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	s := &Store{root: root, jobs: make(map[string]*Record), mem: make(map[string]map[string][]byte)}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// Create opens a record in its initial state (Queued normally, Done for a
+// cache hit). Duplicate IDs are programmer errors.
+func (s *Store) Create(id, key, class string, spec []byte, initial State) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.jobs[id]; dup {
+		panic(fmt.Sprintf("store: job %q created twice", id))
+	}
+	r := &Record{ID: id, Key: key, Class: class, Spec: spec}
+	s.jobs[id] = r
+	s.order = append(s.order, id)
+	s.advanceLocked(r, initial, "")
+}
+
+// Delete removes a record (a submission shed before it was ever queued).
+func (s *Store) Delete(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+	for i, o := range s.order {
+		if o == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.cond.Broadcast()
+}
+
+// Advance appends a transition. Advancing a terminal record is ignored
+// (the scheduler and a concurrent cancel may race to finish a job; the
+// first terminal transition wins).
+func (s *Store) Advance(id string, st State, note string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.jobs[id]
+	if !ok || r.State.Terminal() {
+		return
+	}
+	s.advanceLocked(r, st, note)
+}
+
+// Finish moves a record to a terminal state, recording the error text (the
+// engine's cut error embeds the state dump) and the artefact owner.
+func (s *Store) Finish(id string, st State, errText, artefactID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.jobs[id]
+	if !ok || r.State.Terminal() {
+		return
+	}
+	r.Error = errText
+	r.ArtefactID = artefactID
+	s.advanceLocked(r, st, "")
+}
+
+// MarkCached flags a record as answered from the result cache.
+func (s *Store) MarkCached(id, artefactID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.jobs[id]; ok {
+		r.Cached = true
+		r.ArtefactID = artefactID
+	}
+}
+
+func (s *Store) advanceLocked(r *Record, st State, note string) {
+	r.State = st
+	r.Transitions = append(r.Transitions, Transition{State: st, At: time.Now().UTC(), Note: note})
+	r.Version = len(r.Transitions)
+	s.cond.Broadcast()
+}
+
+// Get returns a deep copy of a record.
+func (s *Store) Get(id string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.jobs[id]
+	if !ok {
+		return Record{}, false
+	}
+	return r.clone(), true
+}
+
+// List returns records in submission order, optionally filtered by state.
+func (s *Store) List(state State) []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, 0, len(s.order))
+	for _, id := range s.order {
+		r := s.jobs[id]
+		if state != "" && r.State != state {
+			continue
+		}
+		out = append(out, r.clone())
+	}
+	return out
+}
+
+// Wait blocks until the record's version exceeds since (returning the
+// fresh copy) or the timeout passes (returning the current copy). The
+// second result is false for an unknown ID.
+func (s *Store) Wait(id string, since int, timeout time.Duration) (Record, bool) {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer timer.Stop()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		r, ok := s.jobs[id]
+		if !ok {
+			return Record{}, false
+		}
+		if r.Version > since || time.Now().After(deadline) {
+			return r.clone(), true
+		}
+		s.cond.Wait()
+	}
+}
+
+func (r *Record) clone() Record {
+	c := *r
+	c.Transitions = append([]Transition(nil), r.Transitions...)
+	c.Spec = append([]byte(nil), r.Spec...)
+	return c
+}
+
+// PutArtefact stores a job's artefact files.
+func (s *Store) PutArtefact(id string, files map[string][]byte) error {
+	if s.root == "" {
+		cp := make(map[string][]byte, len(files))
+		for name, buf := range files {
+			cp[name] = append([]byte(nil), buf...)
+		}
+		s.mu.Lock()
+		s.mem[id] = cp
+		s.mu.Unlock()
+		return nil
+	}
+	dir := filepath.Join(s.root, id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, buf := range files {
+		if name != filepath.Base(name) {
+			return fmt.Errorf("store: artefact name %q escapes its directory", name)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), buf, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ArtefactNames lists a job's artefact files in sorted order.
+func (s *Store) ArtefactNames(id string) ([]string, error) {
+	if s.root == "" {
+		s.mu.Lock()
+		files, ok := s.mem[id]
+		s.mu.Unlock()
+		if !ok {
+			return nil, os.ErrNotExist
+		}
+		names := make([]string, 0, len(files))
+		for name := range files {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		return names, nil
+	}
+	entries, err := os.ReadDir(filepath.Join(s.root, id))
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Artefact returns one artefact file's bytes.
+func (s *Store) Artefact(id, name string) ([]byte, error) {
+	if name != filepath.Base(name) {
+		return nil, fmt.Errorf("store: artefact name %q escapes its directory", name)
+	}
+	if s.root == "" {
+		s.mu.Lock()
+		files, ok := s.mem[id]
+		buf, okName := files[name]
+		s.mu.Unlock()
+		if !ok || !okName {
+			return nil, os.ErrNotExist
+		}
+		return append([]byte(nil), buf...), nil
+	}
+	return os.ReadFile(filepath.Join(s.root, id, name))
+}
