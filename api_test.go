@@ -1,6 +1,7 @@
 package knemesis
 
 import (
+	"context"
 	"testing"
 
 	"knemesis/internal/mem"
@@ -90,7 +91,7 @@ func TestFacadeRegistries(t *testing.T) {
 	}
 	env := DefaultExperimentEnv(XeonE5345())
 	env.PingSizes = []int64{128 * units.KiB}
-	res, err := RunExperiment("fig4", env)
+	res, err := RunExperiment(context.Background(), "fig4", env)
 	if err != nil {
 		t.Fatal(err)
 	}

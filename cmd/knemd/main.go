@@ -40,7 +40,10 @@ import (
 	"time"
 
 	"knemesis/internal/serve"
+	"knemesis/internal/serve/api"
 	"knemesis/internal/serve/loadgen"
+	"knemesis/internal/serve/store"
+	"knemesis/internal/units"
 )
 
 func main() {
@@ -52,6 +55,11 @@ func main() {
 		queueCap   = flag.Int("queue-cap", 256, "backlog cap before submissions are shed (429)")
 		cacheSize  = flag.Int("cache", 256, "result cache entries")
 		deadline   = flag.Duration("deadline", 2*time.Minute, "default per-job deadline")
+
+		recovery        = flag.String("recovery", serve.RecoveryRequeue, "crash-recovery policy for interrupted jobs (requeue|fail)")
+		retryMax        = flag.Int("retry-max", 2, "transparent retries of transiently failed jobs (negative disables)")
+		retryBackoff    = flag.Duration("retry-backoff", 200*time.Millisecond, "base of the exponential retry backoff")
+		quarantineAfter = flag.Int("quarantine-after", 3, "panics per spec before its key is quarantined (negative disables)")
 
 		selftest = flag.Bool("selftest", false, "run the in-process load-generation selftest and exit")
 		jobs     = flag.Int("jobs", 200, "selftest: total submissions")
@@ -68,6 +76,11 @@ func main() {
 		CacheSize:  *cacheSize,
 		Deadline:   *deadline,
 		StoreRoot:  *storeRoot,
+
+		Recovery:        *recovery,
+		RetryMax:        *retryMax,
+		RetryBackoff:    *retryBackoff,
+		QuarantineAfter: *quarantineAfter,
 	}
 	if *selftest {
 		os.Exit(runSelftest(cfg, *jobs, *seed, *out, *check))
@@ -220,6 +233,16 @@ func runSelftest(cfg serve.Config, jobs int, seed uint64, out, check string) int
 	fmt.Printf("knemd: selftest: %.1f jobs/s, p50 %.1fms, p99 %.1fms, shed %.1f%%, cache hit %.1f%%, rt overlap max %d\n",
 		rep.JobsPerSec, rep.P50Ms, rep.P99Ms, 100*rep.ShedRate, 100*rep.CacheHitRate, st.RTMaxObserved)
 
+	recWl, err := runRecoveryWorkload()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "knemd: selftest: recovery workload:", err)
+		return 1
+	}
+	cur.Workloads = append(cur.Workloads, recWl)
+	fmt.Printf("knemd: selftest: recovery: replay %.1fms, %g re-queued, %g cache-answered, %g lost, %g errors\n",
+		recWl.Perf["replay_ms"], recWl.Sim["recovery_requeued"], recWl.Sim["recovery_cached"],
+		recWl.Sim["recovery_lost"], recWl.Sim["recovery_errors"])
+
 	if out != "" {
 		buf, err := json.MarshalIndent(cur, "", "  ")
 		if err != nil {
@@ -250,6 +273,163 @@ func runSelftest(cfg serve.Config, jobs int, seed uint64, out, check string) int
 	}
 	fmt.Printf("knemd: selftest matches %s\n", check)
 	return 0
+}
+
+// runRecoveryWorkload measures the crash-recovery path on a synthetic
+// pre-crash ledger: nDone completed jobs with durable artefacts, nCached
+// interrupted duplicates of completed keys (recovery must answer them from
+// the rebuilt cache) and nRequeue interrupted unique jobs (recovery must
+// re-run them to byte-identical artefacts). The counts are exact, so the
+// Sim metrics gate recovery correctness; the replay/recovery times are
+// measured Perf metrics.
+func runRecoveryWorkload() (Workload, error) {
+	const nDone, nCached, nRequeue = 4, 3, 3
+	root, err := os.MkdirTemp("", "knemd-recovery-*")
+	if err != nil {
+		return Workload{}, err
+	}
+	defer os.RemoveAll(root)
+
+	doneSpec := func(i int) api.Spec {
+		return api.Spec{Kind: api.KindComm, Bench: "pingpong", Sizes: []int64{4*units.KiB + int64(i)*units.KiB}}
+	}
+	uniqSpec := func(i int) api.Spec {
+		return api.Spec{Kind: api.KindComm, Bench: "pingpong", Sizes: []int64{128*units.KiB + int64(i)*units.KiB}}
+	}
+	canon := func(spec api.Spec) (api.Spec, string, error) {
+		c, err := spec.Canonicalize()
+		if err != nil {
+			return api.Spec{}, "", err
+		}
+		key, err := c.CacheKey()
+		return c, key, err
+	}
+
+	// Craft the dead daemon's ledger. IDs follow the daemon's own scheme so
+	// the reopened sequence resumes above them.
+	st, _, err := store.Open(root)
+	if err != nil {
+		return Workload{}, err
+	}
+	seq := 0
+	nextID := func() string { seq++; return fmt.Sprintf("job-%06d", seq) }
+	var cachedIDs, requeueIDs []string
+	for i := 0; i < nDone; i++ {
+		c, key, err := canon(doneSpec(i))
+		if err != nil {
+			return Workload{}, err
+		}
+		files, err := serve.Execute(context.Background(), c, nil)
+		if err != nil {
+			return Workload{}, err
+		}
+		id := nextID()
+		st.Create(id, key, c.Class(), c.CanonicalJSON(), store.Queued)
+		st.Advance(id, store.Running, "")
+		if err := st.PutArtefact(id, files); err != nil {
+			return Workload{}, err
+		}
+		st.Finish(id, store.Done, "", id, "")
+	}
+	for i := 0; i < nCached; i++ {
+		c, key, err := canon(doneSpec(i))
+		if err != nil {
+			return Workload{}, err
+		}
+		id := nextID()
+		cachedIDs = append(cachedIDs, id)
+		st.Create(id, key, c.Class(), c.CanonicalJSON(), store.Queued)
+		st.Advance(id, store.Admitted, "")
+	}
+	for i := 0; i < nRequeue; i++ {
+		c, key, err := canon(uniqSpec(i))
+		if err != nil {
+			return Workload{}, err
+		}
+		id := nextID()
+		requeueIDs = append(requeueIDs, id)
+		st.Create(id, key, c.Class(), c.CanonicalJSON(), store.Queued)
+		st.Advance(id, store.Running, "")
+	}
+	st.Close()
+
+	// Reopen as the daemon would after a crash and let recovery resolve
+	// everything the "kill" left behind.
+	t0 := time.Now()
+	d, err := serve.NewDaemon(serve.Config{SimWorkers: 2, StoreRoot: root})
+	if err != nil {
+		return Workload{}, err
+	}
+	select {
+	case <-d.ReadyCh():
+	case <-time.After(2 * time.Minute):
+		return Workload{}, fmt.Errorf("recovery never completed")
+	}
+
+	recErrors := 0.0
+	for _, id := range cachedIDs {
+		rec, ok := d.Store().Get(id)
+		if !ok || rec.State != store.Done || !rec.Cached {
+			recErrors++
+		}
+	}
+	for i, id := range requeueIDs {
+		rec := awaitTerminal(d, id)
+		if rec.State != store.Done {
+			recErrors++
+			continue
+		}
+		c, _, err := canon(uniqSpec(i))
+		if err != nil {
+			return Workload{}, err
+		}
+		direct, err := serve.Execute(context.Background(), c, nil)
+		if err != nil {
+			return Workload{}, err
+		}
+		got, err := d.Store().Artefact(id, "result.json")
+		if err != nil || string(got) != string(direct["result.json"]) {
+			recErrors++ // recovered artefact diverges from a direct run
+		}
+	}
+	wall := time.Since(t0).Seconds()
+	stats := d.Stats()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	d.Drain(ctx)
+	d.Close()
+
+	return Workload{
+		Name:    "knemd-recovery",
+		WallSec: wall,
+		Sim: map[string]float64{
+			// Exact-count correctness metrics: enforced by -check.
+			"recovery_requeued":     float64(stats.Recovery.Requeued),
+			"recovery_cached":       float64(stats.Recovery.CachedAnswered),
+			"recovery_crash_failed": float64(stats.Recovery.CrashFailed),
+			"recovery_lost":         float64(nDone + nCached + nRequeue - stats.Recovery.ReplayRecords),
+			"recovery_errors":       recErrors,
+			"replay_entries":        float64(stats.Recovery.ReplayEntries),
+		},
+		Perf: map[string]float64{
+			// Measured recovery latencies: warn-only.
+			"replay_ms":    stats.Recovery.ReplayMS,
+			"recovery_sec": wall,
+		},
+	}, nil
+}
+
+// awaitTerminal long-polls the ledger until the record is terminal.
+func awaitTerminal(d *serve.Daemon, id string) store.Record {
+	deadline := time.Now().Add(2 * time.Minute)
+	since := 0
+	for {
+		rec, ok := d.Store().Wait(id, since, 5*time.Second)
+		if !ok || rec.State.Terminal() || time.Now().After(deadline) {
+			return rec
+		}
+		since = rec.Version
+	}
 }
 
 // compare enforces the Sim (shape/correctness) metrics and warns on Perf

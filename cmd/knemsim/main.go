@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -98,7 +99,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *verbose {
 			fmt.Fprintf(stderr, "running %s on %s...\n", exp.ID, m.Name)
 		}
-		res, err := exp.Run(env)
+		res, err := exp.Run(context.Background(), env)
 		if err != nil {
 			fmt.Fprintf(stderr, "knemsim: %s: %v\n", exp.ID, err)
 			return 1

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"knemesis/internal/comm"
 	"knemesis/internal/core"
 	"knemesis/internal/imb"
 	"knemesis/internal/mpi"
@@ -16,8 +18,8 @@ func init() {
 	RegisterExperiment(Experiment{
 		ID: "ablation", Order: 11,
 		Title: "model-mechanism ablation behind the headline results",
-		Run: func(env Env) (Result, error) {
-			rows, err := modelAblation(env.Machine, env.workers())
+		Run: func(ctx context.Context, env Env) (Result, error) {
+			rows, err := modelAblation(ctx, env.Machine, env.workers())
 			if err != nil {
 				return nil, err
 			}
@@ -27,8 +29,8 @@ func init() {
 	RegisterExperiment(Experiment{
 		ID: "collective-aware", Order: 12,
 		Title: "§6 collective-aware DMAmin policy on Alltoall",
-		Run: func(env Env) (Result, error) {
-			return collectiveAwareStudy(env.Machine, env.A2ASizes, env.workers())
+		Run: func(ctx context.Context, env Env) (Result, error) {
+			return collectiveAwareStudy(ctx, env.Machine, env.A2ASizes, env.workers())
 		},
 	})
 }
@@ -63,10 +65,10 @@ func (rows AblationSet) WriteFiles(dir string) error { return WriteJSON(dir, "ab
 // Each row reports the 1 MiB cross-die PingPong throughput of the affected
 // backend with the mechanism on and off.
 func ModelAblation() (AblationSet, error) {
-	return modelAblation(topo.XeonE5345(), DefaultWorkers())
+	return modelAblation(context.Background(), topo.XeonE5345(), DefaultWorkers())
 }
 
-func modelAblation(base *topo.Machine, workers int) (AblationSet, error) {
+func modelAblation(ctx context.Context, base *topo.Machine, workers int) (AblationSet, error) {
 	const size = 1 * units.MiB
 	// Each mechanism ablates on a private copy of the machine preset with
 	// the parameter neutralized; the with/without pair shards as two
@@ -107,7 +109,7 @@ func modelAblation(base *topo.Machine, workers int) (AblationSet, error) {
 	measure := func(m *topo.Machine, opt core.Options) (float64, error) {
 		c0, c1 := m.PairDifferentDies()
 		st := core.NewStack(m, []topo.CoreID{c0, c1}, opt, nemesis.Config{})
-		res, err := imb.RunPingPong(mpi.NewSimJob(st), []int64{size})
+		res, err := imb.RunPingPong(comm.WithContext(ctx, mpi.NewSimJob(st)), []int64{size})
 		if err != nil {
 			return 0, err
 		}
@@ -116,7 +118,7 @@ func modelAblation(base *topo.Machine, workers int) (AblationSet, error) {
 
 	// Two jobs per mechanism: even index = calibrated model, odd = ablated.
 	vals := make([]float64, 2*len(mechanisms))
-	err := forEach(workers, len(vals), func(i int) error {
+	err := forEach(ctx, workers, len(vals), func(i int) error {
 		mech := mechanisms[i/2]
 		m := *base // shallow copy: jobs only mutate value-typed Params fields
 		if i%2 == 1 {
@@ -149,10 +151,10 @@ func modelAblation(base *topo.Machine, workers int) (AblationSet, error) {
 // hint. With the hint, the threshold drops by the transfer concurrency and
 // I/OAT engages at the ~200 KiB sizes the paper observed (§4.4).
 func CollectiveAwareStudy(m *topo.Machine, sizes []int64) (Figure, error) {
-	return collectiveAwareStudy(m, sizes, DefaultWorkers())
+	return collectiveAwareStudy(context.Background(), m, sizes, DefaultWorkers())
 }
 
-func collectiveAwareStudy(m *topo.Machine, sizes []int64, workers int) (Figure, error) {
+func collectiveAwareStudy(ctx context.Context, m *topo.Machine, sizes []int64, workers int) (Figure, error) {
 	fig := Figure{
 		ID:     "collective-aware",
 		Title:  "Alltoall with the section-6 collective-aware DMAmin policy",
@@ -168,10 +170,10 @@ func collectiveAwareStudy(m *topo.Machine, sizes []int64, workers int) (Figure, 
 		{core.Options{Kind: core.KnemLMT, IOAT: core.IOATAlways}, "I/OAT always (reference)"},
 	}
 	fig.Series = make([]Series, len(cases))
-	err := forEach(workers, len(cases), func(i int) error {
+	err := forEach(ctx, workers, len(cases), func(i int) error {
 		cs := cases[i]
 		st := core.NewStack(m, m.AllCores(), cs.opt, cfg)
-		res, err := imb.RunAlltoall(mpi.NewSimJob(st), sizes)
+		res, err := imb.RunAlltoall(comm.WithContext(ctx, mpi.NewSimJob(st)), sizes)
 		if err != nil {
 			return fmt.Errorf("%s: %w", cs.label, err)
 		}

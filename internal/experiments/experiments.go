@@ -15,9 +15,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"knemesis/internal/comm"
 	"knemesis/internal/core"
 	"knemesis/internal/imb"
 	"knemesis/internal/knem"
@@ -77,44 +79,45 @@ func init() {
 	RegisterExperiment(Experiment{
 		ID: "fig3", Order: 3,
 		Title: "PingPong: vmsplice vs writev vs default, both placements",
-		Run:   func(env Env) (Result, error) { return fig3(env) },
+		Run:   func(ctx context.Context, env Env) (Result, error) { return fig3(ctx, env) },
 	})
 	RegisterExperiment(Experiment{
 		ID: "fig4", Order: 4,
 		Title: "PingPong throughput, 2 processes sharing an L2",
-		Run:   func(env Env) (Result, error) { return fig4(env) },
+		Run:   func(ctx context.Context, env Env) (Result, error) { return fig4(ctx, env) },
 	})
 	RegisterExperiment(Experiment{
 		ID: "fig5", Order: 5,
 		Title: "PingPong throughput, 2 processes on different dies",
-		Run:   func(env Env) (Result, error) { return fig5(env) },
+		Run:   func(ctx context.Context, env Env) (Result, error) { return fig5(ctx, env) },
 	})
 	RegisterExperiment(Experiment{
 		ID: "fig6", Order: 6,
 		Title: "KNEM synchronous vs asynchronous receive modes",
-		Run:   func(env Env) (Result, error) { return fig6(env) },
+		Run:   func(ctx context.Context, env Env) (Result, error) { return fig6(ctx, env) },
 	})
 	RegisterExperiment(Experiment{
 		ID: "fig7", Order: 7,
 		Title: "Alltoall aggregated throughput, 8 local processes",
-		Run:   func(env Env) (Result, error) { return fig7(env) },
+		Run:   func(ctx context.Context, env Env) (Result, error) { return fig7(ctx, env) },
 	})
 	RegisterExperiment(Experiment{
 		ID: "table1", Order: 8,
 		Title: "NAS Parallel Benchmark execution times",
-		Run:   func(env Env) (Result, error) { return table1(env) },
+		Run:   func(ctx context.Context, env Env) (Result, error) { return table1(ctx, env) },
 	})
 	RegisterExperiment(Experiment{
 		ID: "table2", Order: 9,
 		Title: "L2 cache misses per workload and backend",
-		Run:   func(env Env) (Result, error) { return table2(env) },
+		Run:   func(ctx context.Context, env Env) (Result, error) { return table2(ctx, env) },
 	})
 }
 
-// pingPongSeries runs one PingPong sweep on a fresh stack.
-func pingPongSeries(t *topo.Machine, cores []topo.CoreID, opt core.Options, label string, sizes []int64) (Series, error) {
+// pingPongSeries runs one PingPong sweep on a fresh stack, preemptible
+// through ctx.
+func pingPongSeries(ctx context.Context, t *topo.Machine, cores []topo.CoreID, opt core.Options, label string, sizes []int64) (Series, error) {
 	st := core.NewStack(t, cores, opt, nemesis.Config{})
-	res, err := imb.RunPingPong(mpi.NewSimJob(st), sizes)
+	res, err := imb.RunPingPong(comm.WithContext(ctx, mpi.NewSimJob(st)), sizes)
 	if err != nil {
 		return Series{}, fmt.Errorf("%s: %w", label, err)
 	}
@@ -131,10 +134,10 @@ type pingPongCase struct {
 // pingPongFigure shards one stack simulation per case across the worker
 // pool; series slots are index-addressed, so the figure is identical to a
 // serial run.
-func pingPongFigure(env Env, fig Figure, cases []pingPongCase) (Figure, error) {
+func pingPongFigure(ctx context.Context, env Env, fig Figure, cases []pingPongCase) (Figure, error) {
 	fig.Series = make([]Series, len(cases))
-	err := forEach(env.workers(), len(cases), func(i int) error {
-		s, err := pingPongSeries(env.Machine, cases[i].cores, cases[i].opt, cases[i].label, env.PingSizes)
+	err := forEach(ctx, env.workers(), len(cases), func(i int) error {
+		s, err := pingPongSeries(ctx, env.Machine, cases[i].cores, cases[i].opt, cases[i].label, env.PingSizes)
 		if err != nil {
 			return err
 		}
@@ -147,12 +150,12 @@ func pingPongFigure(env Env, fig Figure, cases []pingPongCase) (Figure, error) {
 // fig3 reproduces Figure 3: PingPong with the vmsplice LMT using vmsplice
 // (single copy) or writev (two copies), against the default LMT, for both
 // core placements.
-func fig3(env Env) (Figure, error) {
+func fig3(ctx context.Context, env Env) (Figure, error) {
 	t := env.Machine
 	s0, s1 := t.PairSharedCache()
 	d0, d1 := t.PairDifferentDies()
 	shared, cross := []topo.CoreID{s0, s1}, []topo.CoreID{d0, d1}
-	return pingPongFigure(env, Figure{
+	return pingPongFigure(ctx, env, Figure{
 		ID:     "fig3",
 		Title:  "IMB Pingpong with the vmsplice LMT using vmsplice (single-copy) or writev (two copies)",
 		YLabel: "Throughput (MiB/s)",
@@ -180,9 +183,9 @@ func standardPingPongCases(cores []topo.CoreID) []pingPongCase {
 }
 
 // fig4 reproduces Figure 4: PingPong between two processes sharing an L2.
-func fig4(env Env) (Figure, error) {
+func fig4(ctx context.Context, env Env) (Figure, error) {
 	c0, c1 := env.Machine.PairSharedCache()
-	return pingPongFigure(env, Figure{
+	return pingPongFigure(ctx, env, Figure{
 		ID:     "fig4",
 		Title:  "IMB Pingpong throughput between 2 processes sharing a 4MiB L2 cache",
 		YLabel: "Throughput (MiB/s)",
@@ -190,9 +193,9 @@ func fig4(env Env) (Figure, error) {
 }
 
 // fig5 reproduces Figure 5: PingPong between processes not sharing a cache.
-func fig5(env Env) (Figure, error) {
+func fig5(ctx context.Context, env Env) (Figure, error) {
 	c0, c1 := env.Machine.PairDifferentDies()
-	return pingPongFigure(env, Figure{
+	return pingPongFigure(ctx, env, Figure{
 		ID:     "fig5",
 		Title:  "IMB Pingpong throughput between 2 processes not sharing any cache",
 		YLabel: "Throughput (MiB/s)",
@@ -201,13 +204,13 @@ func fig5(env Env) (Figure, error) {
 
 // fig6 reproduces Figure 6: KNEM synchronous vs asynchronous modes (with
 // and without I/OAT), cross-die placement.
-func fig6(env Env) (Figure, error) {
+func fig6(ctx context.Context, env Env) (Figure, error) {
 	c0, c1 := env.Machine.PairDifferentDies()
 	cores := []topo.CoreID{c0, c1}
 	force := func(md knem.Mode) core.Options {
 		return core.Options{Kind: core.KnemLMT, ForceKnemMode: &md}
 	}
-	return pingPongFigure(env, Figure{
+	return pingPongFigure(ctx, env, Figure{
 		ID:     "fig6",
 		Title:  "Performance comparison of KNEM synchronous and asynchronous models",
 		YLabel: "Throughput (MiB/s)",
@@ -224,7 +227,7 @@ func fig6(env Env) (Figure, error) {
 // with a lowered rendezvous threshold (the paper observes KNEM is already
 // worthwhile from 4 KiB in this pattern, §4.4), while the default
 // configuration keeps Nemesis' stock 64 KiB threshold.
-func fig7(env Env) (Figure, error) {
+func fig7(ctx context.Context, env Env) (Figure, error) {
 	t := env.Machine
 	fig := Figure{
 		ID:     "fig7",
@@ -243,10 +246,10 @@ func fig7(env Env) (Figure, error) {
 		{core.Options{Kind: core.KnemLMT, IOAT: core.IOATAlways}, lowThreshold, "KNEM LMT with I/OAT"},
 	}
 	fig.Series = make([]Series, len(cases))
-	err := forEach(env.workers(), len(cases), func(i int) error {
+	err := forEach(ctx, env.workers(), len(cases), func(i int) error {
 		cs := cases[i]
 		st := core.NewStack(t, t.AllCores(), cs.opt, cs.cfg)
-		res, err := imb.RunAlltoall(mpi.NewSimJob(st), env.A2ASizes)
+		res, err := imb.RunAlltoall(comm.WithContext(ctx, mpi.NewSimJob(st)), env.A2ASizes)
 		if err != nil {
 			return fmt.Errorf("%s: %w", cs.label, err)
 		}
@@ -270,14 +273,14 @@ func (t table1Result) WriteFiles(dir string) error { return WriteJSON(dir, t.ID,
 // paper (see nas.Calibrate) and the speedup column comparing default
 // against KNEM+I/OAT. Kernels shard across the pool (each Table1Row runs
 // four full stacks).
-func table1(env Env) (table1Result, error) {
+func table1(ctx context.Context, env Env) (table1Result, error) {
 	res := table1Result{Table: Table{
 		ID:     "table1",
 		Title:  "Execution time of some NAS Parallel Benchmarks",
 		Header: []string{"NAS Kernel", "default LMT", "vmsplice LMT", "KNEM kernel copy", "KNEM I/OAT", "Speedup"},
 	}}
 	rows := make([]nas.Row, len(env.Kernels))
-	err := forEach(env.workers(), len(env.Kernels), func(i int) error {
+	err := forEach(ctx, env.workers(), len(env.Kernels), func(i int) error {
 		row, err := nas.Table1Row(env.Kernels[i], env.Machine)
 		if err != nil {
 			return err
@@ -307,7 +310,7 @@ func table1(env Env) (table1Result, error) {
 // under the four LMT configurations. Counts are 64-byte-line equivalents;
 // point-to-point rows are per operation, the IS row is the whole run. Each
 // (workload, backend) cell's stack shards across the pool.
-func table2(env Env) (Table, error) {
+func table2(ctx context.Context, env Env) (Table, error) {
 	t := env.Machine
 	tab := Table{
 		ID:     "table2",
@@ -319,9 +322,9 @@ func table2(env Env) (Table, error) {
 	ppSizes := []int64{64 * units.KiB, 4 * units.MiB}
 	d0, d1 := t.PairDifferentDies()
 	ppByOpt := make([][]int64, len(opts)) // [opt][sizeIdx]
-	if err := forEach(env.workers(), len(opts), func(i int) error {
+	if err := forEach(ctx, env.workers(), len(opts), func(i int) error {
 		st := core.NewStack(t, []topo.CoreID{d0, d1}, opts[i], nemesis.Config{})
-		res, err := imb.RunPingPong(mpi.NewSimJob(st), ppSizes)
+		res, err := imb.RunPingPong(comm.WithContext(ctx, mpi.NewSimJob(st)), ppSizes)
 		if err != nil {
 			return err
 		}
@@ -338,13 +341,13 @@ func table2(env Env) (Table, error) {
 	// Alltoall row shows LMT differences, so their setup had it too).
 	a2aSizes := []int64{64 * units.KiB, 4 * units.MiB}
 	a2aByOpt := make([][]int64, len(opts))
-	if err := forEach(env.workers(), len(opts), func(i int) error {
+	if err := forEach(ctx, env.workers(), len(opts), func(i int) error {
 		cfg := nemesis.Config{}
 		if opts[i].Kind != core.DefaultLMT {
 			cfg.EagerMax = 4 * units.KiB
 		}
 		st := core.NewStack(t, t.AllCores(), opts[i], cfg)
-		res, err := imb.RunAlltoall(mpi.NewSimJob(st), a2aSizes)
+		res, err := imb.RunAlltoall(comm.WithContext(ctx, mpi.NewSimJob(st)), a2aSizes)
 		if err != nil {
 			return err
 		}
@@ -361,7 +364,7 @@ func table2(env Env) (Table, error) {
 		return tab, err
 	}
 	isMisses := make([]int64, len(opts))
-	if err := forEach(env.workers(), len(opts), func(i int) error {
+	if err := forEach(ctx, env.workers(), len(opts), func(i int) error {
 		res, err := nas.RunKernel(env.ISKernel, t, opts[i], compute)
 		if err != nil {
 			return err
@@ -394,38 +397,38 @@ func table2(env Env) (Table, error) {
 // Fig3 reproduces Figure 3 on machine t (library entry point; the registry
 // entry "fig3" is the declarative equivalent).
 func Fig3(t *topo.Machine, sizes []int64) (Figure, error) {
-	return fig3(Env{Machine: t, PingSizes: sizes})
+	return fig3(context.Background(), Env{Machine: t, PingSizes: sizes})
 }
 
 // Fig4 reproduces Figure 4 on machine t.
 func Fig4(t *topo.Machine, sizes []int64) (Figure, error) {
-	return fig4(Env{Machine: t, PingSizes: sizes})
+	return fig4(context.Background(), Env{Machine: t, PingSizes: sizes})
 }
 
 // Fig5 reproduces Figure 5 on machine t.
 func Fig5(t *topo.Machine, sizes []int64) (Figure, error) {
-	return fig5(Env{Machine: t, PingSizes: sizes})
+	return fig5(context.Background(), Env{Machine: t, PingSizes: sizes})
 }
 
 // Fig6 reproduces Figure 6 on machine t.
 func Fig6(t *topo.Machine, sizes []int64) (Figure, error) {
-	return fig6(Env{Machine: t, PingSizes: sizes})
+	return fig6(context.Background(), Env{Machine: t, PingSizes: sizes})
 }
 
 // Fig7 reproduces Figure 7 on machine t.
 func Fig7(t *topo.Machine, sizes []int64) (Figure, error) {
-	return fig7(Env{Machine: t, A2ASizes: sizes})
+	return fig7(context.Background(), Env{Machine: t, A2ASizes: sizes})
 }
 
 // Table1 reproduces Table 1 for the given kernels on machine t.
 func Table1(t *topo.Machine, kernels []nas.Kernel) (Table, []nas.Row, error) {
-	res, err := table1(Env{Machine: t, Kernels: kernels})
+	res, err := table1(context.Background(), Env{Machine: t, Kernels: kernels})
 	return res.Table, res.NASRows, err
 }
 
 // Table2 reproduces Table 2 with the given IS kernel on machine t.
 func Table2(t *topo.Machine, isKernel nas.Kernel) (Table, error) {
-	return table2(Env{Machine: t, ISKernel: isKernel})
+	return table2(context.Background(), Env{Machine: t, ISKernel: isKernel})
 }
 
 // formatCount renders counts the way the paper does (91, 45k, 11.25M).

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"knemesis/internal/comm"
 	"knemesis/internal/core"
 	"knemesis/internal/imb"
 	"knemesis/internal/mpi"
@@ -27,7 +29,7 @@ func init() {
 	RegisterExperiment(Experiment{
 		ID: "multipair", Order: 10,
 		Title: "Multi-PingPong contention: N concurrent pairs x backend x placement",
-		Run:   func(env Env) (Result, error) { return multipair(env) },
+		Run:   func(ctx context.Context, env Env) (Result, error) { return multipair(ctx, env) },
 	})
 }
 
@@ -68,7 +70,7 @@ func (r multipairResult) WriteFiles(dir string) error {
 // MultipairRows runs the multipair sweep and returns its typed rows
 // directly (cmd/simbench records them as drift-checked benchmark metrics).
 func MultipairRows(env Env) ([]MultipairRow, error) {
-	res, err := multipair(env)
+	res, err := multipair(context.Background(), env)
 	if err != nil {
 		return nil, err
 	}
@@ -109,7 +111,7 @@ func multipairPlacements(m *topo.Machine) []multipairCase {
 // N = 1, 2, 4 pairs, one self-contained stack per case sharded across the
 // worker pool (rows are index-addressed, so output is byte-identical at any
 // pool width).
-func multipair(env Env) (multipairResult, error) {
+func multipair(ctx context.Context, env Env) (multipairResult, error) {
 	res := multipairResult{Table: Table{
 		ID:     "multipair",
 		Title:  "Multi-PingPong aggregate throughput under N-pair contention",
@@ -129,10 +131,10 @@ func multipair(env Env) (multipairResult, error) {
 	}
 
 	results := make([]imb.MultiResult, len(cases))
-	err := forEach(env.workers(), len(cases), func(i int) error {
+	err := forEach(ctx, env.workers(), len(cases), func(i int) error {
 		cs := cases[i]
 		st := core.NewStack(env.Machine, cs.cores, core.Options{Kind: cs.kind}, nemesis.Config{})
-		r, err := imb.RunMultiPingPong(mpi.NewSimJob(st), sizes)
+		r, err := imb.RunMultiPingPong(comm.WithContext(ctx, mpi.NewSimJob(st)), sizes)
 		if err != nil {
 			return fmt.Errorf("%s/%s/%d pairs: %w", cs.kind, cs.placement, cs.pairs, err)
 		}
@@ -192,6 +194,6 @@ func multipair(env Env) (multipairResult, error) {
 // Multipair runs the contention sweep on machine t (library entry point; the
 // registry entry "multipair" is the declarative equivalent).
 func Multipair(t *topo.Machine, sizes []int64) ([]MultipairRow, error) {
-	res, err := multipair(Env{Machine: t, MultiSizes: sizes})
+	res, err := multipair(context.Background(), Env{Machine: t, MultiSizes: sizes})
 	return res.MultiRows, err
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"knemesis/internal/core"
@@ -59,7 +60,7 @@ func TestMultipairCoverageAndWorkerDeterminism(t *testing.T) {
 	env := Env{Machine: topo.XeonE5345(), MultiSizes: []int64{256 * units.KiB}}
 	render := func(workers int) (string, multipairResult) {
 		env.Workers = workers
-		res, err := multipair(env)
+		res, err := multipair(context.Background(), env)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -69,8 +70,11 @@ type Experiment struct {
 	// Order positions the experiment in Experiments() — the order the
 	// paper presents them.
 	Order int
-	// Run regenerates the artefact for env.
-	Run func(env Env) (Result, error)
+	// Run regenerates the artefact for env. Cancelling ctx (or letting its
+	// deadline pass) cuts the sweep between — and, for the engine-driven
+	// cases, inside — its cases; the returned error then wraps ctx.Err()
+	// and notes how far the sweep got.
+	Run func(ctx context.Context, env Env) (Result, error)
 }
 
 var expRegistry = map[string]Experiment{}
@@ -126,11 +130,12 @@ func ExperimentIDs() []string {
 	return out
 }
 
-// Run regenerates the artefact of the experiment registered under id.
-func Run(id string, env Env) (Result, error) {
+// Run regenerates the artefact of the experiment registered under id,
+// preemptible through ctx.
+func Run(ctx context.Context, id string, env Env) (Result, error) {
 	e, err := LookupExperiment(id)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(env)
+	return e.Run(ctx, env)
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -38,7 +39,7 @@ func TestExperimentRegistryRoundTrip(t *testing.T) {
 	if _, err := LookupExperiment("fig99"); err == nil {
 		t.Error("LookupExperiment of unknown id did not error")
 	}
-	if _, err := Run("fig99", Env{}); err == nil {
+	if _, err := Run(context.Background(), "fig99", Env{}); err == nil {
 		t.Error("Run of unknown id did not error")
 	}
 }
@@ -49,14 +50,14 @@ func TestDuplicateExperimentPanics(t *testing.T) {
 			t.Error("duplicate RegisterExperiment did not panic")
 		}
 	}()
-	RegisterExperiment(Experiment{ID: "fig4", Run: func(Env) (Result, error) { return nil, nil }})
+	RegisterExperiment(Experiment{ID: "fig4", Run: func(context.Context, Env) (Result, error) { return nil, nil }})
 }
 
 func TestForEachOrderAndErrors(t *testing.T) {
 	// Results land in index order regardless of pool width.
 	for _, workers := range []int{1, 3, 8, 100} {
 		got := make([]int, 20)
-		if err := forEach(workers, len(got), func(i int) error {
+		if err := forEach(context.Background(), workers, len(got), func(i int) error {
 			got[i] = i * i
 			return nil
 		}); err != nil {
@@ -71,7 +72,7 @@ func TestForEachOrderAndErrors(t *testing.T) {
 
 	// First error by job index wins, matching serial semantics.
 	sentinel3 := errors.New("job 3")
-	err := forEach(4, 10, func(i int) error {
+	err := forEach(context.Background(), 4, 10, func(i int) error {
 		if i >= 3 {
 			return fmt.Errorf("job %d", i)
 		}
@@ -82,7 +83,7 @@ func TestForEachOrderAndErrors(t *testing.T) {
 	}
 
 	// Zero jobs is a no-op.
-	if err := forEach(4, 0, func(int) error { t.Error("called"); return nil }); err != nil {
+	if err := forEach(context.Background(), 4, 0, func(int) error { t.Error("called"); return nil }); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -98,12 +99,12 @@ func TestConcurrentRunnerMatchesSerial(t *testing.T) {
 	}
 	for _, id := range []string{"fig4", "fig7"} {
 		env.Workers = 1
-		serial, err := Run(id, env)
+		serial, err := Run(context.Background(), id, env)
 		if err != nil {
 			t.Fatalf("%s serial: %v", id, err)
 		}
 		env.Workers = 8
-		concurrent, err := Run(id, env)
+		concurrent, err := Run(context.Background(), id, env)
 		if err != nil {
 			t.Fatalf("%s concurrent: %v", id, err)
 		}
@@ -125,7 +126,7 @@ func TestEveryExperimentRunsReduced(t *testing.T) {
 	}
 	env := reducedEnv()
 	for _, e := range Experiments() {
-		res, err := e.Run(env)
+		res, err := e.Run(context.Background(), env)
 		if err != nil {
 			t.Fatalf("%s: %v", e.ID, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -26,7 +27,7 @@ func init() {
 	RegisterExperiment(Experiment{
 		ID: "rt", Order: 13,
 		Title: "Real-runtime IMB rows (wall clock): PingPong + Sendrecv per large-message mode",
-		Run:   func(env Env) (Result, error) { return rtBench(env) },
+		Run:   func(ctx context.Context, env Env) (Result, error) { return rtBench(ctx, env) },
 	})
 }
 
@@ -57,7 +58,7 @@ func (r rtResult) WriteFiles(dir string) error { return WriteJSON(dir, r.ID, r.R
 
 // RTRows runs the sweep and returns its typed rows directly.
 func RTRows(env Env) ([]RTRow, error) {
-	res, err := rtBench(env)
+	res, err := rtBench(context.Background(), env)
 	if err != nil {
 		return nil, err
 	}
@@ -172,7 +173,7 @@ func RTStreamBW(mode string, size, count int) (RTPerfPoint, error) {
 		MiBps: float64(size) * float64(count) / (1 << 20) / secs}, nil
 }
 
-func rtBench(env Env) (rtResult, error) {
+func rtBench(ctx context.Context, env Env) (rtResult, error) {
 	res := rtResult{Table: Table{
 		ID:     "rt",
 		Title:  "Real-runtime IMB benchmarks (wall clock, goroutine ranks)",
@@ -214,13 +215,18 @@ func rtBench(env Env) (rtResult, error) {
 		}},
 	}
 
+	done := 0
 	for _, b := range benches {
 		for _, mode := range rt.ModeNames() {
+			if err := ctx.Err(); err != nil {
+				return res, fmt.Errorf("experiments: cut after %d/%d cases: %w",
+					done, len(benches)*len(rt.ModeNames()), err)
+			}
 			job, err := comm.NewJob("rt", comm.JobSpec{Ranks: b.ranks, RTMode: mode})
 			if err != nil {
 				return res, err
 			}
-			rows, err := b.run(job, sizes)
+			rows, err := b.run(comm.WithContext(ctx, job), sizes)
 			if err != nil {
 				return res, fmt.Errorf("rt %s/%s: %w", b.name, mode, err)
 			}
@@ -238,6 +244,7 @@ func rtBench(env Env) (rtResult, error) {
 					fmt.Sprintf("%.0f", row.MiBps),
 				})
 			}
+			done++
 		}
 	}
 	return res, nil

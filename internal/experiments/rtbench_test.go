@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -21,7 +22,7 @@ func rtTestEnv() Env {
 }
 
 func TestRTExperimentShape(t *testing.T) {
-	res, err := Run("rt", rtTestEnv())
+	res, err := Run(context.Background(), "rt", rtTestEnv())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestRTRowJSONSchemaGolden(t *testing.T) {
 
 // WriteFiles must emit the typed rows (not the rendered table) as rt.json.
 func TestRTExperimentWritesTypedRows(t *testing.T) {
-	res, err := Run("rt", rtTestEnv())
+	res, err := Run(context.Background(), "rt", rtTestEnv())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"knemesis/internal/comm"
@@ -26,7 +27,7 @@ func init() {
 	RegisterExperiment(Experiment{
 		ID: "skew", Order: 15,
 		Title: "Robustness under skew: perturbed PingPong, eager vs rendezvous",
-		Run:   func(env Env) (Result, error) { return skew(env) },
+		Run:   func(ctx context.Context, env Env) (Result, error) { return skew(ctx, env) },
 	})
 }
 
@@ -104,7 +105,7 @@ func (r skewResult) WriteFiles(dir string) error {
 // "Different Dies" placement — so the traffic crosses the front-side bus
 // and contends with the injected background load (a shared-cache pair
 // would hide sat-bus entirely).
-func skewPingPong(arm SkewArm, eagerMax, size int64) (float64, error) {
+func skewPingPong(ctx context.Context, arm SkewArm, eagerMax, size int64) (float64, error) {
 	specs, err := perturb.ParseList(arm.Spec)
 	if err != nil {
 		return 0, err
@@ -122,7 +123,7 @@ func skewPingPong(arm SkewArm, eagerMax, size int64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	res, err := imb.RunPingPong(job, []int64{size})
+	res, err := imb.RunPingPong(comm.WithContext(ctx, job), []int64{size})
 	if err != nil {
 		return 0, err
 	}
@@ -143,7 +144,7 @@ func skewRTArms() []SkewArm {
 // job under one arm and reports the fastbox hit rate. Burst traffic keeps
 // the single-slot fastbox contended, so a skewed receiver visibly shifts
 // the split between fastbox and shared-queue delivery.
-func skewFastbox(arm SkewArm) (SkewRTRow, error) {
+func skewFastbox(ctx context.Context, arm SkewArm) (SkewRTRow, error) {
 	specs, err := perturb.ParseList(arm.Spec)
 	if err != nil {
 		return SkewRTRow{}, err
@@ -161,7 +162,7 @@ func skewFastbox(arm SkewArm) (SkewRTRow, error) {
 		burst  = 4
 		rounds = 400
 	)
-	err = job.Run(func(c comm.Peer) {
+	err = comm.WithContext(ctx, job).Run(func(c comm.Peer) {
 		buf := c.Alloc(size)
 		ack := c.Alloc(1)
 		switch c.Rank() {
@@ -199,7 +200,7 @@ func skewFastbox(arm SkewArm) (SkewRTRow, error) {
 // (cells are index-addressed, so the table is byte-identical at any
 // width). The rt fastbox rows run serially afterwards: they are wall-clock
 // measurements and concurrent stacks would distort them.
-func skew(env Env) (skewResult, error) {
+func skew(ctx context.Context, env Env) (skewResult, error) {
 	res := skewResult{Table: Table{
 		ID:     "skew",
 		Title:  "Robustness under skew: perturbed PingPong, forced eager vs forced rendezvous",
@@ -213,15 +214,15 @@ func skew(env Env) (skewResult, error) {
 
 	type cell struct{ eagerUS, rndvUS float64 }
 	cells := make([]cell, len(arms)*len(sizes))
-	err := forEach(env.workers(), len(cells), func(i int) error {
+	err := forEach(ctx, env.workers(), len(cells), func(i int) error {
 		arm, size := arms[i/len(sizes)], sizes[i%len(sizes)]
 		// EagerMax at the cell size keeps every swept size eager; at one
 		// byte, every swept size takes the rendezvous path.
-		eager, err := skewPingPong(arm, 64*units.KiB, size)
+		eager, err := skewPingPong(ctx, arm, 64*units.KiB, size)
 		if err != nil {
 			return fmt.Errorf("skew %s/eager/%s: %w", arm.Name, units.FormatSize(size), err)
 		}
-		rndv, err := skewPingPong(arm, 1, size)
+		rndv, err := skewPingPong(ctx, arm, 1, size)
 		if err != nil {
 			return fmt.Errorf("skew %s/rndv/%s: %w", arm.Name, units.FormatSize(size), err)
 		}
@@ -258,8 +259,12 @@ func skew(env Env) (skewResult, error) {
 		}
 	}
 
-	for _, arm := range skewRTArms() {
-		row, err := skewFastbox(arm)
+	for i, arm := range skewRTArms() {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("experiments: cut after %d/%d rt arms: %w",
+				i, len(skewRTArms()), err)
+		}
+		row, err := skewFastbox(ctx, arm)
 		if err != nil {
 			return res, fmt.Errorf("skew rt %s: %w", arm.Name, err)
 		}

@@ -2,13 +2,14 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"testing"
 )
 
 // runSkew runs the registry experiment at the given pool width.
 func runSkew(t *testing.T, workers int) skewResult {
 	t.Helper()
-	res, err := Run("skew", Env{Workers: workers})
+	res, err := Run(context.Background(), "skew", Env{Workers: workers})
 	if err != nil {
 		t.Fatal(err)
 	}

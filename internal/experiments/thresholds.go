@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"knemesis/internal/comm"
 	"knemesis/internal/core"
 	"knemesis/internal/imb"
 	"knemesis/internal/mpi"
@@ -16,8 +18,8 @@ func init() {
 	RegisterExperiment(Experiment{
 		ID: "thresholds", Order: 10,
 		Title: "DMAmin formula vs measured I/OAT crossover (§3.5)",
-		Run: func(env Env) (Result, error) {
-			res, err := thresholds(env.workers())
+		Run: func(ctx context.Context, env Env) (Result, error) {
+			res, err := thresholds(ctx, env.workers())
 			if err != nil {
 				return nil, err
 			}
@@ -50,9 +52,9 @@ func (ts ThresholdSet) WriteFiles(dir string) error { return WriteJSON(dir, "thr
 // Thresholds reproduces the §3.5 study: on the 4 MiB-cache machine the
 // offload threshold is ~1 MiB under a shared cache and ~2 MiB across dies,
 // and a 6 MiB cache raises it by 50%.
-func Thresholds() (ThresholdSet, error) { return thresholds(DefaultWorkers()) }
+func Thresholds() (ThresholdSet, error) { return thresholds(context.Background(), DefaultWorkers()) }
 
-func thresholds(workers int) (ThresholdSet, error) {
+func thresholds(ctx context.Context, workers int) (ThresholdSet, error) {
 	type place struct {
 		name   string
 		cores  func(*topo.Machine) (topo.CoreID, topo.CoreID)
@@ -64,10 +66,10 @@ func thresholds(workers int) (ThresholdSet, error) {
 	}
 	machines := []*topo.Machine{topo.XeonE5345(), topo.XeonX5460()}
 	out := make(ThresholdSet, len(machines)*len(places))
-	err := forEach(workers, len(out), func(i int) error {
+	err := forEach(ctx, workers, len(out), func(i int) error {
 		m, pl := machines[i/len(places)], places[i%len(places)]
 		c0, c1 := pl.cores(m)
-		cross, err := measureCrossover(m, []topo.CoreID{c0, c1})
+		cross, err := measureCrossover(ctx, m, []topo.CoreID{c0, c1})
 		if err != nil {
 			return fmt.Errorf("%s/%s: %w", m.Name, pl.name, err)
 		}
@@ -92,7 +94,7 @@ func thresholds(workers int) (ThresholdSet, error) {
 // measureCrossover sweeps message sizes and returns the first size at which
 // the I/OAT transfer is at least as fast as the synchronous kernel copy
 // (0 when I/OAT never wins in the swept range).
-func measureCrossover(m *topo.Machine, cores []topo.CoreID) (int64, error) {
+func measureCrossover(ctx context.Context, m *topo.Machine, cores []topo.CoreID) (int64, error) {
 	sizes := []int64{
 		256 * units.KiB, 384 * units.KiB, 512 * units.KiB, 768 * units.KiB,
 		1 * units.MiB, 3 * units.MiB / 2, 2 * units.MiB, 3 * units.MiB,
@@ -100,7 +102,7 @@ func measureCrossover(m *topo.Machine, cores []topo.CoreID) (int64, error) {
 	}
 	run := func(opt core.Options) ([]imb.Point, error) {
 		st := core.NewStack(m, cores, opt, nemesis.Config{})
-		res, err := imb.RunPingPong(mpi.NewSimJob(st), sizes)
+		res, err := imb.RunPingPong(comm.WithContext(ctx, mpi.NewSimJob(st)), sizes)
 		if err != nil {
 			return nil, err
 		}

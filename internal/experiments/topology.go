@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"knemesis/internal/comm"
@@ -23,7 +24,7 @@ func init() {
 	RegisterExperiment(Experiment{
 		ID: "topology", Order: 14,
 		Title: "Multi-node clusters: hierarchical vs flat collectives x topology preset",
-		Run:   func(env Env) (Result, error) { return topology(env) },
+		Run:   func(ctx context.Context, env Env) (Result, error) { return topology(ctx, env) },
 	})
 }
 
@@ -83,6 +84,10 @@ type topologyCase struct {
 // or single-level (flat=true) collectives. The row carries the simulated
 // time between the enclosing barriers and the run's network footprint.
 func RunTopologyCase(cl *topo.Cluster, ranks int, flat bool, op string, size int64) (TopologyRow, error) {
+	return runTopologyCase(context.Background(), cl, ranks, flat, op, size)
+}
+
+func runTopologyCase(ctx context.Context, cl *topo.Cluster, ranks int, flat bool, op string, size int64) (TopologyRow, error) {
 	job, err := comm.NewJob("sim", comm.JobSpec{
 		Ranks:           ranks,
 		Topology:        cl,
@@ -92,7 +97,7 @@ func RunTopologyCase(cl *topo.Cluster, ranks int, flat bool, op string, size int
 		return TopologyRow{}, err
 	}
 	var elapsed comm.Time
-	err = job.Run(func(c comm.Peer) {
+	err = comm.WithContext(ctx, job).Run(func(c comm.Peer) {
 		n := c.Size()
 		buf := c.Alloc(size)
 		var send, recv comm.Buf
@@ -149,7 +154,7 @@ func RunTopologyCase(cl *topo.Cluster, ranks int, flat bool, op string, size int
 // vs flat, every op and size — one self-contained cluster simulation per
 // cell, sharded across the worker pool (rows are index-addressed, so output
 // is byte-identical at any pool width).
-func topology(env Env) (topologyResult, error) {
+func topology(ctx context.Context, env Env) (topologyResult, error) {
 	res := topologyResult{Table: Table{
 		ID:     "topology",
 		Title:  "Hierarchical vs flat collectives across cluster topologies",
@@ -180,7 +185,7 @@ func topology(env Env) (topologyResult, error) {
 	}
 
 	rows := make([]TopologyRow, len(cases))
-	err := forEach(env.workers(), len(cases), func(i int) error {
+	err := forEach(ctx, env.workers(), len(cases), func(i int) error {
 		cs := cases[i]
 		// Each case builds its own cluster: presets are cheap to construct
 		// and sharing one across concurrent simulations would share nothing
@@ -189,7 +194,7 @@ func topology(env Env) (topologyResult, error) {
 		if err != nil {
 			return err
 		}
-		row, err := RunTopologyCase(cl, cs.ranks, cs.flat, cs.op, cs.size)
+		row, err := runTopologyCase(ctx, cl, cs.ranks, cs.flat, cs.op, cs.size)
 		if err != nil {
 			return fmt.Errorf("%s/%s/%s/%s: %w", cs.cluster, row.Coll, cs.op, units.FormatSize(cs.size), err)
 		}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"knemesis/internal/sim"
@@ -13,7 +14,7 @@ import (
 // returns the rendered table bytes.
 func renderTopology(t *testing.T, workers int) []byte {
 	t.Helper()
-	res, err := Run("topology", Env{Workers: workers})
+	res, err := Run(context.Background(), "topology", Env{Workers: workers})
 	if err != nil {
 		t.Fatal(err)
 	}

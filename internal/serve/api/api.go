@@ -376,9 +376,31 @@ type Error struct {
 	Error string `json:"error"`
 }
 
+// RecoveryStats summarizes what the daemon's boot-time WAL replay
+// reconstructed and how the interrupted jobs were resolved.
+type RecoveryStats struct {
+	// ReplayEntries is the number of WAL lines applied; ReplayRecords the
+	// ledger records rebuilt from them.
+	ReplayEntries int `json:"replay_entries"`
+	ReplayRecords int `json:"replay_records"`
+	// TornTail reports the WAL ended mid-line (the crash landed inside an
+	// append); the fragment was dropped and truncated.
+	TornTail bool `json:"torn_tail,omitempty"`
+	// Requeued / CachedAnswered / CrashFailed partition the interrupted
+	// jobs by how recovery resolved them.
+	Requeued       int `json:"requeued"`
+	CachedAnswered int `json:"cached_answered"`
+	CrashFailed    int `json:"crash_failed"`
+	// ReplayMS is the wall-clock cost of replay plus resolution.
+	ReplayMS float64 `json:"replay_ms"`
+}
+
 // Stats answers GET /v1/stats.
 type Stats struct {
 	UptimeSec float64 `json:"uptime_sec"`
+	// Ready is false while crash recovery is still resolving interrupted
+	// jobs (submissions are rejected; /v1/readyz answers 503).
+	Ready bool `json:"ready"`
 
 	Submitted int64 `json:"submitted"`
 	Shed      int64 `json:"shed"`
@@ -388,6 +410,13 @@ type Stats struct {
 	Done      int64 `json:"done"`
 	Failed    int64 `json:"failed"`
 	Cancelled int64 `json:"cancelled"`
+
+	// Retries counts transiently failed runs re-queued with backoff;
+	// Panics counts runner panics converted into job failures;
+	// Quarantined counts cache keys shed by the panic circuit breaker.
+	Retries     int64 `json:"retries"`
+	Panics      int64 `json:"panics"`
+	Quarantined int   `json:"quarantined"`
 
 	CacheHits    int64 `json:"cache_hits"`
 	CacheMisses  int64 `json:"cache_misses"`
@@ -400,4 +429,8 @@ type Stats struct {
 	// RTAuditFailures counts rt jobs whose post-run envelope audit found
 	// leaked envelopes (minted != pooled).
 	RTAuditFailures int64 `json:"rt_audit_failures"`
+
+	// Recovery summarizes the boot-time WAL replay (zero-valued on a
+	// fresh store).
+	Recovery RecoveryStats `json:"recovery"`
 }

@@ -65,3 +65,50 @@ func TestLRUConcurrent(t *testing.T) {
 		t.Fatalf("Len = %d exceeds capacity", c.Len())
 	}
 }
+
+// TestLRUHitMissAccountingUnderHammer drives the daemon's actual cache
+// usage pattern — Get, then Put on a miss — from many goroutines over a key
+// space twice the capacity, and checks the accounting identities the
+// selftest's cache_hit_rate metric is built on: every Get is exactly one
+// hit or one miss, the globally first touch of every key is a miss, and
+// eviction keeps the table at capacity. Run under -race in CI.
+func TestLRUHitMissAccountingUnderHammer(t *testing.T) {
+	const (
+		capacity = 32
+		keys     = 64
+		workers  = 8
+		perW     = 2000
+	)
+	c := New(capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				k := fmt.Sprintf("key-%03d", (g*7+i)%keys)
+				if _, ok := c.Get(k); !ok {
+					c.Put(k, k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	total := int64(workers * perW)
+	if got := c.Hits() + c.Misses(); got != total {
+		t.Fatalf("hits+misses = %d, want %d (every Get is exactly one of the two)", got, total)
+	}
+	// 64 keys never fit in 32 slots: the first touch of each key misses,
+	// and the thrash forces further misses — but hits must still dominate
+	// a 16000-op run re-touching a small key space.
+	if c.Misses() < keys {
+		t.Fatalf("misses = %d, want >= %d (first touch of every key)", c.Misses(), keys)
+	}
+	if c.Hits() == 0 {
+		t.Fatal("hammer recorded zero hits")
+	}
+	if c.Len() > capacity {
+		t.Fatalf("Len = %d exceeds capacity %d", c.Len(), capacity)
+	}
+}

@@ -1,0 +1,422 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"knemesis/internal/experiments"
+	"knemesis/internal/serve/api"
+	"knemesis/internal/serve/store"
+	"knemesis/internal/units"
+)
+
+// Test experiments for the panic-isolation paths: one that always panics
+// and one that panics exactly once per reset. Registered here, they are
+// canonicalizable specs like any paper experiment, so the daemon's whole
+// submit→schedule→execute pipeline is exercised, not a mock.
+var flakyCalls atomic.Int64
+
+type testResult struct{ name string }
+
+func (r testResult) Render(w io.Writer) { fmt.Fprintf(w, "%s ok\n", r.name) }
+func (r testResult) WriteFiles(dir string) error {
+	return os.WriteFile(dir+"/result.json", []byte(`{"experiment":"`+r.name+`"}`+"\n"), 0o644)
+}
+
+func init() {
+	experiments.RegisterExperiment(experiments.Experiment{
+		ID: "test-panic-always", Title: "serve test: panics every run", Order: 99,
+		Run: func(ctx context.Context, env experiments.Env) (experiments.Result, error) {
+			panic("test-panic-always detonated")
+		},
+	})
+	experiments.RegisterExperiment(experiments.Experiment{
+		ID: "test-flaky-once", Title: "serve test: panics on the first run only", Order: 99,
+		Run: func(ctx context.Context, env experiments.Env) (experiments.Result, error) {
+			if flakyCalls.Add(1) == 1 {
+				panic("transient flake")
+			}
+			return testResult{name: "test-flaky-once"}, nil
+		},
+	})
+}
+
+// mustCanon canonicalizes a spec and derives its cache key.
+func mustCanon(t *testing.T, spec api.Spec) (api.Spec, string) {
+	t.Helper()
+	c, err := spec.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := c.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, key
+}
+
+// awaitReady blocks until the daemon's crash recovery completes.
+func awaitReady(t *testing.T, d *Daemon) {
+	t.Helper()
+	select {
+	case <-d.ReadyCh():
+	case <-time.After(2 * time.Minute):
+		t.Fatal("daemon never became ready")
+	}
+}
+
+// TestCrashRecoveryRequeueAndCacheAnswer is the recovery policy's core
+// contract: a ledger holding one completed run, one interrupted duplicate of
+// it and one interrupted unique job is reopened, and the daemon must answer
+// the duplicate from the rebuilt cache, re-run the unique job to a
+// byte-identical artefact, and resume the ID sequence above the replay.
+func TestCrashRecoveryRequeueAndCacheAnswer(t *testing.T) {
+	root := t.TempDir()
+	doneSpec, doneKey := mustCanon(t, tinySpec(4*units.KiB))
+	uniqSpec, uniqKey := mustCanon(t, tinySpec(8*units.KiB))
+	doneFiles, err := Execute(context.Background(), doneSpec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Craft the pre-crash ledger: job-000001 done with its artefact,
+	// job-000002 admitted (same key), job-000003 running (unique key).
+	st, _, err := store.Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Create("job-000001", doneKey, doneSpec.Class(), doneSpec.CanonicalJSON(), store.Queued)
+	st.Advance("job-000001", store.Admitted, "")
+	st.Advance("job-000001", store.Running, "")
+	if err := st.PutArtefact("job-000001", doneFiles); err != nil {
+		t.Fatal(err)
+	}
+	st.Finish("job-000001", store.Done, "", "job-000001", "")
+	st.Create("job-000002", doneKey, doneSpec.Class(), doneSpec.CanonicalJSON(), store.Queued)
+	st.Advance("job-000002", store.Admitted, "")
+	st.Create("job-000003", uniqKey, uniqSpec.Class(), uniqSpec.CanonicalJSON(), store.Queued)
+	st.Advance("job-000003", store.Admitted, "")
+	st.Advance("job-000003", store.Running, "")
+	st.Close()
+
+	d := newTestDaemon(t, Config{SimWorkers: 2, StoreRoot: root})
+	defer d.Close()
+	awaitReady(t, d)
+
+	// The interrupted duplicate was answered from the rebuilt cache without
+	// re-running: done, cached, artefact owned by the pre-crash run.
+	rec2, ok := d.Store().Get("job-000002")
+	if !ok || rec2.State != store.Done || !rec2.Cached || rec2.ArtefactID != "job-000001" {
+		t.Fatalf("cache-answered job = %+v (ok %v)", rec2, ok)
+	}
+
+	// The unique interrupted job was re-queued and re-ran to completion,
+	// with the crash-recovery transition on its ledger trail and an
+	// artefact byte-identical to a direct engine run.
+	rec3 := await(t, d, "job-000003")
+	if rec3.State != store.Done {
+		t.Fatalf("requeued job finished %s: %s", rec3.State, rec3.Error)
+	}
+	requeued := false
+	for _, tr := range rec3.Transitions {
+		if strings.Contains(tr.Note, "crash-recovered: re-queued") {
+			requeued = true
+		}
+	}
+	if !requeued {
+		t.Fatalf("no crash-recovery transition on the requeued job: %+v", rec3.Transitions)
+	}
+	got, err := d.Store().Artefact("job-000003", "result.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Execute(context.Background(), uniqSpec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, direct["result.json"]) {
+		t.Fatal("recovered artefact diverges from a direct run")
+	}
+
+	// Recovery stats surface what happened; the ID sequence resumes above
+	// the replayed records so recovered and new jobs can never collide.
+	stats := d.Stats()
+	if !stats.Ready || stats.Recovery.ReplayRecords != 3 ||
+		stats.Recovery.Requeued != 1 || stats.Recovery.CachedAnswered != 1 ||
+		stats.Recovery.CrashFailed != 0 || stats.Recovery.TornTail {
+		t.Fatalf("recovery stats = %+v", stats.Recovery)
+	}
+	rec4, err := d.Submit(tinySpec(16 * units.KiB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec4.ID != "job-000004" {
+		t.Fatalf("post-recovery ID = %s, want job-000004", rec4.ID)
+	}
+	await(t, d, rec4.ID)
+
+	// A resubmission of the pre-crash spec still hits the rebuilt cache.
+	hit, err := d.Submit(tinySpec(4 * units.KiB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached || hit.ArtefactID != "job-000001" {
+		t.Fatalf("pre-crash key missed the rebuilt cache: %+v", hit)
+	}
+}
+
+func TestCrashRecoveryFailPolicy(t *testing.T) {
+	root := t.TempDir()
+	spec, key := mustCanon(t, tinySpec(4*units.KiB))
+	st, _, err := store.Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Create("job-000001", key, spec.Class(), spec.CanonicalJSON(), store.Queued)
+	st.Advance("job-000001", store.Running, "")
+	st.Close()
+
+	d := newTestDaemon(t, Config{StoreRoot: root, Recovery: RecoveryFail})
+	defer d.Close()
+	awaitReady(t, d)
+
+	rec, _ := d.Store().Get("job-000001")
+	if rec.State != store.Failed || !strings.Contains(rec.Error, "crash-interrupted") {
+		t.Fatalf("fail-policy job = %+v", rec)
+	}
+	if stats := d.Stats(); stats.Recovery.CrashFailed != 1 || stats.Recovery.Requeued != 0 {
+		t.Fatalf("recovery stats = %+v", stats.Recovery)
+	}
+
+	// The policy must be spelled correctly, not silently defaulted.
+	if _, err := NewDaemon(Config{Recovery: "retry-everything"}); err == nil {
+		t.Fatal("bogus recovery policy accepted")
+	}
+}
+
+// TestReadyzGatesSubmissions pins readiness as distinct from liveness: a
+// recovering daemon answers healthz 200 but readyz 503 and rejects
+// submissions with ErrNotReady (HTTP 503).
+func TestReadyzGatesSubmissions(t *testing.T) {
+	d := newTestDaemon(t, Config{})
+	srv := httptest.NewServer(Handler(d))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		r, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		buf, _ := io.ReadAll(r.Body)
+		return r.StatusCode, string(buf)
+	}
+	if code, body := get("/v1/readyz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("ready readyz = %d %q", code, body)
+	}
+
+	// Wind the daemon back to its recovering state (the window between
+	// store replay and recovery completion).
+	d.ready.Store(false)
+	if code, body := get("/v1/readyz"); code != http.StatusServiceUnavailable || body != "recovering\n" {
+		t.Fatalf("recovering readyz = %d %q", code, body)
+	}
+	if code, _ := get("/v1/healthz"); code != http.StatusOK {
+		t.Fatalf("recovering healthz = %d, liveness must not depend on readiness", code)
+	}
+	if _, err := d.Submit(tinySpec(units.KiB)); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("recovering Submit error = %v", err)
+	}
+	body, _ := json.Marshal(tinySpec(units.KiB))
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("recovering submit status = %s", resp.Status)
+	}
+
+	d.ready.Store(true)
+	if _, err := d.Submit(tinySpec(units.KiB)); err != nil {
+		t.Fatalf("ready Submit error = %v", err)
+	}
+}
+
+// TestPanicRetriedThenSucceeds drives a spec whose first execution panics:
+// the panic must be isolated to the job, retried with backoff and the retry
+// must succeed, leaving the whole story on the ledger trail.
+func TestPanicRetriedThenSucceeds(t *testing.T) {
+	flakyCalls.Store(0)
+	d := newTestDaemon(t, Config{SimWorkers: 1, RetryBackoff: time.Millisecond})
+	rec, err := d.Submit(api.Spec{Kind: api.KindExperiment, Experiment: "test-flaky-once"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = await(t, d, rec.ID)
+	if rec.State != store.Done {
+		t.Fatalf("flaky job finished %s: %s", rec.State, rec.Error)
+	}
+	retried := false
+	for _, tr := range rec.Transitions {
+		if strings.Contains(tr.Note, "retry 1/") && strings.Contains(tr.Note, "panic: transient flake") {
+			retried = true
+		}
+	}
+	if !retried {
+		t.Fatalf("no retry transition on the ledger: %+v", rec.Transitions)
+	}
+	stats := d.Stats()
+	if stats.Retries < 1 || stats.Panics < 1 || stats.Quarantined != 0 {
+		t.Fatalf("stats = retries %d, panics %d, quarantined %d", stats.Retries, stats.Panics, stats.Quarantined)
+	}
+	// The artefact of the successful retry is served normally.
+	if _, err := d.Store().Artefact(rec.ID, "result.json"); err != nil {
+		t.Fatalf("retried job has no artefact: %v", err)
+	}
+}
+
+// TestRepeatedPanicsQuarantineSpec is the circuit breaker: a spec that
+// panics on every attempt exhausts its retry budget, is failed with the
+// recovered stack, and its cache key is quarantined — further submissions
+// are shed with ErrQuarantined (HTTP 422) while the daemon keeps serving
+// other work.
+func TestRepeatedPanicsQuarantineSpec(t *testing.T) {
+	d := newTestDaemon(t, Config{SimWorkers: 1, RetryBackoff: time.Millisecond})
+	srv := httptest.NewServer(Handler(d))
+	defer srv.Close()
+
+	spec := api.Spec{Kind: api.KindExperiment, Experiment: "test-panic-always"}
+	rec, err := d.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = await(t, d, rec.ID)
+	if rec.State != store.Failed {
+		t.Fatalf("panicking job finished %s", rec.State)
+	}
+	if !strings.Contains(rec.Error, "panic: test-panic-always detonated") ||
+		!strings.Contains(rec.Error, "goroutine") {
+		t.Fatalf("failure does not carry the recovered panic and stack: %s", rec.Error)
+	}
+	last := rec.Transitions[len(rec.Transitions)-1]
+	if last.Note != "panicked; spec quarantined" {
+		t.Fatalf("terminal note = %q", last.Note)
+	}
+	// Default budget: 1 initial attempt + 2 retries = 3 panics = the
+	// default quarantine threshold.
+	stats := d.Stats()
+	if stats.Panics != 3 || stats.Retries != 2 || stats.Quarantined != 1 {
+		t.Fatalf("stats = panics %d, retries %d, quarantined %d", stats.Panics, stats.Retries, stats.Quarantined)
+	}
+
+	// The breaker is open: in-process and over HTTP.
+	if _, err := d.Submit(spec); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("quarantined Submit error = %v", err)
+	}
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("quarantined submit status = %s", resp.Status)
+	}
+
+	// One hostile spec must not degrade the service for everyone else.
+	ok, err := d.Submit(tinySpec(units.KiB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := await(t, d, ok.ID); rec.State != store.Done {
+		t.Fatalf("healthy job after quarantine finished %s: %s", rec.State, rec.Error)
+	}
+}
+
+// TestDeadlineRetriesAndRetryDisable pins deadline cuts as transient (they
+// retry within the budget) and RetryMax<0 as a hard off switch.
+func TestDeadlineRetriesAndRetryDisable(t *testing.T) {
+	d := newTestDaemon(t, Config{SimWorkers: 1, RetryMax: 1, RetryBackoff: time.Millisecond})
+	spec := slowSpec()
+	spec.DeadlineSec = 0.05
+	rec, err := d.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = await(t, d, rec.ID)
+	if rec.State != store.Failed {
+		t.Fatalf("deadline job finished %s", rec.State)
+	}
+	retried := false
+	for _, tr := range rec.Transitions {
+		if strings.Contains(tr.Note, "retry 1/1") {
+			retried = true
+		}
+	}
+	if !retried {
+		t.Fatalf("deadline cut was not retried: %+v", rec.Transitions)
+	}
+
+	d2 := newTestDaemon(t, Config{SimWorkers: 1, RetryMax: -1})
+	rec2, err := d2.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2 = await(t, d2, rec2.ID)
+	if rec2.State != store.Failed {
+		t.Fatalf("no-retry deadline job finished %s", rec2.State)
+	}
+	for _, tr := range rec2.Transitions {
+		if strings.Contains(tr.Note, "retry") {
+			t.Fatalf("RetryMax<0 still retried: %+v", rec2.Transitions)
+		}
+	}
+}
+
+// TestCancelWhileAwaitingRetry covers the retry-parking window: a job
+// sitting on its backoff timer is cancellable without ever re-running.
+func TestCancelWhileAwaitingRetry(t *testing.T) {
+	flakyCalls.Store(0)
+	d := newTestDaemon(t, Config{SimWorkers: 1, RetryBackoff: time.Hour})
+	rec, err := d.Submit(api.Spec{Kind: api.KindExperiment, Experiment: "test-flaky-once"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first attempt to panic and park on the (1h) backoff.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		r, _ := d.Store().Get(rec.ID)
+		if len(r.Transitions) > 0 && strings.Contains(r.Transitions[len(r.Transitions)-1].Note, "retry 1/") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never parked on its retry backoff: %+v", r.Transitions)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !d.Cancel(rec.ID) {
+		t.Fatal("Cancel of a retry-parked job = false")
+	}
+	got := await(t, d, rec.ID)
+	if got.State != store.Cancelled {
+		t.Fatalf("retry-parked job finished %s", got.State)
+	}
+	if note := got.Transitions[len(got.Transitions)-1].Note; note != "cancelled while awaiting retry" {
+		t.Fatalf("terminal note = %q", note)
+	}
+	if calls := flakyCalls.Load(); calls != 1 {
+		t.Fatalf("cancelled retry still re-ran the experiment (%d calls)", calls)
+	}
+}

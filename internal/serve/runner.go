@@ -41,23 +41,22 @@ func (p *rtProbe) enter() {
 
 func (p *rtProbe) exit() { p.inFlight.Add(-1) }
 
-// ctxJob lifts a comm.Job's context form into its plain Run, so the
-// context-free IMB drivers become cancellable without modification: every
-// j.Run(app) they issue turns into RunCtx(ctx, app).
-type ctxJob struct {
-	comm.Job
-	ctx context.Context
-}
-
-func (c ctxJob) Run(app func(p comm.Peer)) error { return c.Job.RunCtx(c.ctx, app) }
-
 // Execute runs one canonical spec to completion and returns its artefact
-// files. Comm-kind jobs honour ctx mid-run (the engines cut cleanly and
-// embed a per-rank state dump in the error); experiment-kind jobs check
-// ctx only between being admitted and starting — a registered experiment
-// is not preemptible, which keeps scheduler accounting honest (its slot is
-// genuinely busy until the experiment returns).
-func Execute(ctx context.Context, spec api.Spec, probe *rtProbe) (map[string][]byte, error) {
+// files. Both kinds honour ctx mid-run: comm-kind jobs are cut by their
+// engines (which embed a per-rank state dump in the error), and
+// experiment-kind jobs thread ctx through their sweep loops, so a deadline
+// or cancel stops the sweep between cases with a partial-progress note.
+//
+// Execute is also the daemon's panic boundary: a panic anywhere in an
+// engine or driver is converted into a job failure carrying the recovered
+// value and stack (*experiments.PanicError), so one hostile spec fails its
+// own job instead of killing the always-on process.
+func Execute(ctx context.Context, spec api.Spec, probe *rtProbe) (files map[string][]byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			files, err = nil, experiments.Recovered(r)
+		}
+	}()
 	rtClass := spec.Class() == api.ClassRT
 	if rtClass && probe != nil {
 		probe.enter()
@@ -84,7 +83,7 @@ func executeExperiment(ctx context.Context, spec api.Spec) (map[string][]byte, e
 	// One worker: the daemon's own pool provides the parallelism, and
 	// experiment artefacts are byte-identical at any width anyway.
 	env.Workers = 1
-	res, err := experiments.Run(spec.Experiment, env)
+	res, err := experiments.Run(ctx, spec.Experiment, env)
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +117,7 @@ func executeComm(ctx context.Context, spec api.Spec, probe *rtProbe) (map[string
 	if err != nil {
 		return nil, err
 	}
-	cj := ctxJob{Job: job, ctx: ctx}
+	cj := comm.WithContext(ctx, job)
 
 	var table interface{}
 	switch spec.Bench {

@@ -249,7 +249,17 @@ func (s *Scheduler) run(js *jobState) {
 	if s.cfg.OnStart != nil {
 		s.cfg.OnStart(js.job.ID)
 	}
-	err := js.job.Run(ctx)
+	// Last-resort isolation: the daemon's runner converts panics into
+	// typed errors itself, but a panic from any other Run must still not
+	// take down the scheduler goroutine (and the process with it).
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("scheduler: job %s panicked: %v", js.job.ID, r)
+			}
+		}()
+		return js.job.Run(ctx)
+	}()
 
 	s.mu.Lock()
 	if js.job.Class == ClassRT {

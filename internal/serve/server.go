@@ -48,8 +48,11 @@ func Handler(d *Daemon) http.Handler {
 		case errors.Is(err, scheduler.ErrQueueFull):
 			fail(w, http.StatusTooManyRequests, err)
 			return
-		case errors.Is(err, scheduler.ErrDraining):
+		case errors.Is(err, scheduler.ErrDraining), errors.Is(err, ErrNotReady):
 			fail(w, http.StatusServiceUnavailable, err)
+			return
+		case errors.Is(err, ErrQuarantined):
+			fail(w, http.StatusUnprocessableEntity, err)
 			return
 		case err != nil:
 			fail(w, http.StatusBadRequest, err)
@@ -137,6 +140,19 @@ func Handler(d *Daemon) http.Handler {
 
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+
+	// Readiness is distinct from liveness: a daemon replaying a large WAL
+	// is alive (healthz 200) but not yet accepting submissions until
+	// recovery has re-queued every interrupted job (readyz 503 -> 200).
+	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !d.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "recovering\n")
+			return
+		}
 		io.WriteString(w, "ok\n")
 	})
 

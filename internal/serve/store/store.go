@@ -3,10 +3,15 @@
 //
 //	queued → admitted → running → done | cancelled | failed
 //
-// (cache hits jump straight to done), with a timestamped transition log
-// and a monotonically increasing version the progress API long-polls on.
-// Artefacts — the typed JSON/CSV files a job produces — are persisted to a
-// root directory when one is configured, or held in memory otherwise.
+// (cache hits jump straight to done, and recovery may send an interrupted
+// job back to queued), with a timestamped transition log and a
+// monotonically increasing version the progress API long-polls on.
+//
+// With a root directory configured the ledger is durable: every mutation
+// is appended to an fsync'd write-ahead log (see wal.go) before the call
+// returns, Open replays that log on boot, and artefacts are written via
+// temp-file+rename so a crash can never leave a torn file behind. A zero
+// root keeps everything in memory.
 package store
 
 import (
@@ -14,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -53,7 +59,8 @@ type Record struct {
 	Transitions []Transition `json:"transitions"`
 
 	// Error carries the failure (or cancellation) error text, which for
-	// engine-cut jobs embeds the per-rank state dump.
+	// engine-cut jobs embeds the per-rank state dump and for panicked jobs
+	// the recovered stack.
 	Error string `json:"error,omitempty"`
 	// Cached marks a submission answered from the result cache; ArtefactID
 	// then names the job whose artefact serves this record (otherwise the
@@ -63,28 +70,71 @@ type Record struct {
 }
 
 // Store is the goroutine-safe ledger. A zero root keeps artefacts in
-// memory; otherwise they live under root/<job id>/<file>.
+// memory; otherwise they live under root/<job id>/<file> and the ledger is
+// WAL-backed.
 type Store struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	root string
+	wal  *os.File // nil when root == ""
 
 	jobs  map[string]*Record
 	order []string // submission order, for List
 
 	mem map[string]map[string][]byte // in-memory artefacts (root == "")
+
+	replay Replay
 }
 
-// New opens a store. A non-empty root is created if missing.
+// New opens a store, discarding the replay summary. Prefer Open when the
+// caller needs to resolve interrupted jobs.
 func New(root string) (*Store, error) {
-	if root != "" {
-		if err := os.MkdirAll(root, 0o755); err != nil {
-			return nil, err
-		}
-	}
+	s, _, err := Open(root)
+	return s, err
+}
+
+// Open opens a store. A non-empty root is created if missing and its WAL,
+// if present, is replayed: the returned summary tells the caller what was
+// reconstructed and which jobs a crash caught mid-flight.
+func Open(root string) (*Store, Replay, error) {
 	s := &Store{root: root, jobs: make(map[string]*Record), mem: make(map[string]map[string][]byte)}
 	s.cond = sync.NewCond(&s.mu)
-	return s, nil
+	if root == "" {
+		return s, Replay{}, nil
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, Replay{}, err
+	}
+	rep, err := s.replayWAL()
+	if err != nil {
+		return nil, rep, err
+	}
+	f, err := os.OpenFile(filepath.Join(root, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, rep, err
+	}
+	s.wal = f
+	if err := syncDir(root); err != nil { // the WAL file's directory entry itself
+		f.Close()
+		return nil, rep, err
+	}
+	s.replay = rep
+	return s, rep, nil
+}
+
+// Replay returns the summary of what Open reconstructed.
+func (s *Store) Replay() Replay { return s.replay }
+
+// Close releases the WAL handle. The store must not be mutated afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	return err
 }
 
 // Create opens a record in its initial state (Queued normally, Done for a
@@ -98,13 +148,21 @@ func (s *Store) Create(id, key, class string, spec []byte, initial State) {
 	r := &Record{ID: id, Key: key, Class: class, Spec: spec}
 	s.jobs[id] = r
 	s.order = append(s.order, id)
-	s.advanceLocked(r, initial, "")
+	at := time.Now().UTC()
+	s.appendWAL(walEntry{Op: "create", ID: id, Key: key, Class: class, Spec: spec, State: initial, At: at})
+	s.advanceLocked(r, initial, "", at)
 }
 
 // Delete removes a record (a submission shed before it was ever queued).
 func (s *Store) Delete(id string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.appendWAL(walEntry{Op: "delete", ID: id, At: time.Now().UTC()})
+	s.deleteLocked(id)
+	s.cond.Broadcast()
+}
+
+func (s *Store) deleteLocked(id string) {
 	delete(s.jobs, id)
 	for i, o := range s.order {
 		if o == id {
@@ -112,7 +170,6 @@ func (s *Store) Delete(id string) {
 			break
 		}
 	}
-	s.cond.Broadcast()
 }
 
 // Advance appends a transition. Advancing a terminal record is ignored
@@ -125,12 +182,15 @@ func (s *Store) Advance(id string, st State, note string) {
 	if !ok || r.State.Terminal() {
 		return
 	}
-	s.advanceLocked(r, st, note)
+	at := time.Now().UTC()
+	s.appendWAL(walEntry{Op: "advance", ID: id, State: st, Note: note, At: at})
+	s.advanceLocked(r, st, note, at)
 }
 
 // Finish moves a record to a terminal state, recording the error text (the
-// engine's cut error embeds the state dump) and the artefact owner.
-func (s *Store) Finish(id string, st State, errText, artefactID string) {
+// engine's cut error embeds the state dump), the artefact owner and an
+// optional transition note (e.g. "crash-interrupted").
+func (s *Store) Finish(id string, st State, errText, artefactID, note string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	r, ok := s.jobs[id]
@@ -139,7 +199,9 @@ func (s *Store) Finish(id string, st State, errText, artefactID string) {
 	}
 	r.Error = errText
 	r.ArtefactID = artefactID
-	s.advanceLocked(r, st, "")
+	at := time.Now().UTC()
+	s.appendWAL(walEntry{Op: "finish", ID: id, State: st, Error: errText, Artefact: artefactID, Note: note, At: at})
+	s.advanceLocked(r, st, note, at)
 }
 
 // MarkCached flags a record as answered from the result cache.
@@ -149,12 +211,13 @@ func (s *Store) MarkCached(id, artefactID string) {
 	if r, ok := s.jobs[id]; ok {
 		r.Cached = true
 		r.ArtefactID = artefactID
+		s.appendWAL(walEntry{Op: "cached", ID: id, Artefact: artefactID, At: time.Now().UTC()})
 	}
 }
 
-func (s *Store) advanceLocked(r *Record, st State, note string) {
+func (s *Store) advanceLocked(r *Record, st State, note string, at time.Time) {
 	r.State = st
-	r.Transitions = append(r.Transitions, Transition{State: st, At: time.Now().UTC(), Note: note})
+	r.Transitions = append(r.Transitions, Transition{State: st, At: at, Note: note})
 	r.Version = len(r.Transitions)
 	s.cond.Broadcast()
 }
@@ -187,7 +250,10 @@ func (s *Store) List(state State) []Record {
 
 // Wait blocks until the record's version exceeds since (returning the
 // fresh copy) or the timeout passes (returning the current copy). The
-// second result is false for an unknown ID.
+// second result is false for an unknown ID. A record replayed from the WAL
+// already carries its full transition history, so a waiter starting at
+// since=0 returns immediately even when the record jumped straight to a
+// terminal state before this process booted.
 func (s *Store) Wait(id string, since int, timeout time.Duration) (Record, bool) {
 	deadline := time.Now().Add(timeout)
 	timer := time.AfterFunc(timeout, func() {
@@ -218,7 +284,10 @@ func (r *Record) clone() Record {
 	return c
 }
 
-// PutArtefact stores a job's artefact files.
+// PutArtefact stores a job's artefact files. On-disk files are written via
+// temp file + rename with the file and its directory fsync'd, so a crash
+// mid-put can never leave a torn artefact under the final name — a reader
+// sees either the complete file or no file.
 func (s *Store) PutArtefact(id string, files map[string][]byte) error {
 	if s.root == "" {
 		cp := make(map[string][]byte, len(files))
@@ -235,14 +304,47 @@ func (s *Store) PutArtefact(id string, files map[string][]byte) error {
 		return err
 	}
 	for name, buf := range files {
-		if name != filepath.Base(name) {
+		if name != filepath.Base(name) || strings.HasPrefix(name, ".") {
 			return fmt.Errorf("store: artefact name %q escapes its directory", name)
 		}
-		if err := os.WriteFile(filepath.Join(dir, name), buf, 0o644); err != nil {
+		if err := writeFileAtomic(dir, name, buf); err != nil {
 			return err
 		}
 	}
-	return nil
+	return syncDir(dir)
+}
+
+// writeFileAtomic writes dir/name via a dot-prefixed temp file in the same
+// directory, fsyncs it and renames it into place. ArtefactNames skips
+// dot-prefixed entries, so a temp file orphaned by a crash is invisible.
+func writeFileAtomic(dir, name string, buf []byte) error {
+	tmp, err := os.CreateTemp(dir, "."+name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op once renamed
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, name))
+}
+
+// syncDir fsyncs a directory so renames and creates within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // ArtefactNames lists a job's artefact files in sorted order.
@@ -267,9 +369,10 @@ func (s *Store) ArtefactNames(id string) ([]string, error) {
 	}
 	names := make([]string, 0, len(entries))
 	for _, e := range entries {
-		if !e.IsDir() {
-			names = append(names, e.Name())
+		if e.IsDir() || strings.HasPrefix(e.Name(), ".") {
+			continue // orphaned atomic-write temp files are not artefacts
 		}
+		names = append(names, e.Name())
 	}
 	sort.Strings(names)
 	return names, nil
@@ -277,7 +380,7 @@ func (s *Store) ArtefactNames(id string) ([]string, error) {
 
 // Artefact returns one artefact file's bytes.
 func (s *Store) Artefact(id, name string) ([]byte, error) {
-	if name != filepath.Base(name) {
+	if name != filepath.Base(name) || strings.HasPrefix(name, ".") {
 		return nil, fmt.Errorf("store: artefact name %q escapes its directory", name)
 	}
 	if s.root == "" {

@@ -16,7 +16,7 @@ func TestRecordLifecycle(t *testing.T) {
 	s.Create("j1", "key1", "sim", []byte(`{"k":1}`), Queued)
 	s.Advance("j1", Admitted, "")
 	s.Advance("j1", Running, "")
-	s.Finish("j1", Done, "", "j1")
+	s.Finish("j1", Done, "", "j1", "")
 
 	r, ok := s.Get("j1")
 	if !ok {
@@ -38,7 +38,7 @@ func TestRecordLifecycle(t *testing.T) {
 	// Terminal states are sticky: a racing transition must not resurrect
 	// the record.
 	s.Advance("j1", Running, "")
-	s.Finish("j1", Failed, "boom", "")
+	s.Finish("j1", Failed, "boom", "", "")
 	r, _ = s.Get("j1")
 	if r.State != Done || r.Error != "" {
 		t.Fatalf("terminal record mutated: %+v", r)

@@ -1,0 +1,173 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// The write-ahead log is what makes the ledger survive kill -9: every
+// mutation appends one JSON line to root/wal.jsonl and fsyncs it before the
+// mutating call returns, so the on-disk log is always a prefix of the
+// in-memory history. Open replays the log to rebuild the ledger; a torn
+// final line (the crash landed mid-append) is detected, dropped and
+// truncated away so the next append starts on a clean record boundary.
+// Artefact files are not in the WAL — they are made crash-safe separately
+// by temp-file+rename writes, and a job only gets its terminal "finish"
+// entry after its artefacts are durably in place.
+
+// walFile is the ledger log's name under the store root.
+const walFile = "wal.jsonl"
+
+// walEntry is one logged mutation. Op selects which fields apply:
+//
+//	create  ID Key Class Spec State (initial) At
+//	advance ID State Note At
+//	finish  ID State Error Artefact Note At
+//	cached  ID Artefact At
+//	delete  ID At
+type walEntry struct {
+	Op       string          `json:"op"`
+	ID       string          `json:"id"`
+	Key      string          `json:"key,omitempty"`
+	Class    string          `json:"class,omitempty"`
+	Spec     json.RawMessage `json:"spec,omitempty"`
+	State    State           `json:"state,omitempty"`
+	Note     string          `json:"note,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Artefact string          `json:"artefact_id,omitempty"`
+	At       time.Time       `json:"at"`
+}
+
+// Replay summarizes what Open reconstructed from the WAL.
+type Replay struct {
+	// Entries is the number of valid log lines applied.
+	Entries int
+	// Records is the number of ledger records reconstructed.
+	Records int
+	// Terminal counts records that were already done/cancelled/failed.
+	Terminal int
+	// Interrupted lists, in submission order, the IDs of records caught in
+	// a non-terminal state (queued/admitted/running) — the jobs a crash cut
+	// mid-flight, which the daemon's recovery policy must resolve.
+	Interrupted []string
+	// MaxSeq is the highest numeric suffix among job-%06d IDs, so a daemon
+	// reopening the store can resume its ID sequence without collisions.
+	MaxSeq int64
+	// TornTail reports that the log ended in a partial line (a crash landed
+	// mid-append); the fragment was dropped and truncated away.
+	TornTail bool
+}
+
+// appendWAL logs one entry and fsyncs it. Called with s.mu held; a nil
+// s.wal (in-memory store) is a no-op.
+func (s *Store) appendWAL(e walEntry) {
+	if s.wal == nil {
+		return
+	}
+	buf, err := json.Marshal(e)
+	if err != nil {
+		panic(fmt.Sprintf("store: wal entry marshal cannot fail: %v", err))
+	}
+	buf = append(buf, '\n')
+	if _, err := s.wal.Write(buf); err != nil {
+		panic(fmt.Sprintf("store: wal append: %v", err))
+	}
+	if err := s.wal.Sync(); err != nil {
+		panic(fmt.Sprintf("store: wal fsync: %v", err))
+	}
+}
+
+// replayWAL reads root/wal.jsonl, applies every valid entry to the empty
+// store and truncates a torn tail. Returns the replay summary.
+func (s *Store) replayWAL() (Replay, error) {
+	var rep Replay
+	path := filepath.Join(s.root, walFile)
+	buf, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		buf = nil
+	} else if err != nil {
+		return rep, err
+	}
+
+	good := 0 // byte offset of the end of the last valid line
+	for off := 0; off < len(buf); {
+		nl := bytes.IndexByte(buf[off:], '\n')
+		if nl < 0 {
+			rep.TornTail = true // no terminator: the append was cut mid-line
+			break
+		}
+		line := buf[off : off+nl]
+		var e walEntry
+		if len(bytes.TrimSpace(line)) != 0 {
+			if err := json.Unmarshal(line, &e); err != nil {
+				// An unparseable line and everything after it is
+				// unreliable; recover the valid prefix.
+				rep.TornTail = true
+				break
+			}
+			s.applyLocked(e)
+			rep.Entries++
+		}
+		off += nl + 1
+		good = off
+	}
+	if rep.TornTail {
+		if err := os.Truncate(path, int64(good)); err != nil {
+			return rep, fmt.Errorf("store: truncating torn wal tail: %w", err)
+		}
+	}
+
+	for _, id := range s.order {
+		r := s.jobs[id]
+		rep.Records++
+		if r.State.Terminal() {
+			rep.Terminal++
+		} else {
+			rep.Interrupted = append(rep.Interrupted, id)
+		}
+		var n int64
+		if _, err := fmt.Sscanf(id, "job-%d", &n); err == nil && n > rep.MaxSeq {
+			rep.MaxSeq = n
+		}
+	}
+	return rep, nil
+}
+
+// applyLocked replays one WAL entry against the in-memory ledger, using the
+// logged timestamps so replayed records are verbatim copies of the
+// pre-crash history. Unknown ops and entries for unknown IDs are ignored
+// (forward compatibility over strictness: a ledger that loads with one
+// record fewer beats a daemon that cannot boot).
+func (s *Store) applyLocked(e walEntry) {
+	switch e.Op {
+	case "create":
+		if _, dup := s.jobs[e.ID]; dup {
+			return
+		}
+		r := &Record{ID: e.ID, Key: e.Key, Class: e.Class, Spec: append([]byte(nil), e.Spec...)}
+		s.jobs[e.ID] = r
+		s.order = append(s.order, e.ID)
+		s.advanceLocked(r, e.State, e.Note, e.At)
+	case "advance":
+		if r, ok := s.jobs[e.ID]; ok {
+			s.advanceLocked(r, e.State, e.Note, e.At)
+		}
+	case "finish":
+		if r, ok := s.jobs[e.ID]; ok {
+			r.Error = e.Error
+			r.ArtefactID = e.Artefact
+			s.advanceLocked(r, e.State, e.Note, e.At)
+		}
+	case "cached":
+		if r, ok := s.jobs[e.ID]; ok {
+			r.Cached = true
+			r.ArtefactID = e.Artefact
+		}
+	case "delete":
+		s.deleteLocked(e.ID)
+	}
+}

@@ -1,0 +1,252 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// seedLedger writes a representative pre-crash history into root:
+//
+//	job-000001  done, owns an artefact
+//	job-000002  failed with an error and note
+//	job-000003  admitted (interrupted)
+//	job-000004  queued   (interrupted)
+//
+// and returns the records as the pre-crash process saw them.
+func seedLedger(t *testing.T, root string) map[string]Record {
+	t.Helper()
+	s, rep, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records != 0 {
+		t.Fatalf("fresh root replayed %d records", rep.Records)
+	}
+	s.Create("job-000001", "key-a", "sim", []byte(`{"kind":"comm"}`), Queued)
+	s.Advance("job-000001", Admitted, "")
+	s.Advance("job-000001", Running, "")
+	if err := s.PutArtefact("job-000001", map[string][]byte{
+		"result.json": []byte(`{"ok":true}` + "\n"),
+		"table.csv":   []byte("size,us\n1,2\n"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Finish("job-000001", Done, "", "job-000001", "")
+
+	s.Create("job-000002", "key-b", "sim", []byte(`{"kind":"comm"}`), Queued)
+	s.Advance("job-000002", Admitted, "")
+	s.Advance("job-000002", Running, "")
+	s.Finish("job-000002", Failed, "panic: boom\nstack", "", "panicked")
+
+	s.Create("job-000003", "key-c", "sim", []byte(`{"kind":"comm"}`), Queued)
+	s.Advance("job-000003", Admitted, "")
+
+	s.Create("job-000004", "key-d", "rt", []byte(`{"kind":"comm"}`), Queued)
+
+	want := make(map[string]Record)
+	for _, id := range []string{"job-000001", "job-000002", "job-000003", "job-000004"} {
+		r, ok := s.Get(id)
+		if !ok {
+			t.Fatalf("seed record %s missing", id)
+		}
+		want[id] = r
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+func TestWALReplayVerbatim(t *testing.T) {
+	root := t.TempDir()
+	want := seedLedger(t, root)
+
+	s, rep, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if rep.TornTail {
+		t.Fatal("clean log reported a torn tail")
+	}
+	if rep.Records != 4 || rep.Terminal != 2 {
+		t.Fatalf("replay = %+v", rep)
+	}
+	if !reflect.DeepEqual(rep.Interrupted, []string{"job-000003", "job-000004"}) {
+		t.Fatalf("interrupted = %v", rep.Interrupted)
+	}
+	if rep.MaxSeq != 4 {
+		t.Fatalf("max seq = %d, want 4", rep.MaxSeq)
+	}
+
+	// Replayed records are verbatim copies of the pre-crash history:
+	// states, errors, artefact owners and every timestamped transition.
+	for id, w := range want {
+		g, ok := s.Get(id)
+		if !ok {
+			t.Fatalf("record %s lost in replay", id)
+		}
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("record %s diverged after replay:\ngot  %+v\nwant %+v", id, g, w)
+		}
+	}
+
+	// The done job's artefacts survived byte-for-byte, in sorted order.
+	names, err := s.ArtefactNames("job-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, []string{"result.json", "table.csv"}) {
+		t.Fatalf("artefact names = %v", names)
+	}
+	buf, err := s.Artefact("job-000001", "result.json")
+	if err != nil || !bytes.Equal(buf, []byte(`{"ok":true}`+"\n")) {
+		t.Fatalf("artefact = %q, %v", buf, err)
+	}
+}
+
+func TestWALTornTailTruncatedAndRecovered(t *testing.T) {
+	root := t.TempDir()
+	seedLedger(t, root)
+	path := filepath.Join(root, walFile)
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash mid-append leaves a partial line with no terminator.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"finish","id":"job-000003","sta`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s, rep, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TornTail {
+		t.Fatal("torn tail not detected")
+	}
+	if rep.Records != 4 {
+		t.Fatalf("valid prefix lost: %d records", rep.Records)
+	}
+	// The fragment is truncated away so the log is a clean prefix again...
+	after, err := os.ReadFile(path)
+	if err != nil || !bytes.Equal(after, intact) {
+		t.Fatalf("torn tail not truncated back to the valid prefix (%d vs %d bytes, err %v)",
+			len(after), len(intact), err)
+	}
+	// ...and the next append lands on a record boundary.
+	s.Finish("job-000003", Failed, "crash-interrupted", "", "crash-interrupted")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rep2, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rep2.TornTail {
+		t.Fatal("repaired log still reports a torn tail")
+	}
+	if r, _ := s2.Get("job-000003"); r.State != Failed {
+		t.Fatalf("post-repair append lost: job-000003 is %s", r.State)
+	}
+	if !reflect.DeepEqual(rep2.Interrupted, []string{"job-000004"}) {
+		t.Fatalf("interrupted = %v", rep2.Interrupted)
+	}
+}
+
+func TestWALDeleteReplayed(t *testing.T) {
+	root := t.TempDir()
+	s, _, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Create("job-000001", "k", "sim", nil, Queued)
+	s.Create("job-000002", "k2", "sim", nil, Queued)
+	s.Delete("job-000001") // shed before it ever ran
+	s.Close()
+
+	s2, rep, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rep.Records != 1 {
+		t.Fatalf("replayed %d records, want 1", rep.Records)
+	}
+	if _, ok := s2.Get("job-000001"); ok {
+		t.Fatal("deleted record resurrected by replay")
+	}
+	if _, ok := s2.Get("job-000002"); !ok {
+		t.Fatal("surviving record lost")
+	}
+}
+
+// TestWaitOnReplayedTerminalReturnsImmediately pins the long-poll contract
+// after a restart: a record that reached its terminal state in the previous
+// process already carries its full transition history, so a waiter starting
+// at since=0 must not block until its timeout.
+func TestWaitOnReplayedTerminalReturnsImmediately(t *testing.T) {
+	root := t.TempDir()
+	seedLedger(t, root)
+	s, _, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	t0 := time.Now()
+	rec, ok := s.Wait("job-000001", 0, 10*time.Second)
+	if !ok || rec.State != Done {
+		t.Fatalf("Wait = %+v, %v", rec, ok)
+	}
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Fatalf("Wait on a replayed terminal record blocked %s", elapsed)
+	}
+}
+
+// TestOrphanedAtomicTempInvisible pins the torn-artefact fix: a crash
+// between CreateTemp and rename leaves a dot-prefixed temp file behind,
+// which must never surface as an artefact.
+func TestOrphanedAtomicTempInvisible(t *testing.T) {
+	root := t.TempDir()
+	s, _, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Create("job-000001", "k", "sim", nil, Queued)
+	if err := s.PutArtefact("job-000001", map[string][]byte{"result.json": []byte("{}\n")}); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(root, "job-000001", ".result.json.tmp-orphan")
+	if err := os.WriteFile(orphan, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	names, err := s.ArtefactNames("job-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, []string{"result.json"}) {
+		t.Fatalf("orphaned temp file leaked into artefact names: %v", names)
+	}
+	if _, err := s.Artefact("job-000001", ".result.json.tmp-orphan"); err == nil {
+		t.Fatal("dot-prefixed artefact name was served")
+	}
+	// Dot-prefixed names are rejected on the way in, too.
+	if err := s.PutArtefact("job-000001", map[string][]byte{".sneaky": nil}); err == nil {
+		t.Fatal("PutArtefact accepted a dot-prefixed name")
+	}
+}
